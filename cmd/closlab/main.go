@@ -1,0 +1,262 @@
+// Command closlab reruns the paper's experiments and prints each figure's
+// data as a grid (rows: failure cases TC1–TC4; columns: protocol
+// configurations), for the 2-PoD and 4-PoD topologies.
+//
+// Usage:
+//
+//	closlab -experiment convergence            # Fig. 4 (ms)
+//	closlab -experiment blastradius            # Fig. 5 (routers)
+//	closlab -experiment overhead               # Fig. 6 (bytes)
+//	closlab -experiment loss-near              # Fig. 7 (packets)
+//	closlab -experiment loss-far               # Fig. 8 (packets)
+//	closlab -experiment keepalive              # Figs. 9-10 (capture summary)
+//	closlab -experiment config                 # Listings 1-2 comparison
+//	closlab -experiment all                    # everything
+//
+// Flags -trials and -seed control averaging, -pods restricts the topology.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/harness"
+	"repro/internal/routerlog"
+	"repro/internal/topology"
+)
+
+var protocols = []harness.Protocol{harness.ProtoMRMTP, harness.ProtoBGP, harness.ProtoBGPBFD}
+
+func main() {
+	experiment := flag.String("experiment", "all", "convergence|blastradius|overhead|loss-near|loss-far|keepalive|config|nodefail|flap|artifacts|all")
+	trials := flag.Int("trials", 3, "trials to average per data point")
+	seed := flag.Int64("seed", 1, "base random seed")
+	pods := flag.Int("pods", 0, "restrict to one topology size (2 or 4); 0 = both")
+	out := flag.String("out", "closlab-artifacts", "output directory for -experiment artifacts")
+	flag.Parse()
+
+	var specs []topology.Spec
+	switch *pods {
+	case 0:
+		specs = []topology.Spec{topology.TwoPodSpec(), topology.FourPodSpec()}
+	case 2:
+		specs = []topology.Spec{topology.TwoPodSpec()}
+	case 4:
+		specs = []topology.Spec{topology.FourPodSpec()}
+	default:
+		fatalf("unsupported -pods %d (want 2 or 4)", *pods)
+	}
+
+	run := func(name string, fn func([]topology.Spec, int, int64) error) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		if err := fn(specs, *trials, *seed); err != nil {
+			fatalf("%s: %v", name, err)
+		}
+	}
+	run("convergence", convergence)
+	run("blastradius", blastRadius)
+	run("overhead", overhead)
+	run("loss-near", func(s []topology.Spec, n int, seed int64) error { return loss(s, n, seed, false) })
+	run("loss-far", func(s []topology.Spec, n int, seed int64) error { return loss(s, n, seed, true) })
+	run("keepalive", keepAlive)
+	run("config", configComparison)
+	run("nodefail", nodeFailure)
+	run("flap", flapChurn)
+	if *experiment == "artifacts" {
+		if err := artifacts(specs[0], *seed, *out); err != nil {
+			fatalf("artifacts: %v", err)
+		}
+	}
+}
+
+// artifacts runs a TC1 failure per protocol and writes the raw testbed
+// artifacts a FABRIC user would collect: per-router text logs (§VI.B) and
+// a Wireshark-compatible pcap of every link.
+func artifacts(spec topology.Spec, seed int64, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, proto := range protocols {
+		name := map[harness.Protocol]string{
+			harness.ProtoMRMTP:  "mrmtp",
+			harness.ProtoBGP:    "bgp",
+			harness.ProtoBGPBFD: "bgp-bfd",
+		}[proto]
+		journal := &routerlog.Journal{}
+		opts := harness.DefaultOptions(spec, proto, seed)
+		opts.Journal = journal
+		f, err := harness.Build(opts)
+		if err != nil {
+			return err
+		}
+		var rec capture.Recorder
+		rec.TapAll(f.Sim)
+		if err := f.WarmUp(harness.WarmupTime); err != nil {
+			return err
+		}
+		if _, err := f.Fail(topology.TC1); err != nil {
+			return err
+		}
+		f.Sim.RunFor(5 * time.Second)
+
+		logPath := filepath.Join(dir, name+"-logs.txt")
+		if err := os.WriteFile(logPath, []byte(journal.Render()), 0o644); err != nil {
+			return err
+		}
+		pcapPath := filepath.Join(dir, name+"-capture.pcap")
+		w, err := os.Create(pcapPath)
+		if err != nil {
+			return err
+		}
+		if err := rec.WritePCAP(w); err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%s: wrote %s (%d log lines) and %s (%d frames)\n",
+			proto, logPath, len(journal.Lines), pcapPath, rec.Count())
+	}
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "closlab: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func columns(specs []topology.Spec) []string {
+	var cols []string
+	for _, spec := range specs {
+		for _, p := range protocols {
+			cols = append(cols, fmt.Sprintf("%s %dP", p, spec.Pods))
+		}
+	}
+	return cols
+}
+
+func failureGrid(title string, specs []topology.Spec, trials int, seed int64,
+	cell func(harness.FailureSummary) string) error {
+	grid := harness.NewGrid(title, columns(specs))
+	for _, spec := range specs {
+		for _, proto := range protocols {
+			col := fmt.Sprintf("%s %dP", proto, spec.Pods)
+			for _, tc := range topology.AllFailureCases() {
+				s, err := harness.RunFailureTrials(harness.DefaultOptions(spec, proto, seed), tc, trials)
+				if err != nil {
+					return err
+				}
+				grid.Set(tc.String(), col, cell(s))
+			}
+		}
+	}
+	fmt.Println(grid.Render())
+	return nil
+}
+
+func convergence(specs []topology.Spec, trials int, seed int64) error {
+	return failureGrid("Fig. 4 — network convergence time (ms)", specs, trials, seed,
+		func(s harness.FailureSummary) string {
+			return fmt.Sprintf("%.1f", float64(s.Convergence)/float64(time.Millisecond))
+		})
+}
+
+func blastRadius(specs []topology.Spec, trials int, seed int64) error {
+	return failureGrid("Fig. 5 — blast radius (routers updating tables)", specs, trials, seed,
+		func(s harness.FailureSummary) string { return fmt.Sprintf("%.0f", s.BlastRadius) })
+}
+
+func overhead(specs []topology.Spec, trials int, seed int64) error {
+	return failureGrid("Fig. 6 — control overhead after failure (layer-2 bytes)", specs, trials, seed,
+		func(s harness.FailureSummary) string { return fmt.Sprintf("%.0f", s.ControlBytes) })
+}
+
+func loss(specs []topology.Spec, trials int, seed int64, reverse bool) error {
+	title := "Fig. 7 — packets lost, sender near failure (ToR 11 -> ToR 14)"
+	if reverse {
+		title = "Fig. 8 — packets lost, sender far from failure (ToR 14 -> ToR 11)"
+	}
+	grid := harness.NewGrid(title, columns(specs))
+	for _, spec := range specs {
+		for _, proto := range protocols {
+			col := fmt.Sprintf("%s %dP", proto, spec.Pods)
+			for _, tc := range topology.AllFailureCases() {
+				avg, err := harness.RunLossTrials(harness.DefaultOptions(spec, proto, seed), tc, reverse, trials)
+				if err != nil {
+					return err
+				}
+				grid.Set(tc.String(), col, fmt.Sprintf("%.0f", avg))
+			}
+		}
+	}
+	fmt.Println(grid.Render())
+	return nil
+}
+
+func keepAlive(specs []topology.Spec, _ int, seed int64) error {
+	window := 10 * time.Second
+	for _, proto := range protocols {
+		r, err := harness.RunKeepAlive(harness.DefaultOptions(specs[0], proto, seed), window)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Figs. 9-10 — idle-link capture, %s, %v on L-1-1<->S-1-1:\n", proto, window)
+		fmt.Println(capture.Render(r.Summary))
+		fmt.Printf("liveness bytes total: %d\n\n", r.TotalKeepAliveBytes())
+	}
+	return nil
+}
+
+func nodeFailure(specs []topology.Spec, _ int, seed int64) error {
+	fmt.Println("Extended failure cases (paper §IX) — whole-router crash of S-1-1:")
+	fmt.Printf("%-14s %6s %14s %8s %12s\n", "protocol", "pods", "convergence", "blast", "ctl bytes")
+	for _, spec := range specs {
+		for _, proto := range protocols {
+			r, err := harness.RunNodeFailure(harness.DefaultOptions(spec, proto, seed), "S-1-1")
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-14s %6d %14v %8d %12d\n", proto, spec.Pods, r.Convergence.Round(100*time.Microsecond), r.BlastRadius, r.ControlBytes)
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func flapChurn(specs []topology.Spec, _ int, seed int64) error {
+	fmt.Println("Extended failure cases (paper §IX) — TC1 interface flapping 5x (down 500ms, up 4s):")
+	fmt.Printf("%-14s %10s %12s %12s %10s\n", "protocol", "msgs", "ctl bytes", "route evts", "recovered")
+	for _, proto := range protocols {
+		r, err := harness.RunFlap(harness.DefaultOptions(specs[0], proto, seed), 5, 500*time.Millisecond, 4*time.Second)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %10d %12d %12d %10v\n", proto, r.ControlMsgs, r.ControlBytes, r.RouteEvents, r.Recovered)
+	}
+	fmt.Println()
+	return nil
+}
+
+func configComparison(specs []topology.Spec, _ int, _ int64) error {
+	for _, spec := range specs {
+		topo, err := topology.Build(spec)
+		if err != nil {
+			return err
+		}
+		cs, err := topo.MeasureConfigs(true)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Listings 1-2 — configuration burden, %d-PoD (%d routers):\n", spec.Pods, cs.Routers)
+		fmt.Printf("  BGP/BFD per-router configs: %6d bytes, %4d lines total\n", cs.BGPBytes, cs.BGPLines)
+		fmt.Printf("  MR-MTP fabric-wide JSON:    %6d bytes, %4d lines\n\n", cs.MRMTPBytes, cs.MRMTPLines)
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+// Command tables brings up a fabric in the simulator, lets it converge, and
+// dumps per-device state the way the paper's listings do:
+//
+//	tables -proto bgp   -device S-1-1     # Listing 3: kernel routing table
+//	tables -proto bgp   -device T-1 -config  # Listing 1: FRR configuration
+//	tables -proto mrmtp -device T-1       # Listing 5: VID table
+//	tables -proto mrmtp -config           # Listing 2: fabric-wide JSON
+//	tables -proto mrmtp -sizes            # table-size comparison (§VII.H)
+//	tables -proto bgp -trace 11,14        # traceroute between racks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/topology"
+)
+
+func main() {
+	proto := flag.String("proto", "mrmtp", "mrmtp or bgp")
+	device := flag.String("device", "", "device to dump (e.g. T-1, S-1-1); empty = all routers")
+	pods := flag.Int("pods", 4, "topology size in PoDs")
+	config := flag.Bool("config", false, "print configuration instead of tables")
+	sizes := flag.Bool("sizes", false, "print routing/VID table sizes for every router")
+	neighbors := flag.Bool("neighbors", false, "print adjacency/session summaries instead of tables")
+	trace := flag.String("trace", "", "traceroute between two rack VIDs, e.g. -trace 11,14")
+	flag.Parse()
+
+	spec := topology.Spec{Pods: *pods, LeavesPerPod: 2, SpinesPerPod: 2, UplinksPerSpine: 2, ServersPerLeaf: 1}
+	var p harness.Protocol
+	switch *proto {
+	case "mrmtp":
+		p = harness.ProtoMRMTP
+	case "bgp":
+		p = harness.ProtoBGP
+	default:
+		fatalf("unknown -proto %q", *proto)
+	}
+
+	if *config {
+		topo, err := topology.Build(spec)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if p == harness.ProtoMRMTP {
+			blob, err := topo.MRMTPConfig().Render()
+			if err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Println(string(blob))
+			return
+		}
+		devs := []string{*device}
+		if *device == "" {
+			devs = devs[:0]
+			for _, d := range topo.Routers() {
+				devs = append(devs, d.Name)
+			}
+		}
+		for _, name := range devs {
+			cfg, err := topo.BGPConfig(name, true)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("=== %s ===\n%s\n", name, cfg)
+		}
+		return
+	}
+
+	f, err := harness.Build(harness.DefaultOptions(spec, p, 1))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := f.WarmUp(harness.WarmupTime); err != nil {
+		fatalf("fabric did not converge: %v", err)
+	}
+
+	if *trace != "" {
+		var srcVID, dstVID int
+		if _, err := fmt.Sscanf(*trace, "%d,%d", &srcVID, &dstVID); err != nil {
+			fatalf("bad -trace %q (want e.g. 11,14)", *trace)
+		}
+		hops, err := harness.Traceroute(f, srcVID, dstVID, 16)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("traceroute VID %d -> VID %d over %s:\n%s", srcVID, dstVID, p, harness.RenderHops(hops))
+		return
+	}
+
+	if *sizes {
+		fmt.Printf("%-8s %s\n", "router", "table entries")
+		for _, d := range f.Topo.Routers() {
+			n := 0
+			if p == harness.ProtoMRMTP {
+				n = f.Routers[d.Name].TableSize()
+			} else {
+				n = f.Stacks[d.Name].FIB.Len()
+			}
+			fmt.Printf("%-8s %d\n", d.Name, n)
+		}
+		return
+	}
+
+	devs := []string{*device}
+	if *device == "" {
+		devs = devs[:0]
+		for _, d := range f.Topo.Routers() {
+			devs = append(devs, d.Name)
+		}
+	}
+	for _, name := range devs {
+		if f.Topo.Device(name) == nil {
+			fatalf("no device %q", name)
+		}
+		fmt.Printf("=== %s ===\n", name)
+		switch {
+		case *neighbors && p == harness.ProtoMRMTP:
+			fmt.Println(f.Routers[name].Summary())
+			fmt.Print(f.Routers[name].RenderNeighbors())
+			fmt.Print(f.Routers[name].RenderUnreachable())
+		case *neighbors:
+			fmt.Print(f.Speakers[name].RenderSummary())
+		case p == harness.ProtoMRMTP:
+			fmt.Print(f.Routers[name].RenderVIDTable())
+		default:
+			fmt.Print(f.Stacks[name].FIB.Render())
+		}
+		fmt.Println()
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tables: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Failover: inject the paper's TC1 interface failure into an MR-MTP fabric
+// while traffic flows, and watch Quick-to-Detect / Slow-to-Accept at work —
+// detection inside one dead-timer period, a handful of 18-byte LOST
+// updates, and dampened re-admission after the interface returns.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/topology"
+	"repro/internal/trafficgen"
+)
+
+func main() {
+	fabric, err := harness.Build(harness.DefaultOptions(topology.TwoPodSpec(), harness.ProtoMRMTP, 7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fabric.WarmUp(harness.WarmupTime); err != nil {
+		log.Fatal(err)
+	}
+
+	// Traffic from the server at ToR 11 to the server at ToR 14, steered
+	// across the L-1-1 / S-1-1 / T-1 column that the failure will hit.
+	src, srcDev, _ := fabric.ServerStack(11, 1)
+	dst, dstDev, _ := fabric.ServerStack(14, 1)
+	cfg := trafficgen.DefaultConfig(srcDev.IP, dstDev.IP)
+	cfg.SrcPort = harness.PickFlowPort(fabric, cfg)
+	sender := trafficgen.NewSender(src, cfg)
+	receiver := trafficgen.NewReceiver(dst, cfg.DstPort)
+	sender.Start()
+	fabric.Sim.RunFor(time.Second)
+
+	fp, _ := fabric.Topo.FailurePoint(topology.TC1)
+	fmt.Printf("t=%v  failing %s port %d (TC1: the ToR's own uplink — the ToR sees\n"+
+		"        carrier loss instantly; S-1-1 only finds out via the 100 ms dead timer)\n",
+		fabric.Sim.Now(), fp.Device, fp.Port)
+	failAt, _ := fabric.Fail(topology.TC1)
+	fabric.Sim.RunFor(2 * time.Second)
+
+	a := fabric.Log.Analyze(failAt)
+	fmt.Printf("\nconvergence:      %v after the failure\n", a.Convergence)
+	fmt.Printf("blast radius:     %d routers updated their tables: %v\n", a.BlastRadius, a.UpdatedNodes)
+	fmt.Printf("control overhead: %d bytes in %d LOST updates\n", a.ControlBytes, a.ControlMessages)
+	fmt.Println("\npost-failure update timeline:")
+	for _, e := range fabric.Log.Timeline(failAt) {
+		fmt.Printf("  +%8v  %s\n", e.At-failAt, e.What)
+	}
+
+	// The other ToRs have recorded "this port cannot be used for traffic
+	// destined to VID 11" — the paper's §VII.B description.
+	for _, name := range []string{"L-1-2", "L-2-1", "L-2-2"} {
+		r := fabric.Routers[name]
+		fmt.Printf("%s: uplink 1 unreachable for VID 11? %v\n", name, r.UnreachableVia(1, 11))
+	}
+
+	fmt.Println("\nrestoring the interface; Slow-to-Accept requires three clean hellos")
+	fabric.Sim.Node(fp.Device).Port(fp.Port).Restore()
+	fabric.Sim.RunFor(3 * time.Second)
+	if err := fabric.CheckConverged(); err != nil {
+		log.Fatalf("fabric did not re-form: %v", err)
+	}
+	fmt.Println("meshed trees re-formed; fabric converged")
+
+	sender.Stop()
+	fabric.Sim.RunFor(100 * time.Millisecond)
+	rep := receiver.Report(sender)
+	fmt.Printf("\ntraffic report: sent=%d received=%d lost=%d duplicated=%d out-of-order=%d\n",
+		rep.Sent, rep.Received, rep.Lost, rep.Duplicated, rep.OutOfOrder)
+	fmt.Println("(near-zero loss is the paper's Fig. 7 point for TC1: the sending ToR saw the")
+	fmt.Println(" carrier drop itself and rehashed the flow instantly; a TC2 failure instead")
+	fmt.Println(" costs roughly rate × dead timer ≈ 333 pps × 100 ms ≈ 33 packets — see")
+	fmt.Println(" examples/protocol-compare)")
+}

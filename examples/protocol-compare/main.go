@@ -1,0 +1,78 @@
+// Protocol comparison: run the paper's headline experiment head-to-head —
+// a TC2 interface failure under MR-MTP, BGP/ECMP, and BGP/ECMP/BFD — and
+// print the Figs. 4-7 metrics side by side. TC2 is the case where the
+// traffic-forwarding neighbor is unaware of the failure, so the dead timers
+// (100 ms vs 3 s vs 300 ms) show up directly as packet loss.
+//
+//	go run ./examples/protocol-compare
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/topology"
+)
+
+func main() {
+	type row struct {
+		proto       harness.Protocol
+		convergence time.Duration
+		blast       int
+		control     int
+		lost        uint64
+	}
+	var rows []row
+	for _, proto := range []harness.Protocol{harness.ProtoMRMTP, harness.ProtoBGP, harness.ProtoBGPBFD} {
+		opts := harness.DefaultOptions(topology.TwoPodSpec(), proto, 21)
+		fr, err := harness.RunFailure(opts, topology.TC2)
+		if err != nil {
+			log.Fatalf("%v: %v", proto, err)
+		}
+		lr, err := harness.RunLoss(opts, topology.TC2, false)
+		if err != nil {
+			log.Fatalf("%v: %v", proto, err)
+		}
+		rows = append(rows, row{proto, fr.Convergence, fr.BlastRadius, fr.ControlBytes, lr.Report.Lost})
+	}
+
+	fmt.Println("TC2 interface failure (S-1-1's downlink to ToR 11), 2-PoD fabric:")
+	fmt.Printf("%-14s %14s %8s %12s %10s\n", "protocol", "convergence", "blast", "ctl bytes", "pkts lost")
+	for _, r := range rows {
+		fmt.Printf("%-14s %14v %8d %12d %10d\n", r.proto, r.convergence, r.blast, r.control, r.lost)
+	}
+
+	// The Fig.-1 protocol-stack difference, made visible: traceroute.
+	fmt.Println("\ntraceroute 192.168.11.1 -> 192.168.14.1:")
+	for _, proto := range []harness.Protocol{harness.ProtoBGP, harness.ProtoMRMTP} {
+		f, err := harness.Build(harness.DefaultOptions(topology.TwoPodSpec(), proto, 21))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f.WarmUp(harness.WarmupTime); err != nil {
+			log.Fatal(err)
+		}
+		hops, err := harness.Traceroute(f, 11, 14, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- %s ---\n%s", proto, harness.RenderHops(hops))
+	}
+	fmt.Println("(the MR-MTP fabric carries IP opaquely: five routers appear as one hop)")
+
+	fmt.Println(`
+Reading the table the way the paper does:
+  - Packet loss tracks the detection timer of whoever keeps forwarding into
+    the dead interface: MR-MTP's 100 ms dead timer loses ~30 packets at
+    333 pps, BFD's 300 ms loses ~100, and plain BGP's 3 s hold timer loses
+    the better part of a thousand.
+  - Convergence at TC2 is tiny for every protocol because the router owning
+    the failed interface disseminates updates immediately.
+  - Blast radius is protocol-determined, not timer-determined: BFD changes
+    nothing there, while MR-MTP touches only the ToRs that must stop using
+    one uplink for one destination VID.
+  - Control overhead: a handful of 18-byte MR-MTP LOST frames versus BGP
+    withdrawals wrapped in TCP/IP.`)
+}

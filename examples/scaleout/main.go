@@ -1,0 +1,87 @@
+// Scale-out: the paper's §IX future work asks how MR-MTP behaves as the
+// DCN grows beyond 4 PoDs. This example sweeps fabric sizes, measuring
+// convergence after a TC1-style failure, control overhead, and per-router
+// state — the auto-assigned VIDs need no extra configuration at any size
+// (the paper's "benefits increase multiplicatively as the DCN size
+// increases" claim, checked).
+//
+//	go run ./examples/scaleout
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/topology"
+)
+
+func main() {
+	fmt.Printf("%5s %8s %8s %14s %10s %12s %12s\n",
+		"pods", "routers", "servers", "convergence", "blast", "ctl bytes", "topVIDs")
+	for _, pods := range []int{2, 4, 8, 12, 16} {
+		spec := topology.Spec{
+			Pods:            pods,
+			LeavesPerPod:    2,
+			SpinesPerPod:    2,
+			UplinksPerSpine: 2,
+			ServersPerLeaf:  1,
+		}
+		opts := harness.DefaultOptions(spec, harness.ProtoMRMTP, 5)
+		r, err := harness.RunFailure(opts, topology.TC1)
+		if err != nil {
+			log.Fatalf("%d pods: %v", pods, err)
+		}
+		// Rebuild to inspect steady-state table sizes.
+		f, err := harness.Build(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f.WarmUp(harness.WarmupTime); err != nil {
+			log.Fatal(err)
+		}
+		topVIDs := f.Routers["T-1"].TableSize()
+		fmt.Printf("%5d %8d %8d %14s %10d %12d %12d\n",
+			pods, len(f.Topo.Routers()), len(f.Topo.Servers),
+			r.Convergence.Round(100*time.Microsecond), r.BlastRadius, r.ControlBytes, topVIDs)
+	}
+	// The paper's other scaling axis: more tiers. A 4-tier fabric (2
+	// zones x 2 pods, super spines above zone spines) runs the identical
+	// protocol code; VIDs just grow one element deeper.
+	mt := topology.MultiTierSpec{
+		Zones: 2, PodsPerZone: 2, LeavesPerPod: 2,
+		SpinesPerPod: 2, UplinksPerSpine: 2, UplinksPerZone: 2,
+		ServersPerLeaf: 1,
+	}
+	mtOpts := harness.DefaultOptions(topology.Spec{}, harness.ProtoMRMTP, 5)
+	mtOpts.MultiTier = &mt
+	f, err := harness.Build(mtOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := f.WarmUp(harness.WarmupTime); err != nil {
+		log.Fatal(err)
+	}
+	f.Log.Reset()
+	failAt := f.Sim.Now()
+	f.Sim.Node("A-1-1").Port(1).Fail()
+	f.Sim.RunFor(2 * time.Second)
+	a := f.Log.Analyze(failAt)
+	fmt.Printf("\n4-tier fabric (2 zones, %d routers): zone-spine uplink failure -> convergence %v, blast %d, %d B\n",
+		len(f.Topo.Routers()), a.Convergence.Round(100*time.Microsecond), a.BlastRadius, a.ControlBytes)
+	fmt.Printf("super-spine VID depth: %v (one port number per tier crossed)\n", f.Routers["T-1"].VIDs()[0])
+
+	fmt.Println(`
+Observations:
+  - Convergence stays pinned at the 100 ms dead timer: failure recovery
+    never recomputes routes, it only deletes VID-table port entries.
+  - Blast radius grows only with the number of ToRs that must stop using
+    one uplink for the lost VID (all other routers merely relay).
+  - Control overhead grows linearly in fabric size — each LOST update is a
+    fixed 18-byte Ethernet frame.
+  - A top spine's whole routing state is one VID per ToR; spines still need
+    zero configured addresses at every size.
+  - Adding a fourth tier changes nothing structurally: the same tier-number
+    configuration, one more element in each VID.`)
+}

@@ -1,0 +1,70 @@
+// Package arp implements the Address Resolution Protocol used by the
+// IP/BGP stack to resolve next-hop MAC addresses on point-to-point links.
+//
+// MR-MTP deliberately avoids ARP by addressing every frame to the Ethernet
+// broadcast address (paper §VII.F); the protocol-stack comparison in Fig. 1
+// counts ARP among the machinery MR-MTP removes, so the baseline must
+// actually carry it.
+package arp
+
+import (
+	"errors"
+
+	"repro/internal/netaddr"
+)
+
+// Operation codes.
+const (
+	OpRequest uint16 = 1
+	OpReply   uint16 = 2
+)
+
+// PacketLen is the size of an IPv4-over-Ethernet ARP packet.
+const PacketLen = 28
+
+// Packet is an IPv4-over-Ethernet ARP packet.
+type Packet struct {
+	Op        uint16
+	SenderMAC netaddr.MAC
+	SenderIP  netaddr.IPv4
+	TargetMAC netaddr.MAC
+	TargetIP  netaddr.IPv4
+}
+
+// ErrMalformed reports an undecodable ARP packet.
+var ErrMalformed = errors.New("arp: malformed packet")
+
+// Marshal renders the packet to wire format.
+func (p *Packet) Marshal() []byte {
+	b := make([]byte, PacketLen)
+	b[0], b[1] = 0, 1 // hardware type: Ethernet
+	b[2], b[3] = 0x08, 0x00
+	b[4], b[5] = 6, 4 // hlen, plen
+	b[6] = byte(p.Op >> 8)
+	b[7] = byte(p.Op)
+	copy(b[8:14], p.SenderMAC[:])
+	copy(b[14:18], p.SenderIP[:])
+	copy(b[18:24], p.TargetMAC[:])
+	copy(b[24:28], p.TargetIP[:])
+	return b
+}
+
+// Unmarshal parses a wire-format ARP packet.
+func Unmarshal(b []byte) (Packet, error) {
+	if len(b) < PacketLen {
+		return Packet{}, ErrMalformed
+	}
+	if b[0] != 0 || b[1] != 1 || b[2] != 0x08 || b[3] != 0x00 || b[4] != 6 || b[5] != 4 {
+		return Packet{}, ErrMalformed
+	}
+	var p Packet
+	p.Op = uint16(b[6])<<8 | uint16(b[7])
+	copy(p.SenderMAC[:], b[8:14])
+	copy(p.SenderIP[:], b[14:18])
+	copy(p.TargetMAC[:], b[18:24])
+	copy(p.TargetIP[:], b[24:28])
+	if p.Op != OpRequest && p.Op != OpReply {
+		return Packet{}, ErrMalformed
+	}
+	return p, nil
+}

@@ -1,0 +1,46 @@
+package arp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netaddr"
+)
+
+func TestRoundTrip(t *testing.T) {
+	f := func(op bool, sm, tm netaddr.MAC, si, ti netaddr.IPv4) bool {
+		p := Packet{Op: OpRequest, SenderMAC: sm, SenderIP: si, TargetMAC: tm, TargetIP: ti}
+		if op {
+			p.Op = OpReply
+		}
+		out, err := Unmarshal(p.Marshal())
+		return err == nil && out == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPacketLen(t *testing.T) {
+	p := Packet{Op: OpRequest}
+	if got := len(p.Marshal()); got != PacketLen {
+		t.Errorf("marshalled length = %d, want %d", got, PacketLen)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 10)); err != ErrMalformed {
+		t.Errorf("short: err = %v, want ErrMalformed", err)
+	}
+	good := (&Packet{Op: OpRequest}).Marshal()
+	bad := append([]byte(nil), good...)
+	bad[1] = 9 // bogus hardware type
+	if _, err := Unmarshal(bad); err != ErrMalformed {
+		t.Errorf("bad htype: err = %v, want ErrMalformed", err)
+	}
+	bad = append([]byte(nil), good...)
+	bad[7] = 7 // bogus op
+	if _, err := Unmarshal(bad); err != ErrMalformed {
+		t.Errorf("bad op: err = %v, want ErrMalformed", err)
+	}
+}

@@ -1,0 +1,46 @@
+package bgp
+
+import (
+	"testing"
+
+	"repro/internal/netaddr"
+)
+
+func benchUpdate() Update {
+	return Update{
+		ASPath:  []uint16{64512, 64513, 64601},
+		NextHop: netaddr.MakeIPv4(172, 16, 0, 1),
+		NLRI:    []netaddr.Prefix{netaddr.MakePrefix(netaddr.MakeIPv4(192, 168, 11, 0), 24)},
+	}
+}
+
+func BenchmarkMarshalUpdate(b *testing.B) {
+	u := benchUpdate()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = MarshalUpdate(u)
+	}
+}
+
+func BenchmarkParseUpdate(b *testing.B) {
+	wire := MarshalUpdate(benchUpdate())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseMessage(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSplitStream(b *testing.B) {
+	var stream []byte
+	for i := 0; i < 8; i++ {
+		stream = append(stream, MarshalKeepalive()...)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SplitStream(stream); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package bgp
+
+import (
+	"testing"
+
+	"repro/internal/netaddr"
+)
+
+func FuzzParseMessage(f *testing.F) {
+	f.Add(MarshalKeepalive())
+	f.Add(MarshalOpen(Open{Version: 4, AS: 64512, HoldTime: 3}))
+	f.Add(MarshalNotification(Notification{Code: NotifCease}))
+	f.Add(MarshalUpdate(Update{
+		Withdrawn: []netaddr.Prefix{netaddr.MakePrefix(netaddr.MakeIPv4(192, 168, 11, 0), 24)},
+		ASPath:    []uint16{64512, 64601},
+		NextHop:   netaddr.MakeIPv4(172, 16, 0, 1),
+		NLRI:      []netaddr.Prefix{netaddr.MakePrefix(netaddr.MakeIPv4(192, 168, 14, 0), 24)},
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic; errors are fine.
+		m, err := ParseMessage(data)
+		if err != nil {
+			return
+		}
+		// Parsed UPDATEs must re-marshal without panicking.
+		if m.Type == TypeUpdate {
+			_ = MarshalUpdate(m.Update)
+		}
+	})
+}
+
+func FuzzSplitStream(f *testing.F) {
+	stream := append(MarshalKeepalive(), MarshalOpen(Open{Version: 4, AS: 64512})...)
+	f.Add(stream, 3)
+	f.Add(stream, 20)
+	f.Fuzz(func(t *testing.T, data []byte, cut int) {
+		// Splitting the buffer anywhere must yield the same messages as
+		// feeding it whole (or an error in both paths).
+		whole, restW, errW := SplitStream(data)
+		if cut < 0 || cut > len(data) {
+			return
+		}
+		m1, rest, err1 := SplitStream(data[:cut])
+		if err1 != nil {
+			return // a truncation-induced error is acceptable mid-stream
+		}
+		m2, rest2, err2 := SplitStream(append(rest, data[cut:]...))
+		if (err2 == nil) != (errW == nil) {
+			t.Fatalf("split changed error outcome: %v vs %v", err2, errW)
+		}
+		if errW == nil && (len(m1)+len(m2) != len(whole) || len(rest2) != len(restW)) {
+			t.Fatalf("split changed message count: %d+%d vs %d", len(m1), len(m2), len(whole))
+		}
+	})
+}

@@ -1,0 +1,330 @@
+// Package bgp implements the eBGP-for-datacenters baseline of the paper:
+// RFC 4271 message formats and session machinery configured per RFC 7938
+// ("Use of BGP for Routing in Large-Scale Data Centers"), with ECMP
+// multipath and optional BFD-driven failover. It is the protocol suite the
+// paper compares MR-MTP against, so fidelity priorities follow the
+// experiments: real wire formats (byte-accurate overhead), real timer
+// semantics (keepalive/hold, MRAI), real dissemination behaviour
+// (UPDATE/withdraw propagation and AS-path loop prevention).
+package bgp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/netaddr"
+)
+
+// Port is the well-known BGP TCP port.
+const Port = 179
+
+// Message types (RFC 4271 §4.1).
+const (
+	TypeOpen         byte = 1
+	TypeUpdate       byte = 2
+	TypeNotification byte = 3
+	TypeKeepalive    byte = 4
+)
+
+// HeaderLen is the fixed message header size: 16-byte marker, 2-byte
+// length, 1-byte type. A KEEPALIVE is exactly this long (19 bytes).
+const HeaderLen = 19
+
+// MaxMessageLen bounds any BGP message (RFC 4271).
+const MaxMessageLen = 4096
+
+// Wire overhead of one BGP message at layer 2: Ethernet (14) + IPv4 (20) +
+// TCP with timestamps (32). A KEEPALIVE is 19+66 = 85 bytes on the wire,
+// the number visible in the paper's Fig. 9 capture.
+const L2Overhead = 14 + 20 + 32
+
+var (
+	// ErrTruncated reports an incomplete message.
+	ErrTruncated = errors.New("bgp: truncated message")
+	// ErrBadMarker reports a corrupted sync marker.
+	ErrBadMarker = errors.New("bgp: bad marker")
+	// ErrMalformed reports an otherwise undecodable message.
+	ErrMalformed = errors.New("bgp: malformed message")
+)
+
+// Open is the OPEN message body (RFC 4271 §4.2).
+type Open struct {
+	Version  byte
+	AS       uint16
+	HoldTime uint16 // seconds
+	RouterID netaddr.IPv4
+}
+
+// Update is the UPDATE message body (RFC 4271 §4.3). Exactly one path
+// (attributes + NLRI set) or a pure withdrawal per message, which is how
+// FRR emits them for distinct prefixes sharing attributes.
+type Update struct {
+	Withdrawn []netaddr.Prefix
+	// Path attributes; meaningful only when NLRI is non-empty.
+	Origin  byte // 0=IGP
+	ASPath  []uint16
+	NextHop netaddr.IPv4
+	NLRI    []netaddr.Prefix
+}
+
+// Notification is the NOTIFICATION message body.
+type Notification struct {
+	Code, Subcode byte
+}
+
+// Notification error codes used here.
+const (
+	NotifCease       byte = 6
+	NotifHoldExpired byte = 4
+	NotifFSMError    byte = 5
+)
+
+// marshalHeader prepends the 19-byte header to a body.
+func marshalHeader(msgType byte, body []byte) []byte {
+	msg := make([]byte, HeaderLen+len(body))
+	for i := 0; i < 16; i++ {
+		msg[i] = 0xff
+	}
+	l := uint16(len(msg))
+	msg[16] = byte(l >> 8)
+	msg[17] = byte(l)
+	msg[18] = msgType
+	copy(msg[HeaderLen:], body)
+	return msg
+}
+
+// MarshalOpen renders an OPEN message.
+func MarshalOpen(o Open) []byte {
+	body := make([]byte, 10)
+	body[0] = o.Version
+	body[1] = byte(o.AS >> 8)
+	body[2] = byte(o.AS)
+	body[3] = byte(o.HoldTime >> 8)
+	body[4] = byte(o.HoldTime)
+	copy(body[5:9], o.RouterID[:])
+	body[9] = 0 // no optional parameters
+	return marshalHeader(TypeOpen, body)
+}
+
+// MarshalKeepalive renders the 19-byte KEEPALIVE.
+func MarshalKeepalive() []byte { return marshalHeader(TypeKeepalive, nil) }
+
+// MarshalNotification renders a NOTIFICATION message.
+func MarshalNotification(n Notification) []byte {
+	return marshalHeader(TypeNotification, []byte{n.Code, n.Subcode})
+}
+
+// prefixWire renders a prefix in the packed (len, truncated-address) NLRI
+// encoding.
+func prefixWire(p netaddr.Prefix) []byte {
+	nbytes := (p.Bits + 7) / 8
+	out := make([]byte, 1+nbytes)
+	out[0] = byte(p.Bits)
+	copy(out[1:], p.IP[:nbytes])
+	return out
+}
+
+func parsePrefixes(b []byte) ([]netaddr.Prefix, error) {
+	var out []netaddr.Prefix
+	for len(b) > 0 {
+		bits := int(b[0])
+		if bits > 32 {
+			return nil, ErrMalformed
+		}
+		nbytes := (bits + 7) / 8
+		if len(b) < 1+nbytes {
+			return nil, ErrMalformed
+		}
+		var ip netaddr.IPv4
+		copy(ip[:], b[1:1+nbytes])
+		out = append(out, netaddr.MakePrefix(ip, bits))
+		b = b[1+nbytes:]
+	}
+	return out, nil
+}
+
+// Path attribute type codes.
+const (
+	attrOrigin  byte = 1
+	attrASPath  byte = 2
+	attrNextHop byte = 3
+)
+
+// MarshalUpdate renders an UPDATE message.
+func MarshalUpdate(u Update) []byte {
+	var withdrawn []byte
+	for _, p := range u.Withdrawn {
+		withdrawn = append(withdrawn, prefixWire(p)...)
+	}
+	var attrs []byte
+	if len(u.NLRI) > 0 {
+		// ORIGIN: flags 0x40 (well-known transitive), len 1.
+		attrs = append(attrs, 0x40, attrOrigin, 1, u.Origin)
+		// AS_PATH: one AS_SEQUENCE segment.
+		pathLen := 2 + 2*len(u.ASPath)
+		attrs = append(attrs, 0x40, attrASPath, byte(pathLen), 2, byte(len(u.ASPath)))
+		for _, as := range u.ASPath {
+			attrs = append(attrs, byte(as>>8), byte(as))
+		}
+		// NEXT_HOP.
+		attrs = append(attrs, 0x40, attrNextHop, 4)
+		attrs = append(attrs, u.NextHop[:]...)
+	}
+	body := make([]byte, 0, 4+len(withdrawn)+len(attrs)+8)
+	body = append(body, byte(len(withdrawn)>>8), byte(len(withdrawn)))
+	body = append(body, withdrawn...)
+	body = append(body, byte(len(attrs)>>8), byte(len(attrs)))
+	body = append(body, attrs...)
+	for _, p := range u.NLRI {
+		body = append(body, prefixWire(p)...)
+	}
+	return marshalHeader(TypeUpdate, body)
+}
+
+// Parsed is a decoded BGP message.
+type Parsed struct {
+	Type         byte
+	Open         Open
+	Update       Update
+	Notification Notification
+}
+
+// ParseMessage decodes one complete wire message (header included).
+func ParseMessage(msg []byte) (Parsed, error) {
+	if len(msg) < HeaderLen {
+		return Parsed{}, ErrTruncated
+	}
+	for i := 0; i < 16; i++ {
+		if msg[i] != 0xff {
+			return Parsed{}, ErrBadMarker
+		}
+	}
+	l := int(uint16(msg[16])<<8 | uint16(msg[17]))
+	if l != len(msg) || l > MaxMessageLen {
+		return Parsed{}, ErrTruncated
+	}
+	p := Parsed{Type: msg[18]}
+	body := msg[HeaderLen:]
+	switch p.Type {
+	case TypeOpen:
+		if len(body) < 10 {
+			return Parsed{}, ErrMalformed
+		}
+		p.Open.Version = body[0]
+		p.Open.AS = uint16(body[1])<<8 | uint16(body[2])
+		p.Open.HoldTime = uint16(body[3])<<8 | uint16(body[4])
+		copy(p.Open.RouterID[:], body[5:9])
+	case TypeKeepalive:
+		if len(body) != 0 {
+			return Parsed{}, ErrMalformed
+		}
+	case TypeNotification:
+		if len(body) < 2 {
+			return Parsed{}, ErrMalformed
+		}
+		p.Notification = Notification{Code: body[0], Subcode: body[1]}
+	case TypeUpdate:
+		u, err := parseUpdate(body)
+		if err != nil {
+			return Parsed{}, err
+		}
+		p.Update = u
+	default:
+		return Parsed{}, fmt.Errorf("bgp: unknown message type %d", p.Type)
+	}
+	return p, nil
+}
+
+func parseUpdate(body []byte) (Update, error) {
+	var u Update
+	if len(body) < 2 {
+		return u, ErrMalformed
+	}
+	wlen := int(uint16(body[0])<<8 | uint16(body[1]))
+	body = body[2:]
+	if len(body) < wlen {
+		return u, ErrMalformed
+	}
+	var err error
+	if u.Withdrawn, err = parsePrefixes(body[:wlen]); err != nil {
+		return u, err
+	}
+	body = body[wlen:]
+	if len(body) < 2 {
+		return u, ErrMalformed
+	}
+	alen := int(uint16(body[0])<<8 | uint16(body[1]))
+	body = body[2:]
+	if len(body) < alen {
+		return u, ErrMalformed
+	}
+	attrs := body[:alen]
+	for len(attrs) > 0 {
+		if len(attrs) < 3 {
+			return u, ErrMalformed
+		}
+		flags, code := attrs[0], attrs[1]
+		var vlen int
+		var val []byte
+		if flags&0x10 != 0 { // extended length
+			if len(attrs) < 4 {
+				return u, ErrMalformed
+			}
+			vlen = int(uint16(attrs[2])<<8 | uint16(attrs[3]))
+			if len(attrs) < 4+vlen {
+				return u, ErrMalformed
+			}
+			val = attrs[4 : 4+vlen]
+			attrs = attrs[4+vlen:]
+		} else {
+			vlen = int(attrs[2])
+			if len(attrs) < 3+vlen {
+				return u, ErrMalformed
+			}
+			val = attrs[3 : 3+vlen]
+			attrs = attrs[3+vlen:]
+		}
+		switch code {
+		case attrOrigin:
+			if len(val) != 1 {
+				return u, ErrMalformed
+			}
+			u.Origin = val[0]
+		case attrASPath:
+			if len(val) < 2 || val[0] != 2 || len(val) != 2+2*int(val[1]) {
+				return u, ErrMalformed
+			}
+			for i := 0; i < int(val[1]); i++ {
+				u.ASPath = append(u.ASPath, uint16(val[2+2*i])<<8|uint16(val[3+2*i]))
+			}
+		case attrNextHop:
+			if len(val) != 4 {
+				return u, ErrMalformed
+			}
+			copy(u.NextHop[:], val)
+		}
+	}
+	if u.NLRI, err = parsePrefixes(body[alen:]); err != nil {
+		return u, err
+	}
+	return u, nil
+}
+
+// SplitStream extracts complete messages from a TCP byte stream, returning
+// the parsed messages and the unconsumed tail.
+func SplitStream(buf []byte) (msgs [][]byte, rest []byte, err error) {
+	for {
+		if len(buf) < HeaderLen {
+			return msgs, buf, nil
+		}
+		l := int(uint16(buf[16])<<8 | uint16(buf[17]))
+		if l < HeaderLen || l > MaxMessageLen {
+			return msgs, buf, ErrMalformed
+		}
+		if len(buf) < l {
+			return msgs, buf, nil
+		}
+		msgs = append(msgs, buf[:l])
+		buf = buf[l:]
+	}
+}

@@ -1,0 +1,175 @@
+package bgp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netaddr"
+)
+
+func TestKeepaliveWireFormat(t *testing.T) {
+	ka := MarshalKeepalive()
+	if len(ka) != 19 {
+		t.Fatalf("KEEPALIVE = %d bytes, want 19", len(ka))
+	}
+	// 85 bytes at layer 2 (paper Fig. 9).
+	if len(ka)+L2Overhead != 85 {
+		t.Errorf("KEEPALIVE L2 frame = %d bytes, want 85", len(ka)+L2Overhead)
+	}
+	m, err := ParseMessage(ka)
+	if err != nil || m.Type != TypeKeepalive {
+		t.Fatalf("ParseMessage: %v %v", m, err)
+	}
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	f := func(as, hold uint16, id netaddr.IPv4) bool {
+		in := Open{Version: 4, AS: as, HoldTime: hold, RouterID: id}
+		m, err := ParseMessage(MarshalOpen(in))
+		return err == nil && m.Type == TypeOpen && m.Open == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNotificationRoundTrip(t *testing.T) {
+	m, err := ParseMessage(MarshalNotification(Notification{Code: NotifHoldExpired, Subcode: 1}))
+	if err != nil || m.Type != TypeNotification || m.Notification.Code != NotifHoldExpired {
+		t.Fatalf("notification round trip failed: %+v %v", m, err)
+	}
+}
+
+func prefix(a, b, c, d byte, bits int) netaddr.Prefix {
+	return netaddr.MakePrefix(netaddr.MakeIPv4(a, b, c, d), bits)
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	in := Update{
+		Withdrawn: []netaddr.Prefix{prefix(192, 168, 11, 0, 24)},
+		ASPath:    []uint16{64512, 64513, 64601},
+		NextHop:   netaddr.MakeIPv4(172, 16, 0, 1),
+		NLRI:      []netaddr.Prefix{prefix(192, 168, 14, 0, 24), prefix(10, 0, 0, 0, 8)},
+	}
+	m, err := ParseMessage(MarshalUpdate(in))
+	if err != nil || m.Type != TypeUpdate {
+		t.Fatalf("parse: %v", err)
+	}
+	u := m.Update
+	if len(u.Withdrawn) != 1 || u.Withdrawn[0] != in.Withdrawn[0] {
+		t.Errorf("withdrawn = %v", u.Withdrawn)
+	}
+	if len(u.ASPath) != 3 || u.ASPath[0] != 64512 || u.ASPath[2] != 64601 {
+		t.Errorf("as path = %v", u.ASPath)
+	}
+	if u.NextHop != in.NextHop {
+		t.Errorf("next hop = %v", u.NextHop)
+	}
+	if len(u.NLRI) != 2 || u.NLRI[0] != in.NLRI[0] || u.NLRI[1] != in.NLRI[1] {
+		t.Errorf("nlri = %v", u.NLRI)
+	}
+}
+
+func TestUpdateRoundTripProperty(t *testing.T) {
+	f := func(third byte, pathSeed []uint16, withdraw bool) bool {
+		if len(pathSeed) > 10 {
+			pathSeed = pathSeed[:10]
+		}
+		var in Update
+		if withdraw {
+			in.Withdrawn = []netaddr.Prefix{prefix(192, 168, third, 0, 24)}
+		} else {
+			if len(pathSeed) == 0 {
+				pathSeed = []uint16{64512}
+			}
+			in.ASPath = pathSeed
+			in.NextHop = netaddr.MakeIPv4(172, 16, 0, 1)
+			in.NLRI = []netaddr.Prefix{prefix(192, 168, third, 0, 24)}
+		}
+		m, err := ParseMessage(MarshalUpdate(in))
+		if err != nil || m.Type != TypeUpdate {
+			return false
+		}
+		if withdraw {
+			return len(m.Update.Withdrawn) == 1 && m.Update.Withdrawn[0] == in.Withdrawn[0]
+		}
+		if len(m.Update.ASPath) != len(in.ASPath) {
+			return false
+		}
+		for i := range in.ASPath {
+			if m.Update.ASPath[i] != in.ASPath[i] {
+				return false
+			}
+		}
+		return len(m.Update.NLRI) == 1 && m.Update.NLRI[0] == in.NLRI[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseMessage(make([]byte, 5)); err != ErrTruncated {
+		t.Errorf("short: %v", err)
+	}
+	bad := MarshalKeepalive()
+	bad[0] = 0
+	if _, err := ParseMessage(bad); err != ErrBadMarker {
+		t.Errorf("marker: %v", err)
+	}
+	bad = MarshalKeepalive()
+	bad[18] = 99
+	if _, err := ParseMessage(bad); err == nil {
+		t.Error("unknown type accepted")
+	}
+	// Length mismatch.
+	ka := MarshalKeepalive()
+	if _, err := ParseMessage(append(ka, 0)); err != ErrTruncated {
+		t.Errorf("length mismatch: %v", err)
+	}
+}
+
+func TestSplitStream(t *testing.T) {
+	a := MarshalKeepalive()
+	b := MarshalOpen(Open{Version: 4, AS: 64512})
+	stream := append(append([]byte{}, a...), b...)
+	// Feed in two arbitrary chunks.
+	msgs, rest, err := SplitStream(stream[:25])
+	if err != nil || len(msgs) != 1 || len(rest) != 6 {
+		t.Fatalf("first chunk: msgs=%d rest=%d err=%v", len(msgs), len(rest), err)
+	}
+	msgs, rest, err = SplitStream(append(rest, stream[25:]...))
+	if err != nil || len(msgs) != 1 || len(rest) != 0 {
+		t.Fatalf("second chunk: msgs=%d rest=%d err=%v", len(msgs), len(rest), err)
+	}
+	m, err := ParseMessage(msgs[0])
+	if err != nil || m.Type != TypeOpen || m.Open.AS != 64512 {
+		t.Errorf("reassembled OPEN wrong: %+v %v", m, err)
+	}
+}
+
+func TestSplitStreamRejectsGarbage(t *testing.T) {
+	garbage := make([]byte, 40) // zero length field -> malformed
+	if _, _, err := SplitStream(garbage); err != ErrMalformed {
+		t.Errorf("err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestSplitStreamProperty(t *testing.T) {
+	// Any split point of a valid stream yields the same messages.
+	msgsWire := append(append(append([]byte{}, MarshalKeepalive()...),
+		MarshalUpdate(Update{Withdrawn: []netaddr.Prefix{prefix(192, 168, 11, 0, 24)}})...),
+		MarshalKeepalive()...)
+	f := func(cut uint8) bool {
+		c := int(cut) % (len(msgsWire) + 1)
+		m1, rest, err := SplitStream(msgsWire[:c])
+		if err != nil {
+			return false
+		}
+		m2, rest, err := SplitStream(append(rest, msgsWire[c:]...))
+		return err == nil && len(rest) == 0 && len(m1)+len(m2) == 3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,348 @@
+package bgp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ipstack"
+	"repro/internal/netaddr"
+	"repro/internal/simnet"
+	"repro/internal/tcp"
+)
+
+// SessionState is the condensed BGP FSM state.
+type SessionState int
+
+// Session states.
+const (
+	StateIdle SessionState = iota
+	StateConnect
+	StateOpenSent
+	StateEstablished
+)
+
+func (s SessionState) String() string {
+	switch s {
+	case StateIdle:
+		return "Idle"
+	case StateConnect:
+		return "Connect"
+	case StateOpenSent:
+		return "OpenSent"
+	case StateEstablished:
+		return "Established"
+	}
+	return fmt.Sprintf("SessionState(%d)", int(s))
+}
+
+// Peer is one eBGP session.
+type Peer struct {
+	sp       *Speaker
+	Iface    *ipstack.Iface
+	LocalIP  netaddr.IPv4
+	Neighbor netaddr.IPv4
+	RemoteAS uint16
+	State    SessionState
+
+	passive      bool
+	conn         *tcp.Conn
+	recvBuf      []byte
+	openReceived bool
+
+	// MsgSent/MsgRecv count BGP messages on this session (the MsgSent /
+	// MsgRcvd columns of `show ip bgp summary`).
+	MsgSent, MsgRecv uint64
+	establishedAt    time.Duration
+
+	holdTimer      *simnet.Timer
+	keepaliveTimer *simnet.Timer
+	retryTimer     *simnet.Timer
+	mraiTimer      *simnet.Timer
+	mraiArmed      bool
+
+	// Pending per-prefix announcements under MRAI batching. The value
+	// selects advertise (true) or withdraw (false).
+	pending map[netaddr.Prefix]bool
+	order   []netaddr.Prefix
+
+	// OnDown, when set, is invoked after the session leaves Established
+	// (used by the BFD integration tests and the harness).
+	OnDown func()
+}
+
+func (p *Peer) sim() *simnet.Sim { return p.sp.sim }
+
+// connect starts an active TCP dial toward the neighbor.
+func (p *Peer) connect() {
+	if p.State != StateIdle || !p.Iface.Usable() {
+		return
+	}
+	p.State = StateConnect
+	p.attach(p.sp.Stack.TCP.Dial(p.LocalIP, p.Neighbor, Port))
+}
+
+// attach binds a TCP connection (dialed or accepted) to the session.
+func (p *Peer) attach(conn *tcp.Conn) {
+	if p.conn != nil {
+		p.conn.Close()
+	}
+	p.conn = conn
+	p.recvBuf = nil
+	p.openReceived = false
+	conn.OnData(p.onData)
+	conn.OnState(func(st tcp.State) {
+		switch st {
+		case tcp.StateEstablished:
+			p.sendOpen()
+		case tcp.StateClosed:
+			if p.conn == conn && p.State != StateIdle {
+				p.reset(false)
+			}
+		}
+	})
+	if conn.State() == tcp.StateEstablished {
+		p.sendOpen()
+	} else if p.State == StateIdle {
+		p.State = StateConnect
+	}
+}
+
+func (p *Peer) sendOpen() {
+	p.State = StateOpenSent
+	p.send(MarshalOpen(Open{
+		Version:  4,
+		AS:       p.sp.Cfg.ASN,
+		HoldTime: uint16(p.sp.Cfg.Timers.Hold / time.Second),
+		RouterID: p.sp.Cfg.RouterID,
+	}))
+}
+
+func (p *Peer) send(msg []byte) {
+	if p.conn == nil {
+		return
+	}
+	p.MsgSent++
+	p.conn.Send(msg)
+}
+
+func (p *Peer) onData(data []byte) {
+	p.recvBuf = append(p.recvBuf, data...)
+	msgs, rest, err := SplitStream(p.recvBuf)
+	if err != nil {
+		p.reset(true)
+		return
+	}
+	p.recvBuf = append([]byte(nil), rest...)
+	for _, raw := range msgs {
+		m, err := ParseMessage(raw)
+		if err != nil {
+			p.reset(true)
+			return
+		}
+		p.handle(m)
+	}
+}
+
+func (p *Peer) handle(m Parsed) {
+	p.MsgRecv++
+	p.touchHold()
+	switch m.Type {
+	case TypeOpen:
+		if m.Open.AS != p.RemoteAS || m.Open.Version != 4 {
+			p.send(MarshalNotification(Notification{Code: NotifFSMError}))
+			p.reset(true)
+			return
+		}
+		p.openReceived = true
+		p.send(MarshalKeepalive())
+		p.sp.Stats.KeepalivesSent++
+		p.maybeEstablish()
+	case TypeKeepalive:
+		p.sp.Stats.KeepalivesRecv++
+		p.maybeEstablish()
+	case TypeUpdate:
+		if p.State == StateEstablished {
+			p.sp.handleUpdate(p, m.Update)
+		}
+	case TypeNotification:
+		p.reset(false)
+	}
+}
+
+func (p *Peer) maybeEstablish() {
+	if p.State == StateEstablished || !p.openReceived {
+		return
+	}
+	p.State = StateEstablished
+	p.establishedAt = p.sim().Now()
+	p.startKeepalive()
+	p.touchHold()
+	p.sp.syncPeer(p)
+}
+
+func (p *Peer) startKeepalive() {
+	if p.keepaliveTimer != nil {
+		p.keepaliveTimer.Stop()
+	}
+	interval := p.sp.Cfg.Timers.Keepalive
+	var tick func()
+	tick = func() {
+		if p.State != StateEstablished {
+			return
+		}
+		p.send(MarshalKeepalive())
+		p.sp.Stats.KeepalivesSent++
+		p.keepaliveTimer = p.sim().After(interval, tick)
+	}
+	p.keepaliveTimer = p.sim().After(interval, tick)
+}
+
+func (p *Peer) touchHold() {
+	if p.holdTimer != nil {
+		p.holdTimer.Stop()
+	}
+	hold := p.sp.Cfg.Timers.Hold
+	if hold == 0 {
+		return
+	}
+	p.holdTimer = p.sim().After(hold, func() {
+		if p.State == StateEstablished || p.State == StateOpenSent {
+			p.send(MarshalNotification(Notification{Code: NotifHoldExpired}))
+			p.reset(false)
+		}
+	})
+}
+
+// BFDDown is invoked by the BFD integration when the neighbor's liveness
+// session fails: the BGP session drops immediately instead of waiting for
+// the hold timer.
+func (p *Peer) BFDDown() {
+	if p.State != StateIdle {
+		p.reset(false)
+	}
+}
+
+// reset tears the session down, withdraws the peer's routes, and schedules
+// a reconnect.
+func (p *Peer) reset(notify bool) {
+	wasEstablished := p.State == StateEstablished
+	if notify && p.conn != nil {
+		p.send(MarshalNotification(Notification{Code: NotifCease}))
+	}
+	if p.conn != nil {
+		c := p.conn
+		p.conn = nil
+		c.Close()
+	}
+	p.State = StateIdle
+	p.openReceived = false
+	p.pending = nil
+	p.order = nil
+	p.mraiArmed = false
+	for _, t := range []*simnet.Timer{p.holdTimer, p.keepaliveTimer, p.mraiTimer} {
+		if t != nil {
+			t.Stop()
+		}
+	}
+	p.sp.Stats.SessionResets++
+	if wasEstablished {
+		p.sp.peerDown(p)
+		if p.OnDown != nil {
+			p.OnDown()
+		}
+	}
+	p.scheduleRetry()
+}
+
+func (p *Peer) scheduleRetry() {
+	if p.passive {
+		return // the active side re-dials
+	}
+	if p.retryTimer != nil {
+		p.retryTimer.Stop()
+	}
+	p.retryTimer = p.sim().After(p.sp.Cfg.Timers.ConnectRetry, func() {
+		if p.State == StateIdle && p.Iface.Usable() {
+			p.connect()
+		} else if p.State == StateIdle {
+			p.scheduleRetry()
+		}
+	})
+}
+
+// queueAdvertise schedules prefix for advertisement under MRAI pacing.
+func (p *Peer) queueAdvertise(prefix netaddr.Prefix) { p.queue(prefix, true) }
+
+// queueWithdraw schedules prefix for withdrawal under MRAI pacing.
+func (p *Peer) queueWithdraw(prefix netaddr.Prefix) { p.queue(prefix, false) }
+
+func (p *Peer) queue(prefix netaddr.Prefix, announce bool) {
+	if p.State != StateEstablished {
+		return
+	}
+	if p.pending == nil {
+		p.pending = make(map[netaddr.Prefix]bool)
+	}
+	if _, queued := p.pending[prefix]; !queued {
+		p.order = append(p.order, prefix)
+	}
+	p.pending[prefix] = announce
+	if p.sp.Cfg.Timers.MRAI <= 0 {
+		p.flush()
+		return
+	}
+	if !p.mraiArmed {
+		// First change goes out immediately; subsequent ones wait for
+		// the MinRouteAdvertisementInterval, per RFC 4271 §9.2.1.1.
+		p.flush()
+		p.mraiArmed = true
+		p.mraiTimer = p.sim().After(p.sp.Cfg.Timers.MRAI, func() {
+			p.mraiArmed = false
+			if len(p.pending) > 0 {
+				p.flush()
+			}
+		})
+	}
+}
+
+// flush emits one UPDATE per pending announcement and one aggregate
+// withdrawal, then clears the queue.
+func (p *Peer) flush() {
+	if p.State != StateEstablished || len(p.pending) == 0 {
+		return
+	}
+	var withdrawn []netaddr.Prefix
+	for _, prefix := range p.order {
+		announce, ok := p.pending[prefix]
+		if !ok {
+			continue
+		}
+		if !announce {
+			withdrawn = append(withdrawn, prefix)
+			continue
+		}
+		path, ok := p.sp.currentExport(prefix)
+		if !ok {
+			continue
+		}
+		u := Update{
+			ASPath:  p.sp.exportPath(path),
+			NextHop: p.LocalIP,
+			NLRI:    []netaddr.Prefix{prefix},
+		}
+		p.sendUpdate(u)
+	}
+	if len(withdrawn) > 0 {
+		p.sendUpdate(Update{Withdrawn: withdrawn})
+		p.sp.Stats.WithdrawalsSent++
+	}
+	p.pending = nil
+	p.order = nil
+}
+
+func (p *Peer) sendUpdate(u Update) {
+	msg := MarshalUpdate(u)
+	p.send(msg)
+	p.sp.Stats.UpdatesSent++
+	p.sp.recorder.ControlMessage(p.sim().Now(), p.sp.Stack.Node.Name, len(msg)+L2Overhead)
+}

@@ -1,0 +1,79 @@
+package bgp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderSummary prints the speaker's session table in the style of FRR's
+// `show ip bgp summary`, the operational view the paper's authors used to
+// verify their testbed configuration.
+func (s *Speaker) RenderSummary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "BGP router identifier %s, local AS number %d\n", s.Cfg.RouterID, s.Cfg.ASN)
+	fmt.Fprintf(&b, "%-16s %8s %12s %10s %10s %10s\n",
+		"Neighbor", "AS", "State", "MsgRcvd", "MsgSent", "PfxRcd")
+	peers := append([]*Peer(nil), s.peers...)
+	sort.Slice(peers, func(i, j int) bool {
+		return peers[i].Neighbor.Uint32() < peers[j].Neighbor.Uint32()
+	})
+	for _, p := range peers {
+		pfx := 0
+		for _, entries := range s.adjIn {
+			if _, ok := entries[p.Neighbor]; ok {
+				pfx++
+			}
+		}
+		fmt.Fprintf(&b, "%-16s %8d %12s %10d %10d %10d\n",
+			p.Neighbor, p.RemoteAS, p.State, p.MsgRecv, p.MsgSent, pfx)
+	}
+	fmt.Fprintf(&b, "\nTotal number of neighbors %d, established %d\n",
+		len(peers), s.EstablishedCount())
+	return b.String()
+}
+
+// RenderRIB prints the Adj-RIB-In in the style of `show ip bgp`: every
+// known path per prefix, best-first.
+func (s *Speaker) RenderRIB() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %-16s %s\n", "Network", "Next Hop", "Path")
+	prefixes := s.RIB()
+	for _, prefix := range prefixes {
+		entries := s.adjIn[prefix]
+		type row struct {
+			nh   string
+			path string
+			plen int
+		}
+		var rows []row
+		for _, e := range entries {
+			parts := make([]string, len(e.asPath))
+			for i, as := range e.asPath {
+				parts[i] = fmt.Sprint(as)
+			}
+			rows = append(rows, row{e.nextHop.String(), strings.Join(parts, " "), len(e.asPath)})
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].plen != rows[j].plen {
+				return rows[i].plen < rows[j].plen
+			}
+			return rows[i].nh < rows[j].nh
+		})
+		name := prefix.String()
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%-20s %-16s %s\n", name, r.nh, r.path)
+			name = "" // only the first path repeats the prefix, like FRR
+		}
+	}
+	return b.String()
+}
+
+// Uptime reports how long the peer has been established (zero if down).
+func (p *Peer) Uptime() time.Duration {
+	if p.State != StateEstablished {
+		return 0
+	}
+	return p.sim().Now() - p.establishedAt
+}

@@ -1,0 +1,428 @@
+package bgp
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/ipstack"
+	"repro/internal/metrics"
+	"repro/internal/netaddr"
+	"repro/internal/simnet"
+	"repro/internal/tcp"
+)
+
+// Timers groups the configurable BGP intervals. The paper runs
+// `timers bgp 1 3` (keepalive 1 s, hold 3 s) and FRR's datacenter profile,
+// whose MRAI is zero.
+type Timers struct {
+	Keepalive    time.Duration
+	Hold         time.Duration
+	MRAI         time.Duration // minimum interval between UPDATE bursts per peer
+	ConnectRetry time.Duration
+}
+
+// DefaultTimers returns the paper's configuration.
+func DefaultTimers() Timers {
+	return Timers{
+		Keepalive:    1 * time.Second,
+		Hold:         3 * time.Second,
+		MRAI:         0,
+		ConnectRetry: 2 * time.Second,
+	}
+}
+
+// Config configures one BGP speaker.
+type Config struct {
+	ASN      uint16
+	RouterID netaddr.IPv4
+	Timers   Timers
+	// ECMP enables multipath installation (the paper's "BGP with ECMP").
+	ECMP     bool
+	MaxPaths int
+	// DisableFastFailover keeps sessions up across a local carrier loss
+	// until the hold timer expires, like FRR with
+	// `no bgp fast-external-failover`. Default off: interface tracking
+	// drops the session immediately, which is what the paper measures.
+	DisableFastFailover bool
+	// Networks are locally originated prefixes (the leaf's rack subnet).
+	Networks []netaddr.Prefix
+}
+
+// pathEntry is an Adj-RIB-In record.
+type pathEntry struct {
+	peer    *Peer
+	asPath  []uint16
+	nextHop netaddr.IPv4
+}
+
+// advState tracks what was last advertised for a prefix and to whom.
+type advState struct {
+	path   []uint16 // path as advertised (without our prepended ASN)
+	sentTo map[netaddr.IPv4]bool
+}
+
+// Speaker is a BGP routing daemon bound to one router's IP stack.
+type Speaker struct {
+	Stack *ipstack.Stack
+	Cfg   Config
+
+	sim      *simnet.Sim
+	peers    []*Peer
+	byIP     map[netaddr.IPv4]*Peer // by neighbor address
+	adjIn    map[netaddr.Prefix]map[netaddr.IPv4]pathEntry
+	adv      map[netaddr.Prefix]*advState
+	recorder metrics.Recorder
+
+	// Stats counts protocol activity for the experiments.
+	Stats struct {
+		UpdatesSent     uint64
+		UpdatesRecv     uint64
+		KeepalivesSent  uint64
+		KeepalivesRecv  uint64
+		WithdrawalsSent uint64
+		SessionResets   uint64
+	}
+}
+
+// New creates a speaker on the stack and hooks interface events. The
+// recorder may be nil.
+func New(stack *ipstack.Stack, cfg Config, rec metrics.Recorder) *Speaker {
+	if cfg.MaxPaths == 0 {
+		cfg.MaxPaths = 8
+	}
+	if rec == nil {
+		rec = metrics.Nop{}
+	}
+	s := &Speaker{
+		Stack:    stack,
+		Cfg:      cfg,
+		sim:      stack.Node.Sim,
+		byIP:     make(map[netaddr.IPv4]*Peer),
+		adjIn:    make(map[netaddr.Prefix]map[netaddr.IPv4]pathEntry),
+		adv:      make(map[netaddr.Prefix]*advState),
+		recorder: rec,
+	}
+	stack.OnPortDown = s.portDown
+	stack.OnPortUp = s.portUp
+	stack.OnStart = s.start
+	stack.TCP.Listen(Port, s.accept)
+	return s
+}
+
+// AddPeer declares an eBGP neighbor reachable through iface. Like FRR's
+// `neighbor <ip> remote-as <asn>`.
+func (s *Speaker) AddPeer(iface *ipstack.Iface, neighbor netaddr.IPv4, remoteAS uint16) *Peer {
+	p := &Peer{
+		sp:       s,
+		Iface:    iface,
+		LocalIP:  iface.IP,
+		Neighbor: neighbor,
+		RemoteAS: remoteAS,
+		// Deterministic collision avoidance: the numerically lower
+		// address initiates the TCP connection, the higher one listens.
+		passive: iface.IP.Uint32() > neighbor.Uint32(),
+	}
+	s.peers = append(s.peers, p)
+	s.byIP[neighbor] = p
+	return p
+}
+
+// Peers returns the speaker's neighbors.
+func (s *Speaker) Peers() []*Peer { return s.peers }
+
+// EstablishedCount reports how many sessions are up.
+func (s *Speaker) EstablishedCount() int {
+	n := 0
+	for _, p := range s.peers {
+		if p.State == StateEstablished {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Speaker) start() {
+	for _, p := range s.peers {
+		if !p.passive {
+			p.connect()
+		}
+	}
+}
+
+func (s *Speaker) accept(conn *tcp.Conn) {
+	p := s.byIP[conn.RemoteAddr()]
+	if p == nil || !p.passive {
+		conn.Close()
+		return
+	}
+	p.attach(conn)
+}
+
+func (s *Speaker) portDown(port *simnet.Port) {
+	// fast-external-failover: sessions over the dead interface drop
+	// immediately, as FRR does on a netlink link-down event.
+	if s.Cfg.DisableFastFailover {
+		return // the hold timer will notice eventually
+	}
+	for _, p := range s.peers {
+		if p.Iface.Port == port && p.State != StateIdle {
+			p.reset(false)
+		}
+	}
+}
+
+func (s *Speaker) portUp(port *simnet.Port) {
+	for _, p := range s.peers {
+		if p.Iface.Port == port && p.State == StateIdle && !p.passive {
+			p.connect()
+		}
+	}
+}
+
+// originateLocal seeds the Adj-RIB-Out with the speaker's own networks.
+// Called once a session is ready; local networks always win best-path.
+func (s *Speaker) decide(prefix netaddr.Prefix) {
+	if s.isLocalNetwork(prefix) {
+		return // local origination never changes
+	}
+	entries := s.adjIn[prefix]
+
+	// Best-path: shortest AS path, then lowest neighbor address.
+	var best []pathEntry
+	bestLen := -1
+	for _, e := range entries {
+		if bestLen < 0 || len(e.asPath) < bestLen {
+			best = best[:0]
+			best = append(best, e)
+			bestLen = len(e.asPath)
+		} else if len(e.asPath) == bestLen {
+			best = append(best, e)
+		}
+	}
+	sort.Slice(best, func(i, j int) bool {
+		return best[i].nextHop.Uint32() < best[j].nextHop.Uint32()
+	})
+
+	// Install the FIB entry (multipath if ECMP).
+	changed := false
+	if len(best) == 0 {
+		if s.Stack.FIB.Remove(prefix, ipstack.ProtoBGP) {
+			changed = true
+		}
+	} else {
+		n := len(best)
+		if !s.Cfg.ECMP {
+			n = 1
+		} else if n > s.Cfg.MaxPaths {
+			n = s.Cfg.MaxPaths
+		}
+		nhs := make([]ipstack.NextHop, 0, n)
+		for _, e := range best[:n] {
+			nhs = append(nhs, ipstack.NextHop{Via: e.nextHop, Iface: e.peer.Iface})
+		}
+		r := ipstack.Route{Prefix: prefix, NextHops: nhs, Proto: ipstack.ProtoBGP, Metric: 20}
+		if !sameRoute(s.Stack.FIB.Get(prefix, ipstack.ProtoBGP), r) {
+			s.Stack.FIB.Replace(r)
+			changed = true
+		}
+	}
+	if changed {
+		s.recorder.RouteUpdate(s.sim.Now(), s.Stack.Node.Name)
+	}
+
+	// Re-advertise if the exported path changed.
+	if len(best) == 0 {
+		s.withdraw(prefix)
+	} else {
+		s.advertise(prefix, best[0].asPath)
+	}
+}
+
+func sameRoute(a *ipstack.Route, b ipstack.Route) bool {
+	if a == nil || len(a.NextHops) != len(b.NextHops) || a.Metric != b.Metric {
+		return false
+	}
+	for i := range a.NextHops {
+		if a.NextHops[i].Via != b.NextHops[i].Via || a.NextHops[i].Iface != b.NextHops[i].Iface {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Speaker) isLocalNetwork(p netaddr.Prefix) bool {
+	for _, n := range s.Cfg.Networks {
+		if n == p {
+			return true
+		}
+	}
+	return false
+}
+
+func pathsEqual(a, b []uint16) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// advertise exports prefix with the given (un-prepended) path to every
+// eligible peer, if it differs from what that peer last heard.
+func (s *Speaker) advertise(prefix netaddr.Prefix, path []uint16) {
+	st := s.adv[prefix]
+	if st == nil {
+		st = &advState{sentTo: make(map[netaddr.IPv4]bool)}
+		s.adv[prefix] = st
+	}
+	pathChanged := !pathsEqual(st.path, path)
+	st.path = append([]uint16(nil), path...)
+	for _, p := range s.peers {
+		if p.State != StateEstablished {
+			continue
+		}
+		if !s.exportAllowed(p, path) {
+			// The peer's AS sits in the path; if it previously heard
+			// this prefix from us, withdraw it.
+			if st.sentTo[p.Neighbor] {
+				p.queueWithdraw(prefix)
+				st.sentTo[p.Neighbor] = false
+			}
+			continue
+		}
+		if pathChanged || !st.sentTo[p.Neighbor] {
+			p.queueAdvertise(prefix)
+			st.sentTo[p.Neighbor] = true
+		}
+	}
+}
+
+// withdraw retracts prefix from every peer that heard it.
+func (s *Speaker) withdraw(prefix netaddr.Prefix) {
+	st := s.adv[prefix]
+	if st == nil {
+		return
+	}
+	for _, p := range s.peers {
+		if st.sentTo[p.Neighbor] && p.State == StateEstablished {
+			p.queueWithdraw(prefix)
+		}
+		st.sentTo[p.Neighbor] = false
+	}
+	delete(s.adv, prefix)
+}
+
+// exportAllowed implements sender-side AS-path loop suppression: never
+// offer a peer a path already containing its AS (it would reject it
+// anyway; FRR's `as-path loop-detection` behaviour on eBGP fabrics).
+func (s *Speaker) exportAllowed(p *Peer, path []uint16) bool {
+	for _, as := range path {
+		if as == p.RemoteAS {
+			return false
+		}
+	}
+	return true
+}
+
+// exportPath builds the path to put on the wire toward a peer.
+func (s *Speaker) exportPath(path []uint16) []uint16 {
+	out := make([]uint16, 0, len(path)+1)
+	out = append(out, s.Cfg.ASN)
+	return append(out, path...)
+}
+
+// currentExport returns the path we advertise for prefix, or nil if none.
+func (s *Speaker) currentExport(prefix netaddr.Prefix) ([]uint16, bool) {
+	if s.isLocalNetwork(prefix) {
+		return nil, true // originate with empty path (prepended at send)
+	}
+	if st := s.adv[prefix]; st != nil {
+		return st.path, true
+	}
+	return nil, false
+}
+
+// syncPeer pushes the full table to a newly established peer.
+func (s *Speaker) syncPeer(p *Peer) {
+	for _, n := range s.Cfg.Networks {
+		p.queueAdvertise(n)
+	}
+	for prefix, st := range s.adv {
+		if s.exportAllowed(p, st.path) {
+			p.queueAdvertise(prefix)
+			st.sentTo[p.Neighbor] = true
+		}
+	}
+}
+
+// handleUpdate processes a received UPDATE from peer p.
+func (s *Speaker) handleUpdate(p *Peer, u Update) {
+	s.Stats.UpdatesRecv++
+	dirty := make(map[netaddr.Prefix]bool)
+	for _, w := range u.Withdrawn {
+		if entries := s.adjIn[w]; entries != nil {
+			if _, had := entries[p.Neighbor]; had {
+				delete(entries, p.Neighbor)
+				dirty[w] = true
+			}
+		}
+	}
+	if len(u.NLRI) > 0 && !asPathContains(u.ASPath, s.Cfg.ASN) {
+		for _, prefix := range u.NLRI {
+			entries := s.adjIn[prefix]
+			if entries == nil {
+				entries = make(map[netaddr.IPv4]pathEntry)
+				s.adjIn[prefix] = entries
+			}
+			entries[p.Neighbor] = pathEntry{peer: p, asPath: u.ASPath, nextHop: p.Neighbor}
+			dirty[prefix] = true
+		}
+	}
+	for prefix := range dirty {
+		s.decide(prefix)
+	}
+}
+
+func asPathContains(path []uint16, as uint16) bool {
+	for _, a := range path {
+		if a == as {
+			return true
+		}
+	}
+	return false
+}
+
+// peerDown clears a dead peer's routes and reconverges.
+func (s *Speaker) peerDown(p *Peer) {
+	var dirty []netaddr.Prefix
+	for prefix, entries := range s.adjIn {
+		if _, had := entries[p.Neighbor]; had {
+			delete(entries, p.Neighbor)
+			dirty = append(dirty, prefix)
+		}
+	}
+	// Forget what we sent them; a future session gets a full re-sync.
+	for _, st := range s.adv {
+		st.sentTo[p.Neighbor] = false
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].IP.Uint32() < dirty[j].IP.Uint32() })
+	for _, prefix := range dirty {
+		s.decide(prefix)
+	}
+}
+
+// RIB returns the prefixes with at least one Adj-RIB-In path (testing aid).
+func (s *Speaker) RIB() []netaddr.Prefix {
+	var out []netaddr.Prefix
+	for prefix, entries := range s.adjIn {
+		if len(entries) > 0 {
+			out = append(out, prefix)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IP.Uint32() < out[j].IP.Uint32() })
+	return out
+}

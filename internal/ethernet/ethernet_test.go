@@ -1,0 +1,59 @@
+package ethernet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netaddr"
+)
+
+func TestRoundTrip(t *testing.T) {
+	f := func(dst, src netaddr.MAC, et uint16, payload []byte) bool {
+		in := Frame{Dst: dst, Src: src, EtherType: et, Payload: payload}
+		out, err := Unmarshal(in.Marshal())
+		return err == nil &&
+			out.Dst == dst && out.Src == src && out.EtherType == et &&
+			bytes.Equal(out.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	for n := 0; n < HeaderLen; n++ {
+		if _, err := Unmarshal(make([]byte, n)); err != ErrTruncated {
+			t.Errorf("Unmarshal(%d bytes) err = %v, want ErrTruncated", n, err)
+		}
+	}
+}
+
+func TestMRMTPKeepAliveFrameSize(t *testing.T) {
+	// Paper §VII.F / Fig. 10: an MR-MTP keep-alive is a broadcast frame
+	// with ethertype 0x8850 and a single data byte — 15 bytes on the wire.
+	f := Frame{Dst: netaddr.Broadcast, Src: netaddr.MAC{0x6a}, EtherType: TypeMRMTP, Payload: []byte{0x06}}
+	if got := len(f.Marshal()); got != 15 {
+		t.Errorf("MR-MTP keep-alive frame = %d bytes, want 15", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	f := Frame{Dst: netaddr.Broadcast, EtherType: TypeMRMTP, Payload: []byte{0x06}}
+	want := "00:00:00:00:00:00 > ff:ff:ff:ff:ff:ff MR-MTP len=15"
+	if got := f.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	f.EtherType = 0x1234
+	if got := f.String(); got != "00:00:00:00:00:00 > ff:ff:ff:ff:ff:ff 0x1234 len=15" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestEtherTypeEncoding(t *testing.T) {
+	f := Frame{EtherType: TypeMRMTP}
+	b := f.Marshal()
+	if b[12] != 0x88 || b[13] != 0x50 {
+		t.Errorf("ethertype bytes = %02x%02x, want 8850", b[12], b[13])
+	}
+}

@@ -1,0 +1,90 @@
+package flowhash
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ipv4"
+	"repro/internal/netaddr"
+	"repro/internal/udp"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	f := func(k Key) bool { return k.Hash() == k.Hash() }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashSpreads(t *testing.T) {
+	// Varying only the source port must produce a roughly even split
+	// modulo 2 (two uplinks) — this is what both ECMP and MR-MTP rely on.
+	counts := [2]int{}
+	k := Key{
+		Src:   netaddr.MakeIPv4(192, 168, 11, 1),
+		Dst:   netaddr.MakeIPv4(192, 168, 14, 1),
+		Proto: 17, DstPort: 47000,
+	}
+	for p := 0; p < 2000; p++ {
+		k.SrcPort = uint16(p)
+		counts[k.Hash()%2]++
+	}
+	if counts[0] < 700 || counts[1] < 700 {
+		t.Errorf("hash imbalanced across uplinks: %v", counts)
+	}
+}
+
+func TestFromIPPacketUDP(t *testing.T) {
+	src := netaddr.MakeIPv4(192, 168, 11, 1)
+	dst := netaddr.MakeIPv4(192, 168, 14, 1)
+	dg := udp.Datagram{SrcPort: 40001, DstPort: 47000, Payload: []byte("x")}
+	pkt := ipv4.Packet{
+		Header:  ipv4.Header{Protocol: ipv4.ProtoUDP, Src: src, Dst: dst, TTL: 64},
+		Payload: dg.Marshal(src, dst),
+	}
+	k := FromIPPacket(pkt.Marshal())
+	want := Key{Src: src, Dst: dst, Proto: ipv4.ProtoUDP, SrcPort: 40001, DstPort: 47000}
+	if k != want {
+		t.Errorf("FromIPPacket = %+v, want %+v", k, want)
+	}
+}
+
+func TestFromIPPacketNonTransport(t *testing.T) {
+	src := netaddr.MakeIPv4(10, 0, 0, 1)
+	dst := netaddr.MakeIPv4(10, 0, 0, 2)
+	pkt := ipv4.Packet{Header: ipv4.Header{Protocol: ipv4.ProtoICMP, Src: src, Dst: dst, TTL: 64}}
+	k := FromIPPacket(pkt.Marshal())
+	if k.SrcPort != 0 || k.DstPort != 0 || k.Src != src {
+		t.Errorf("ICMP key = %+v", k)
+	}
+}
+
+func TestFromIPPacketShort(t *testing.T) {
+	if k := FromIPPacket([]byte{1, 2, 3}); k != (Key{}) {
+		t.Errorf("short packet key = %+v, want zero", k)
+	}
+}
+
+func TestSameFlowSameHashAcrossEncap(t *testing.T) {
+	// A packet hashed at the leaf and re-hashed at the spine (after
+	// MR-MTP encapsulation is stripped to the inner IP packet) must pick
+	// the same plane. This is the invariant the harness uses to steer
+	// probes across the monitored column.
+	src := netaddr.MakeIPv4(192, 168, 11, 1)
+	dst := netaddr.MakeIPv4(192, 168, 14, 1)
+	dg := udp.Datagram{SrcPort: 40007, DstPort: 47000}
+	pkt := ipv4.Packet{
+		Header:  ipv4.Header{Protocol: ipv4.ProtoUDP, Src: src, Dst: dst, TTL: 64},
+		Payload: dg.Marshal(src, dst),
+	}
+	wire := pkt.Marshal()
+	h1 := FromIPPacket(wire).Hash()
+	forwarded := append([]byte(nil), wire...)
+	if err := ipv4.Forward(forwarded); err != nil {
+		t.Fatal(err)
+	}
+	h2 := FromIPPacket(forwarded).Hash()
+	if h1 != h2 {
+		t.Error("flow hash changed after TTL decrement; ECMP would re-path mid-flight")
+	}
+}

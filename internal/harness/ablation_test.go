@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+	"repro/internal/trafficgen"
+)
+
+func TestAblationFastFailoverOff(t *testing.T) {
+	// With fast-external-failover disabled, even a *local* carrier loss
+	// waits for the hold timer: TC2's convergence degrades from
+	// milliseconds to seconds. This is why RFC 7938 fabrics keep
+	// interface tracking on.
+	fast, err := RunFailure(DefaultOptions(topology.TwoPodSpec(), ProtoBGP, 3), topology.TC2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(topology.TwoPodSpec(), ProtoBGP, 3)
+	opts.BGPNoFastFailover = true
+	slow, err := RunFailure(opts, topology.TC2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("TC2 convergence: fast-failover=%v, disabled=%v", fast.Convergence, slow.Convergence)
+	if fast.Convergence > 100*time.Millisecond {
+		t.Errorf("fast failover TC2 convergence = %v, want ms scale", fast.Convergence)
+	}
+	if slow.Convergence < time.Second {
+		t.Errorf("disabled failover TC2 convergence = %v, want hold-timer scale", slow.Convergence)
+	}
+}
+
+func TestECMPBalancesFlowsAcrossPlanes(t *testing.T) {
+	// Many flows from one rack must split roughly evenly across the two
+	// uplink planes, for both protocols (they share the flow hash).
+	for _, proto := range []Protocol{ProtoMRMTP, ProtoBGP} {
+		f := buildAndWarm(t, topology.TwoPodSpec(), proto)
+		src, srcDev, _ := f.ServerStack(11, 1)
+		_, dstDev, _ := f.ServerStack(14, 1)
+		// 64 flows with distinct source ports.
+		for i := 0; i < 64; i++ {
+			cfg := trafficgen.DefaultConfig(srcDev.IP, dstDev.IP)
+			cfg.SrcPort = 41000 + uint16(i)
+			cfg.Interval = 10 * time.Millisecond
+			trafficgen.NewSender(src, cfg).Start()
+		}
+		leaf := f.Sim.Node("L-1-1")
+		before1 := leaf.Port(1).Counters.TxFrames
+		before2 := leaf.Port(2).Counters.TxFrames
+		f.Sim.RunFor(2 * time.Second)
+		up1 := float64(leaf.Port(1).Counters.TxFrames - before1)
+		up2 := float64(leaf.Port(2).Counters.TxFrames - before2)
+		total := up1 + up2
+		if total == 0 {
+			t.Fatalf("%v: no uplink traffic", proto)
+		}
+		share := up1 / total
+		t.Logf("%v: plane split %.0f/%.0f (%.2f)", proto, up1, up2, share)
+		if share < 0.3 || share > 0.7 {
+			t.Errorf("%v: plane-1 share = %.2f, want balanced (0.3..0.7)", proto, share)
+		}
+	}
+}
+
+func TestECMPFlowAffinity(t *testing.T) {
+	// A single flow must never be re-pathed while the fabric is healthy:
+	// zero out-of-order delivery across 5 seconds.
+	f := buildAndWarm(t, topology.TwoPodSpec(), ProtoMRMTP)
+	src, srcDev, _ := f.ServerStack(11, 1)
+	dst, dstDev, _ := f.ServerStack(14, 1)
+	cfg := trafficgen.DefaultConfig(srcDev.IP, dstDev.IP)
+	sender := trafficgen.NewSender(src, cfg)
+	receiver := trafficgen.NewReceiver(dst, cfg.DstPort)
+	sender.Start()
+	f.Sim.RunFor(5 * time.Second)
+	sender.Stop()
+	f.Sim.RunFor(100 * time.Millisecond)
+	rep := receiver.Report(sender)
+	if rep.OutOfOrder != 0 || rep.Duplicated != 0 || rep.Lost != 0 {
+		t.Errorf("healthy-fabric flow disturbed: %+v", rep)
+	}
+}

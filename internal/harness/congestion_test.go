@@ -1,0 +1,166 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netaddr"
+	"repro/internal/topology"
+	"repro/internal/trafficgen"
+	"repro/internal/udp"
+)
+
+func TestIntraRackSwitching(t *testing.T) {
+	// Two servers behind one ToR talk through the ToR's local switching
+	// path (proxy-ARP + gateway forwarding) — no fabric, no encapsulation
+	// (paper §III.D handles only inter-rack traffic; intra-rack stays in
+	// the IP world). Both protocol stacks must support it.
+	for _, proto := range []Protocol{ProtoMRMTP, ProtoBGP} {
+		spec := topology.TwoPodSpec()
+		spec.ServersPerLeaf = 2
+		f, err := Build(DefaultOptions(spec, proto, 61))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.WarmUp(WarmupTime); err != nil {
+			t.Fatal(err)
+		}
+		s1, d1, _ := f.ServerStack(11, 1)
+		s2, d2, _ := f.ServerStack(11, 2)
+		var got int
+		s2.ListenUDP(7, func(_, _ netaddr.IPv4, dg udp.Datagram) { got++ })
+		uplinkBefore := f.Sim.Node("L-1-1").Port(1).Counters.TxFrames +
+			f.Sim.Node("L-1-1").Port(2).Counters.TxFrames
+		for i := 0; i < 10; i++ {
+			s1.SendUDP(d1.IP, d2.IP, 9800+uint16(i), 7, []byte("same rack"))
+		}
+		f.Sim.RunFor(100 * time.Millisecond)
+		if got != 10 {
+			t.Fatalf("%v: intra-rack delivered %d/10", proto, got)
+		}
+		uplinkAfter := f.Sim.Node("L-1-1").Port(1).Counters.TxFrames +
+			f.Sim.Node("L-1-1").Port(2).Counters.TxFrames
+		// Allow the odd hello/keepalive, but no data may leave the rack.
+		if uplinkAfter-uplinkBefore > 6 {
+			t.Errorf("%v: intra-rack traffic leaked onto %d uplink frames", proto, uplinkAfter-uplinkBefore)
+		}
+	}
+}
+
+func TestMultiServerRackAcrossFabric(t *testing.T) {
+	// Both servers of one rack talk to both servers of a remote rack.
+	spec := topology.TwoPodSpec()
+	spec.ServersPerLeaf = 2
+	for _, proto := range []Protocol{ProtoMRMTP, ProtoBGP} {
+		f, err := Build(DefaultOptions(spec, proto, 62))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.WarmUp(WarmupTime); err != nil {
+			t.Fatal(err)
+		}
+		var got int
+		for _, dstN := range []int{1, 2} {
+			dst, _, _ := f.ServerStack(14, dstN)
+			dst.ListenUDP(7, func(_, _ netaddr.IPv4, dg udp.Datagram) { got++ })
+		}
+		for _, srcN := range []int{1, 2} {
+			src, srcDev, _ := f.ServerStack(11, srcN)
+			for _, dstN := range []int{1, 2} {
+				_, dstDev, _ := f.ServerStack(14, dstN)
+				src.SendUDP(srcDev.IP, dstDev.IP, 9900+uint16(srcN*2+dstN), 7, []byte("x"))
+			}
+		}
+		f.Sim.RunFor(100 * time.Millisecond)
+		if got != 4 {
+			t.Fatalf("%v: delivered %d/4 across multi-server racks", proto, got)
+		}
+	}
+}
+
+// setFabricBandwidth applies a rate limit to every router-router link,
+// leaving rack links ideal so the bottleneck is the fabric.
+func setFabricBandwidth(f *Fabric, bps int64, queue int) {
+	for _, link := range f.Sim.Links() {
+		// Rack links carry a server on one side.
+		if link.A.Node.Meta["tier"] == "server" || link.B.Node.Meta["tier"] == "server" {
+			continue
+		}
+		link.SetBandwidth(bps, queue)
+	}
+}
+
+func TestCongestionLoadBalancingUsesBothPlanes(t *testing.T) {
+	// Oversubscription: 32 flows at ~21 Mb/s aggregate offered into
+	// 8 Mb/s links. With hashing across both planes the rack's egress
+	// capacity is 16 Mb/s; delivered goodput must exceed what a single
+	// plane could carry — proof the load balancing actually spreads load,
+	// under both protocols (paper §III.C's stated purpose).
+	for _, proto := range []Protocol{ProtoMRMTP, ProtoBGP} {
+		f, err := Build(DefaultOptions(topology.TwoPodSpec(), proto, 63))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.WarmUp(WarmupTime); err != nil {
+			t.Fatal(err)
+		}
+		setFabricBandwidth(f, 8_000_000, 64)
+		src, srcDev, _ := f.ServerStack(11, 1)
+		dst, dstDev, _ := f.ServerStack(14, 1)
+		var senders []*trafficgen.Sender
+		var receivers []*trafficgen.Receiver
+		for i := 0; i < 32; i++ {
+			cfg := trafficgen.DefaultConfig(srcDev.IP, dstDev.IP)
+			cfg.SrcPort = 42000 + uint16(i)
+			cfg.DstPort = 47000 + uint16(i)
+			cfg.Interval = 1200 * time.Microsecond
+			cfg.Size = 1000
+			receivers = append(receivers, trafficgen.NewReceiver(dst, cfg.DstPort))
+			s := trafficgen.NewSender(src, cfg)
+			senders = append(senders, s)
+			s.Start()
+		}
+		f.Sim.RunFor(3 * time.Second)
+		var sent, recv uint64
+		for i, s := range senders {
+			s.Stop()
+			rep := receivers[i].Report(s)
+			sent += rep.Sent
+			recv += rep.Received
+		}
+		// Offered ≈ 32 × (1000B / 1.2ms) ≈ 21 Mb/s. One 8 Mb/s plane
+		// could deliver at most ~1000 pkt/s per second of the run; both
+		// planes roughly double that.
+		singlePlaneCap := uint64(3100) // ~1000 pkt/s × 3s + slack
+		t.Logf("%v: offered %d, delivered %d packets", proto, sent, recv)
+		if recv <= singlePlaneCap {
+			t.Errorf("%v: delivered %d packets <= single-plane capacity %d; load balancing is not using both planes",
+				proto, recv, singlePlaneCap)
+		}
+	}
+}
+
+func TestCongestionQueueOverflowCounted(t *testing.T) {
+	f, err := Build(DefaultOptions(topology.TwoPodSpec(), ProtoMRMTP, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WarmUp(WarmupTime); err != nil {
+		t.Fatal(err)
+	}
+	setFabricBandwidth(f, 1_000_000, 8) // 1 Mb/s, tiny queues
+	src, srcDev, _ := f.ServerStack(11, 1)
+	_, dstDev, _ := f.ServerStack(14, 1)
+	cfg := trafficgen.DefaultConfig(srcDev.IP, dstDev.IP)
+	cfg.Interval = 500 * time.Microsecond // 16 Mb/s offered
+	cfg.Size = 1000
+	trafficgen.NewSender(src, cfg).Start()
+	f.Sim.RunFor(2 * time.Second)
+	var overflowed uint64
+	for _, link := range f.Sim.Links() {
+		overflowed += link.Overflowed
+	}
+	if overflowed == 0 {
+		t.Error("16x oversubscription with 8-frame queues overflowed nothing")
+	}
+}

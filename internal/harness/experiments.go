@@ -1,0 +1,311 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/flowhash"
+	"repro/internal/ipv4"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/trafficgen"
+)
+
+// WarmupTime is long enough for every configuration to reach steady state
+// (BGP sessions need a few keepalive intervals; MR-MTP converges in
+// milliseconds).
+const WarmupTime = 15 * time.Second
+
+// SettleTime bounds the post-failure observation window. The slowest
+// reconvergence in the paper's configurations is plain BGP's 3 s hold
+// timer; 10 s leaves room for dissemination.
+const SettleTime = 10 * time.Second
+
+// FailureResult is one trial of the Fig. 4/5/6 experiments.
+type FailureResult struct {
+	Protocol     Protocol
+	Pods         int
+	Case         topology.FailureCase
+	Convergence  time.Duration
+	BlastRadius  int
+	ControlBytes int
+	ControlMsgs  int
+	UpdatedNodes []string
+}
+
+// RunFailure measures convergence time, blast radius and control overhead
+// for one failure case (Figs. 4, 5, 6). The failure instant is offset by a
+// random fraction of a keep-alive period so trial averages sample timer
+// phase like the paper's repeated runs.
+func RunFailure(opts Options, tc topology.FailureCase) (FailureResult, error) {
+	f, err := Build(opts)
+	if err != nil {
+		return FailureResult{}, err
+	}
+	if err := f.WarmUp(WarmupTime); err != nil {
+		return FailureResult{}, err
+	}
+	phase := time.Duration(f.Sim.Rand().Int63n(int64(time.Second)))
+	f.Sim.RunFor(phase)
+	f.Log.Reset()
+	failAt, err := f.Fail(tc)
+	if err != nil {
+		return FailureResult{}, err
+	}
+	f.Sim.RunFor(SettleTime)
+	a := f.Log.Analyze(failAt)
+	return FailureResult{
+		Protocol:     opts.Protocol,
+		Pods:         opts.Spec.Pods,
+		Case:         tc,
+		Convergence:  a.Convergence,
+		BlastRadius:  a.BlastRadius,
+		ControlBytes: a.ControlBytes,
+		ControlMsgs:  a.ControlMessages,
+		UpdatedNodes: a.UpdatedNodes,
+	}, nil
+}
+
+// LossResult is one trial of the Fig. 7/8 experiments.
+type LossResult struct {
+	Protocol Protocol
+	Pods     int
+	Case     topology.FailureCase
+	Report   trafficgen.Report
+}
+
+// RunLoss measures packet loss across a failure. Traffic flows between the
+// server at ToR VID 11 and the server at ToR VID 14 (paper §VI.D); reverse
+// selects the far-from-failure sender of Fig. 8. The flow's source port is
+// chosen so both protocols hash it across the monitored TC1–TC4 column.
+func RunLoss(opts Options, tc topology.FailureCase, reverse bool) (LossResult, error) {
+	f, err := Build(opts)
+	if err != nil {
+		return LossResult{}, err
+	}
+	srcStack, srcDev, err := f.ServerStack(11, 1)
+	if err != nil {
+		return LossResult{}, err
+	}
+	dstStack, dstDev, err := f.ServerStack(14, 1)
+	if err != nil {
+		return LossResult{}, err
+	}
+	if reverse {
+		srcStack, dstStack = dstStack, srcStack
+		srcDev, dstDev = dstDev, srcDev
+	}
+	cfg := trafficgen.DefaultConfig(srcDev.IP, dstDev.IP)
+	cfg.SrcPort = PickFlowPort(f, cfg)
+	sender := trafficgen.NewSender(srcStack, cfg)
+	receiver := trafficgen.NewReceiver(dstStack, cfg.DstPort)
+
+	if err := f.WarmUp(WarmupTime); err != nil {
+		return LossResult{}, err
+	}
+	sender.Start()
+	// Lead-in so the flow is established (and ARP resolved) pre-failure,
+	// with a random phase offset as in RunFailure.
+	lead := time.Second + time.Duration(f.Sim.Rand().Int63n(int64(time.Second)))
+	f.Sim.RunFor(lead)
+	preLoss := sender.Sent() - receiver.Report(sender).Received
+	if preLoss > 2 { // ARP warm-up may cost a packet at the margins
+		return LossResult{}, fmt.Errorf("harness: flow lossy before failure (%d lost)", preLoss)
+	}
+	if _, err := f.Fail(tc); err != nil {
+		return LossResult{}, err
+	}
+	f.Sim.RunFor(SettleTime)
+	sender.Stop()
+	f.Sim.RunFor(time.Second) // drain in-flight packets
+	return LossResult{
+		Protocol: opts.Protocol,
+		Pods:     opts.Spec.Pods,
+		Case:     tc,
+		Report:   receiver.Report(sender),
+	}, nil
+}
+
+// PickFlowPort finds a UDP source port whose flow hash selects the first
+// uplink at every branching tier, steering the probe flow across the
+// monitored L-1-1/S-1-1/T-1 column for both protocols (which share the
+// flowhash function).
+func PickFlowPort(f *Fabric, cfg trafficgen.Config) uint16 {
+	s := f.Opts.Spec.SpinesPerPod
+	u := f.Opts.Spec.UplinksPerSpine
+	for port := cfg.SrcPort; port < cfg.SrcPort+4096; port++ {
+		k := flowhash.Key{
+			Src: cfg.Src, Dst: cfg.Dst,
+			Proto:   ipv4.ProtoUDP,
+			SrcPort: port, DstPort: cfg.DstPort,
+		}
+		h := int(k.Hash())
+		if h%s == 0 && h%u == 0 {
+			return port
+		}
+	}
+	return cfg.SrcPort
+}
+
+// KeepAliveResult summarizes idle-fabric wire traffic on one link over a
+// window (Figs. 9 and 10).
+type KeepAliveResult struct {
+	Protocol Protocol
+	Window   time.Duration
+	Summary  map[capture.Class]capture.ClassStats
+}
+
+// TotalKeepAliveBytes sums the liveness-related classes.
+func (k KeepAliveResult) TotalKeepAliveBytes() int {
+	total := 0
+	for _, cl := range []capture.Class{
+		capture.ClassBGPKeepalive, capture.ClassBFD, capture.ClassTCPAck, capture.ClassMTPHello,
+	} {
+		total += k.Summary[cl].Bytes
+	}
+	return total
+}
+
+// RunKeepAlive captures an idle fabric's keep-alive traffic on the
+// L-1-1 ↔ S-1-1 link for the window.
+func RunKeepAlive(opts Options, window time.Duration) (KeepAliveResult, error) {
+	f, err := Build(opts)
+	if err != nil {
+		return KeepAliveResult{}, err
+	}
+	if err := f.WarmUp(WarmupTime); err != nil {
+		return KeepAliveResult{}, err
+	}
+	fp, err := f.Topo.FailurePoint(topology.TC1)
+	if err != nil {
+		return KeepAliveResult{}, err
+	}
+	var cap capture.Capture
+	cap.Tap(f.Sim.Node(fp.Device).Port(fp.Port).Link)
+	start := f.Sim.Now()
+	f.Sim.RunFor(window)
+	return KeepAliveResult{
+		Protocol: opts.Protocol,
+		Window:   window,
+		Summary:  cap.Summary(start, start+window),
+	}, nil
+}
+
+// --- multi-trial averaging -------------------------------------------------
+
+// FailureSummary averages FailureResult trials and keeps the per-trial
+// spread (the paper plots run averages; the spread shows how much the
+// timer phase mattered).
+type FailureSummary struct {
+	Protocol     Protocol
+	Pods         int
+	Case         topology.FailureCase
+	Trials       int
+	Convergence  time.Duration // mean
+	BlastRadius  float64       // mean
+	ControlBytes float64       // mean
+	// ConvergenceMS summarizes per-trial convergence in milliseconds.
+	ConvergenceMS stats.Summary
+}
+
+// SummarizeFailures averages per-trial results (all trials must share the
+// protocol/pods/case).
+func SummarizeFailures(rs []FailureResult) FailureSummary {
+	if len(rs) == 0 {
+		return FailureSummary{}
+	}
+	s := FailureSummary{Protocol: rs[0].Protocol, Pods: rs[0].Pods, Case: rs[0].Case, Trials: len(rs)}
+	convMS := make([]float64, 0, len(rs))
+	var conv time.Duration
+	for _, r := range rs {
+		conv += r.Convergence
+		convMS = append(convMS, float64(r.Convergence)/float64(time.Millisecond))
+		s.BlastRadius += float64(r.BlastRadius)
+		s.ControlBytes += float64(r.ControlBytes)
+	}
+	s.Convergence = conv / time.Duration(len(rs))
+	s.BlastRadius /= float64(len(rs))
+	s.ControlBytes /= float64(len(rs))
+	s.ConvergenceMS = stats.Summarize(convMS)
+	return s
+}
+
+// RunFailureTrials runs n seeds of one configuration and averages, like the
+// paper's "values averaged over multiple runs".
+func RunFailureTrials(opts Options, tc topology.FailureCase, n int) (FailureSummary, error) {
+	var rs []FailureResult
+	for i := 0; i < n; i++ {
+		o := opts
+		o.Seed = opts.Seed + int64(i)*7919
+		r, err := RunFailure(o, tc)
+		if err != nil {
+			return FailureSummary{}, err
+		}
+		rs = append(rs, r)
+	}
+	return SummarizeFailures(rs), nil
+}
+
+// RunLossTrials averages packet loss over n seeds.
+func RunLossTrials(opts Options, tc topology.FailureCase, reverse bool, n int) (float64, error) {
+	var total float64
+	for i := 0; i < n; i++ {
+		o := opts
+		o.Seed = opts.Seed + int64(i)*7919
+		r, err := RunLoss(o, tc, reverse)
+		if err != nil {
+			return 0, err
+		}
+		total += float64(r.Report.Lost)
+	}
+	return total / float64(n), nil
+}
+
+// --- table rendering --------------------------------------------------------
+
+// Grid renders experiment values as the paper's figure grids: one row per
+// test case, one column per protocol configuration.
+type Grid struct {
+	Title   string
+	Columns []string
+	Rows    map[string]map[string]string // row -> column -> value
+	order   []string
+}
+
+// NewGrid creates a grid with the protocol columns.
+func NewGrid(title string, columns []string) *Grid {
+	return &Grid{Title: title, Columns: columns, Rows: make(map[string]map[string]string)}
+}
+
+// Set stores a cell.
+func (g *Grid) Set(row, col, value string) {
+	if g.Rows[row] == nil {
+		g.Rows[row] = make(map[string]string)
+		g.order = append(g.order, row)
+	}
+	g.Rows[row][col] = value
+}
+
+// Render prints the grid.
+func (g *Grid) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", g.Title)
+	fmt.Fprintf(&b, "%-8s", "case")
+	for _, c := range g.Columns {
+		fmt.Fprintf(&b, " %16s", c)
+	}
+	b.WriteByte('\n')
+	rows := append([]string(nil), g.order...)
+	sort.Strings(rows)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s", r)
+		for _, c := range g.Columns {
+			fmt.Fprintf(&b, " %16s", g.Rows[r][c])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

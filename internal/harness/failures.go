@@ -1,0 +1,131 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// This file extends the paper's four interface-failure cases (§IX:
+// "Extended failure test cases") with whole-node failures and interface
+// flapping, using the same measurement pipeline.
+
+// FailNode fails every interface of a device at once (a crash or power
+// event). The node itself sees all ports down; every neighbor discovers
+// through its own timers, exactly as with single-interface failures.
+func (f *Fabric) FailNode(name string) (time.Duration, error) {
+	node := f.Sim.Node(name)
+	if node == nil {
+		return 0, fmt.Errorf("harness: no node %s", name)
+	}
+	at := f.Sim.Now()
+	for _, p := range node.Ports[1:] {
+		p.Fail()
+	}
+	return at, nil
+}
+
+// RestoreNode brings every interface of a device back up.
+func (f *Fabric) RestoreNode(name string) error {
+	node := f.Sim.Node(name)
+	if node == nil {
+		return fmt.Errorf("harness: no node %s", name)
+	}
+	for _, p := range node.Ports[1:] {
+		p.Restore()
+	}
+	return nil
+}
+
+// RunNodeFailure measures convergence/blast/overhead when a whole device
+// dies (default: the pod spine S-1-1, the worst single-router loss for the
+// monitored column).
+func RunNodeFailure(opts Options, victim string) (FailureResult, error) {
+	f, err := Build(opts)
+	if err != nil {
+		return FailureResult{}, err
+	}
+	if err := f.WarmUp(WarmupTime); err != nil {
+		return FailureResult{}, err
+	}
+	phase := time.Duration(f.Sim.Rand().Int63n(int64(time.Second)))
+	f.Sim.RunFor(phase)
+	f.Log.Reset()
+	failAt, err := f.FailNode(victim)
+	if err != nil {
+		return FailureResult{}, err
+	}
+	f.Sim.RunFor(SettleTime)
+	a := f.Log.Analyze(failAt)
+	return FailureResult{
+		Protocol:     opts.Protocol,
+		Pods:         opts.Spec.Pods,
+		Convergence:  a.Convergence,
+		BlastRadius:  a.BlastRadius,
+		ControlBytes: a.ControlBytes,
+		ControlMsgs:  a.ControlMessages,
+		UpdatedNodes: a.UpdatedNodes,
+	}, nil
+}
+
+// FlapResult summarizes a flapping-interface run: how much control-plane
+// churn the fabric suffered while one interface bounced.
+type FlapResult struct {
+	Protocol     Protocol
+	Flaps        int
+	ControlMsgs  int
+	ControlBytes int
+	RouteEvents  int
+	// Recovered reports whether the fabric was converged again at the end.
+	Recovered bool
+}
+
+// RunFlap bounces the TC1 interface (down downTime, up upTime) `flaps`
+// times and measures the churn. With MR-MTP's Slow-to-Accept, up periods
+// shorter than three hello intervals never re-admit the neighbor, so churn
+// stays bounded; protocols that re-establish eagerly pay a full
+// reconvergence per flap. The interface is finally left up and the fabric
+// given time to stabilize.
+func RunFlap(opts Options, flaps int, downTime, upTime time.Duration) (FlapResult, error) {
+	f, err := Build(opts)
+	if err != nil {
+		return FlapResult{}, err
+	}
+	if err := f.WarmUp(WarmupTime); err != nil {
+		return FlapResult{}, err
+	}
+	fp, err := f.Topo.FailurePoint(topology.TC1)
+	if err != nil {
+		return FlapResult{}, err
+	}
+	port := f.Sim.Node(fp.Device).Port(fp.Port)
+	f.Log.Reset()
+	for i := 0; i < flaps; i++ {
+		port.Fail()
+		f.Sim.RunFor(downTime)
+		port.Restore()
+		f.Sim.RunFor(upTime)
+	}
+	// Count churn during the flapping window only.
+	msgs, bytes, routes := 0, 0, 0
+	for _, e := range f.Log.Events {
+		switch e.Kind {
+		case "control":
+			msgs++
+			bytes += e.Bytes
+		case "route":
+			routes++
+		}
+	}
+	// Let the final up period stick and verify recovery.
+	f.Sim.RunFor(30 * time.Second)
+	return FlapResult{
+		Protocol:     opts.Protocol,
+		Flaps:        flaps,
+		ControlMsgs:  msgs,
+		ControlBytes: bytes,
+		RouteEvents:  routes,
+		Recovered:    f.CheckConverged() == nil,
+	}, nil
+}

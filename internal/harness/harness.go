@@ -1,0 +1,348 @@
+// Package harness orchestrates the paper's experiments: it realizes a
+// folded-Clos topology in the simulator, deploys one of the three protocol
+// configurations (MR-MTP, BGP/ECMP, BGP/ECMP/BFD), injects interface
+// failures at the paper's TC1–TC4 points, and collects the metrics of
+// Figs. 4–10. It is the in-process equivalent of the paper's FABRIC
+// automation scripts (topology bring-up, software deployment, failure
+// injection, log collection and parsing).
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bfd"
+	"repro/internal/bgp"
+	"repro/internal/ipstack"
+	"repro/internal/metrics"
+	"repro/internal/mrmtp"
+	"repro/internal/netaddr"
+	"repro/internal/routerlog"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// Protocol selects the routing configuration under test.
+type Protocol int
+
+// The paper's three configurations.
+const (
+	ProtoMRMTP Protocol = iota
+	ProtoBGP
+	ProtoBGPBFD
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case ProtoMRMTP:
+		return "MR-MTP"
+	case ProtoBGP:
+		return "BGP/ECMP"
+	case ProtoBGPBFD:
+		return "BGP/ECMP/BFD"
+	}
+	return fmt.Sprintf("Protocol(%d)", int(p))
+}
+
+// Options configures a fabric build.
+type Options struct {
+	Spec topology.Spec
+	// MultiTier, when non-nil, selects the four-tier fabric of the
+	// paper's §IX scaling study instead of Spec.
+	MultiTier *topology.MultiTierSpec
+	Protocol  Protocol
+	Seed      int64
+
+	// BGPTimers defaults to the paper's 1 s/3 s with MRAI 0.
+	BGPTimers bgp.Timers
+	// BFD defaults to 100 ms × 3.
+	BFD bfd.Config
+	// MTPHello/MTPDead default to 50 ms/100 ms.
+	MTPHello time.Duration
+	MTPDead  time.Duration
+	// MTPAccept is the Slow-to-Accept threshold (3 in the paper; 1
+	// disables dampening, for the ablation benchmarks).
+	MTPAccept int
+	// BGPNoFastFailover disables interface tracking in the BGP speakers
+	// (`no bgp fast-external-failover`), for the ablation benchmarks.
+	BGPNoFastFailover bool
+	// Journal, when non-nil, additionally records raw text logs of every
+	// protocol event and failure injection — the paper's log-collection
+	// methodology (§VI.B), re-analyzable with the routerlog package.
+	Journal *routerlog.Journal
+}
+
+// DefaultOptions returns the paper's configuration for a protocol/topology.
+func DefaultOptions(spec topology.Spec, proto Protocol, seed int64) Options {
+	return Options{
+		Spec:      spec,
+		Protocol:  proto,
+		Seed:      seed,
+		BGPTimers: bgp.DefaultTimers(),
+		BFD:       bfd.DefaultConfig(),
+		MTPHello:  50 * time.Millisecond,
+		MTPDead:   100 * time.Millisecond,
+		MTPAccept: 3,
+	}
+}
+
+// Fabric is a realized, running testbed.
+type Fabric struct {
+	Opts Options
+	Sim  *simnet.Sim
+	Topo *topology.Topology
+	Log  *metrics.Log
+
+	Speakers map[string]*bgp.Speaker   // BGP modes
+	BFDs     map[string]*bfd.Manager   // BGP/BFD mode
+	Routers  map[string]*mrmtp.Router  // MR-MTP mode
+	Stacks   map[string]*ipstack.Stack // servers always; routers in BGP modes
+
+	started bool
+}
+
+// Build realizes the fabric. Call Start (or WarmUp) before experiments.
+func Build(opts Options) (*Fabric, error) {
+	var topo *topology.Topology
+	var err error
+	if opts.MultiTier != nil {
+		topo, err = topology.BuildMultiTier(*opts.MultiTier)
+	} else {
+		topo, err = topology.Build(opts.Spec)
+	}
+	if err != nil {
+		return nil, err
+	}
+	f := &Fabric{
+		Opts:     opts,
+		Sim:      simnet.New(opts.Seed),
+		Topo:     topo,
+		Log:      &metrics.Log{},
+		Speakers: make(map[string]*bgp.Speaker),
+		BFDs:     make(map[string]*bfd.Manager),
+		Routers:  make(map[string]*mrmtp.Router),
+		Stacks:   make(map[string]*ipstack.Stack),
+	}
+
+	// Nodes and ports, in the topology's deterministic order.
+	for name, dev := range topo.Devices {
+		n := f.Sim.AddNode(name)
+		for range dev.Ports[1:] {
+			n.AddPort()
+		}
+		n.Meta["tier"] = dev.Tier.String()
+	}
+	for _, l := range topo.Links {
+		f.Sim.Connect(
+			f.Sim.Node(l.A.Device.Name).Port(l.A.Index),
+			f.Sim.Node(l.B.Device.Name).Port(l.B.Index),
+		)
+	}
+
+	// Servers always run the plain IP stack with a default route at the
+	// rack gateway; both fabrics present the same .254 gateway.
+	for _, srv := range topo.Servers {
+		node := f.Sim.Node(srv.Name)
+		stack := ipstack.New(node)
+		leafPort := srv.Ports[1].Peer // the ToR end of the rack link
+		subnet := srv.Ports[1].Subnet
+		ifc := stack.AddIface(node.Port(1), srv.IP, subnet)
+		stack.AddDefaultRoute(topology.LeafGatewayIP(leafPort.Device), ifc)
+		f.Stacks[srv.Name] = stack
+	}
+
+	switch opts.Protocol {
+	case ProtoMRMTP:
+		f.buildMRMTP()
+	case ProtoBGP, ProtoBGPBFD:
+		f.buildBGP(opts.Protocol == ProtoBGPBFD)
+	default:
+		return nil, fmt.Errorf("harness: unknown protocol %d", int(opts.Protocol))
+	}
+	return f, nil
+}
+
+func (f *Fabric) buildMRMTP() {
+	top := 1
+	for _, d := range f.Topo.Routers() {
+		if d.Level > top {
+			top = d.Level
+		}
+	}
+	for _, d := range f.Topo.Routers() {
+		cfg := mrmtp.DefaultConfig(d.Level, top)
+		cfg.HelloInterval = f.Opts.MTPHello
+		cfg.DeadInterval = f.Opts.MTPDead
+		if f.Opts.MTPAccept > 0 {
+			cfg.AcceptHellos = f.Opts.MTPAccept
+		}
+		if d.Tier == topology.TierLeaf {
+			cfg.ServerPort = d.ServerPort
+			cfg.RackSubnet = d.ServerSubnet
+		}
+		f.Routers[d.Name] = mrmtp.New(f.Sim.Node(d.Name), cfg, f.recorder())
+	}
+}
+
+func (f *Fabric) buildBGP(withBFD bool) {
+	for _, d := range f.Topo.Routers() {
+		node := f.Sim.Node(d.Name)
+		stack := ipstack.New(node)
+		f.Stacks[d.Name] = stack
+		cfg := bgp.Config{
+			ASN:                 uint16(d.ASN),
+			RouterID:            routerID(d),
+			Timers:              f.Opts.BGPTimers,
+			ECMP:                true,
+			DisableFastFailover: f.Opts.BGPNoFastFailover,
+		}
+		if d.Tier == topology.TierLeaf {
+			cfg.Networks = []netaddr.Prefix{d.ServerSubnet}
+		}
+		sp := bgp.New(stack, cfg, f.recorder())
+		f.Speakers[d.Name] = sp
+		var mgr *bfd.Manager
+		if withBFD {
+			mgr = bfd.NewManager(stack)
+			f.BFDs[d.Name] = mgr
+		}
+		for _, p := range d.Ports[1:] {
+			peerDev := p.Peer.Device
+			if peerDev.Tier == topology.TierServer {
+				// Rack interface: address only (the connected route
+				// makes the subnet reachable and advertisable).
+				stack.AddIface(node.Port(p.Index), topology.LeafGatewayIP(d), d.ServerSubnet)
+				continue
+			}
+			ifc := stack.AddIface(node.Port(p.Index), p.IP, p.Subnet)
+			peer := sp.AddPeer(ifc, p.Peer.IP, uint16(peerDev.ASN))
+			if withBFD {
+				sess := mgr.Add(p.IP, p.Peer.IP, f.Opts.BFD)
+				sess.OnDown = peer.BFDDown
+			}
+		}
+	}
+}
+
+// routerID derives a unique BGP identifier per device.
+func routerID(d *topology.Device) netaddr.IPv4 {
+	return netaddr.MakeIPv4(10, byte(d.Tier), byte(d.Pod), byte(d.Index))
+}
+
+// recorder returns the metrics sink, teeing into the raw-log journal when
+// one is configured.
+func (f *Fabric) recorder() metrics.Recorder {
+	if f.Opts.Journal != nil {
+		return metrics.Tee{f.Log, f.Opts.Journal}
+	}
+	return f.Log
+}
+
+// Start launches every protocol daemon.
+func (f *Fabric) Start() {
+	if f.started {
+		return
+	}
+	f.started = true
+	f.Sim.Start()
+}
+
+// WarmUp starts the fabric and runs it to steady state, then clears the
+// metrics log so only post-failure events are analyzed (the paper likewise
+// measures from the failure instant). It returns an error if the fabric did
+// not converge, so experiments never run on a half-built network.
+func (f *Fabric) WarmUp(d time.Duration) error {
+	f.Start()
+	f.Sim.RunFor(d)
+	if err := f.CheckConverged(); err != nil {
+		return err
+	}
+	f.Log.Reset()
+	return nil
+}
+
+// CheckConverged verifies steady state: all BGP sessions established and
+// every router holding a route to every rack subnet, or every MR-MTP top
+// spine holding one VID per ToR (the paper's Fig. 2 end state).
+func (f *Fabric) CheckConverged() error {
+	if f.Opts.Protocol == ProtoMRMTP {
+		leaves := len(f.Topo.Leaves)
+		for _, d := range f.Topo.Tops {
+			r := f.Routers[d.Name]
+			if r.TableSize() != leaves {
+				return fmt.Errorf("harness: %s holds %d VIDs, want %d (one per ToR)", d.Name, r.TableSize(), leaves)
+			}
+		}
+		leavesPerPod := f.Opts.Spec.LeavesPerPod
+		if f.Opts.MultiTier != nil {
+			leavesPerPod = f.Opts.MultiTier.LeavesPerPod
+		}
+		for _, d := range f.Topo.Spines {
+			r := f.Routers[d.Name]
+			if r.TableSize() != leavesPerPod {
+				return fmt.Errorf("harness: %s holds %d VIDs, want %d", d.Name, r.TableSize(), leavesPerPod)
+			}
+		}
+		if f.Opts.MultiTier != nil {
+			// Zone spines hold one VID per leaf in their zone.
+			perZone := f.Opts.MultiTier.PodsPerZone * f.Opts.MultiTier.LeavesPerPod
+			for _, d := range f.Topo.Aggs {
+				r := f.Routers[d.Name]
+				if r.TableSize() != perZone {
+					return fmt.Errorf("harness: %s holds %d VIDs, want %d", d.Name, r.TableSize(), perZone)
+				}
+			}
+		}
+		return nil
+	}
+	for _, d := range f.Topo.Routers() {
+		sp := f.Speakers[d.Name]
+		if got, want := sp.EstablishedCount(), len(sp.Peers()); got != want {
+			return fmt.Errorf("harness: %s has %d/%d BGP sessions", d.Name, got, want)
+		}
+		stack := f.Stacks[d.Name]
+		for _, leaf := range f.Topo.Leaves {
+			if leaf.Name == d.Name {
+				continue
+			}
+			if _, ok := stack.FIB.Lookup(leaf.ServerSubnet.Host(1)); !ok {
+				return fmt.Errorf("harness: %s has no route to %s", d.Name, leaf.ServerSubnet)
+			}
+		}
+	}
+	return nil
+}
+
+// Fail injects the interface failure for a test case and returns the
+// virtual time of the event.
+func (f *Fabric) Fail(tc topology.FailureCase) (time.Duration, error) {
+	fp, err := f.Topo.FailurePoint(tc)
+	if err != nil {
+		return 0, err
+	}
+	at := f.Sim.Now()
+	f.Sim.Node(fp.Device).Port(fp.Port).Fail()
+	if f.Opts.Journal != nil {
+		f.Opts.Journal.FailureInjected(at, fp.Device, fp.Port)
+	}
+	return at, nil
+}
+
+// ServerStack returns the IP stack of the n-th server behind the ToR with
+// the given VID.
+func (f *Fabric) ServerStack(vid int, n int) (*ipstack.Stack, *topology.Device, error) {
+	leaf := f.Topo.LeafByVID(vid)
+	if leaf == nil {
+		return nil, nil, fmt.Errorf("harness: no leaf with VID %d", vid)
+	}
+	count := 0
+	for _, srv := range f.Topo.Servers {
+		if srv.Ports[1].Peer.Device == leaf {
+			count++
+			if count == n {
+				return f.Stacks[srv.Name], srv, nil
+			}
+		}
+	}
+	return nil, nil, fmt.Errorf("harness: leaf %s has no server #%d", leaf.Name, n)
+}

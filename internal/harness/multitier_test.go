@@ -1,0 +1,181 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netaddr"
+	"repro/internal/topology"
+	"repro/internal/udp"
+)
+
+// fourTier is a 2-zone, 2-pods-per-zone, four-tier fabric: 8 leaves,
+// 8 pod spines, 8 zone spines, 8 super spines = 32 routers.
+func fourTier() topology.MultiTierSpec {
+	return topology.MultiTierSpec{
+		Zones: 2, PodsPerZone: 2, LeavesPerPod: 2,
+		SpinesPerPod: 2, UplinksPerSpine: 2, UplinksPerZone: 2,
+		ServersPerLeaf: 1,
+	}
+}
+
+func buildMultiTier(t *testing.T, proto Protocol) *Fabric {
+	t.Helper()
+	opts := DefaultOptions(topology.Spec{}, proto, 42)
+	mt := fourTier()
+	opts.MultiTier = &mt
+	f, err := Build(opts)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := f.WarmUp(WarmupTime); err != nil {
+		t.Fatalf("WarmUp: %v", err)
+	}
+	return f
+}
+
+func TestMultiTierTopologyShape(t *testing.T) {
+	topo, err := topology.BuildMultiTier(fourTier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(topo.Routers()); got != 32 {
+		t.Errorf("routers = %d, want 32", got)
+	}
+	if got := len(topo.Aggs); got != 8 {
+		t.Errorf("zone spines = %d, want 8", got)
+	}
+	// Plane wiring spot checks: pod spine S-1-1-1 uplinks to A-1-1, A-1-3;
+	// zone spine A-1-1 uplinks to T-1, T-5.
+	sp := topo.Device("S-1-1-1")
+	if sp.Ports[1].Peer.Device.Name != "A-1-1" || sp.Ports[2].Peer.Device.Name != "A-1-3" {
+		t.Errorf("S-1-1-1 uplinks: %s, %s", sp.Ports[1].Peer.Device.Name, sp.Ports[2].Peer.Device.Name)
+	}
+	agg := topo.Device("A-1-1")
+	if agg.Ports[1].Peer.Device.Name != "T-1" || agg.Ports[2].Peer.Device.Name != "T-5" {
+		t.Errorf("A-1-1 uplinks: %s, %s", agg.Ports[1].Peer.Device.Name, agg.Ports[2].Peer.Device.Name)
+	}
+	// Level sequence along a path: 1,2,3,4.
+	leaf := topo.Device("L-1-1-1")
+	if leaf.Level != 1 || sp.Level != 2 || agg.Level != 3 || topo.Device("T-1").Level != 4 {
+		t.Error("levels wrong along the column")
+	}
+}
+
+func TestMultiTierSpecValidation(t *testing.T) {
+	bad := fourTier()
+	bad.Zones = 1
+	if _, err := topology.BuildMultiTier(bad); err == nil {
+		t.Error("single-zone multi-tier accepted")
+	}
+	bad = fourTier()
+	bad.UplinksPerZone = 0
+	if _, err := topology.BuildMultiTier(bad); err == nil {
+		t.Error("zero zone uplinks accepted")
+	}
+}
+
+func TestMultiTierMRMTPConverges(t *testing.T) {
+	f := buildMultiTier(t, ProtoMRMTP)
+	if err := f.CheckConverged(); err != nil {
+		t.Fatal(err)
+	}
+	// VIDs at the super spines are four elements deep: root.port.port.port
+	// — the paper's "scale to any number of spine tiers" claim in action.
+	vids := f.Routers["T-1"].VIDs()
+	if len(vids) != 8 {
+		t.Fatalf("T-1 holds %d VIDs, want one per leaf (8): %v", len(vids), vids)
+	}
+	for _, v := range vids {
+		if got := strings.Count(v, ".") + 1; got != 4 {
+			t.Errorf("VID %s has %d elements, want 4 in a 4-tier fabric", v, got)
+		}
+	}
+}
+
+func TestMultiTierMRMTPCrossZoneTraffic(t *testing.T) {
+	f := buildMultiTier(t, ProtoMRMTP)
+	// VID 11 is in zone 1; VID 18 (the last leaf) is in zone 2.
+	src, srcDev, err := f.ServerStack(11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, dstDev, err := f.ServerStack(18, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	dst.ListenUDP(7, func(_, _ netaddr.IPv4, dg udp.Datagram) { got++ })
+	for i := 0; i < 10; i++ {
+		src.SendUDP(srcDev.IP, dstDev.IP, 9500+uint16(i), 7, []byte("cross-zone"))
+	}
+	f.Sim.RunFor(100 * time.Millisecond)
+	if got != 10 {
+		t.Fatalf("delivered %d/10 across zones", got)
+	}
+}
+
+func TestMultiTierBGPConverges(t *testing.T) {
+	f := buildMultiTier(t, ProtoBGP)
+	if err := f.CheckConverged(); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-zone data path.
+	src, srcDev, _ := f.ServerStack(11, 1)
+	dst, dstDev, _ := f.ServerStack(18, 1)
+	var got int
+	dst.ListenUDP(7, func(_, _ netaddr.IPv4, dg udp.Datagram) { got++ })
+	for i := 0; i < 10; i++ {
+		src.SendUDP(srcDev.IP, dstDev.IP, 9600+uint16(i), 7, []byte("cross-zone"))
+	}
+	f.Sim.RunFor(100 * time.Millisecond)
+	if got != 10 {
+		t.Fatalf("BGP delivered %d/10 across zones", got)
+	}
+}
+
+func TestMultiTierFailureRecovery(t *testing.T) {
+	// Fail a zone spine's uplink (the 4-tier analogue of TC3) and verify
+	// MR-MTP reconverges with the same dead-timer characteristics.
+	f := buildMultiTier(t, ProtoMRMTP)
+	f.Log.Reset()
+	failAt := f.Sim.Now()
+	f.Sim.Node("A-1-1").Port(1).Fail() // A-1-1's uplink to T-1
+	f.Sim.RunFor(2 * time.Second)
+	a := f.Log.Analyze(failAt)
+	if a.Convergence > 150*time.Millisecond {
+		t.Errorf("4-tier convergence = %v, want <= dead timer + dissemination", a.Convergence)
+	}
+	// T-1 lost its zone-1 VIDs; cross-zone traffic to zone 1 must avoid
+	// it and still flow.
+	src, srcDev, _ := f.ServerStack(18, 1)
+	dst, dstDev, _ := f.ServerStack(11, 1)
+	var got int
+	dst.ListenUDP(7, func(_, _ netaddr.IPv4, dg udp.Datagram) { got++ })
+	for i := 0; i < 20; i++ {
+		src.SendUDP(srcDev.IP, dstDev.IP, 9700+uint16(i), 7, []byte("avoid-T-1"))
+	}
+	f.Sim.RunFor(100 * time.Millisecond)
+	if got != 20 {
+		t.Errorf("delivered %d/20 after zone-spine uplink failure", got)
+	}
+}
+
+func TestMultiTierListing2Config(t *testing.T) {
+	topo, err := topology.BuildMultiTier(fourTier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := topo.MRMTPConfig()
+	if len(cfg.Topology.Leaves) != 8 || len(cfg.Topology.Pods) != 4 {
+		t.Errorf("config: %d leaves, %d pods", len(cfg.Topology.Leaves), len(cfg.Topology.Pods))
+	}
+	blob, err := cfg.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topology.ParseConfig(blob); err != nil {
+		t.Errorf("multi-tier config does not round-trip: %v", err)
+	}
+}

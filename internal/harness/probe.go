@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/icmp"
+	"repro/internal/ipv4"
+	"repro/internal/netaddr"
+)
+
+// This file provides ping and traceroute across a running fabric — the
+// operator-facing reachability tools, and a crisp demonstration of the
+// architectural difference the paper's Fig. 1 draws: the BGP fabric is a
+// chain of IP routers (each hop answers traceroute), while the MR-MTP
+// fabric carries IP opaquely and appears as a single routed hop between
+// the rack gateways.
+
+// PingResult is one echo exchange.
+type PingResult struct {
+	OK  bool
+	RTT time.Duration
+}
+
+var probeID uint16 = 0x4d54 // "MT"
+
+// Ping sends one ICMP echo from the server behind srcVID to the server
+// behind dstVID, running the simulation up to timeout.
+func Ping(f *Fabric, srcVID, dstVID int, timeout time.Duration) (PingResult, error) {
+	src, srcDev, err := f.ServerStack(srcVID, 1)
+	if err != nil {
+		return PingResult{}, err
+	}
+	_, dstDev, err := f.ServerStack(dstVID, 1)
+	if err != nil {
+		return PingResult{}, err
+	}
+	probeID++
+	id := probeID
+	var res PingResult
+	start := f.Sim.Now()
+	src.ListenICMP(func(from netaddr.IPv4, m icmp.Message) {
+		if m.Type == icmp.TypeEchoReply && m.ID == id && !res.OK {
+			res.OK = true
+			res.RTT = f.Sim.Now() - start
+		}
+	})
+	src.SendICMP(srcDev.IP, dstDev.IP, icmp.EchoRequest(id, 1, []byte("mrmtp-ping")))
+	f.Sim.RunFor(timeout)
+	return res, nil
+}
+
+// Hop is one traceroute step.
+type Hop struct {
+	TTL     int
+	Addr    netaddr.IPv4
+	Reached bool // true when this hop is the destination itself
+}
+
+// Traceroute probes the path from the server behind srcVID to the server
+// behind dstVID, TTL by TTL (classic ICMP traceroute).
+func Traceroute(f *Fabric, srcVID, dstVID int, maxTTL int) ([]Hop, error) {
+	src, srcDev, err := f.ServerStack(srcVID, 1)
+	if err != nil {
+		return nil, err
+	}
+	_, dstDev, err := f.ServerStack(dstVID, 1)
+	if err != nil {
+		return nil, err
+	}
+	probeID++
+	id := probeID
+	type answer struct {
+		from    netaddr.IPv4
+		seq     uint16
+		reached bool
+	}
+	var answers []answer
+	src.ListenICMP(func(from netaddr.IPv4, m icmp.Message) {
+		switch m.Type {
+		case icmp.TypeEchoReply:
+			if m.ID == id {
+				answers = append(answers, answer{from: from, seq: m.Seq, reached: true})
+			}
+		case icmp.TypeTimeExceeded:
+			if qid, qseq, ok := icmp.QuotedEcho(m); ok && qid == id {
+				answers = append(answers, answer{from: from, seq: qseq})
+			}
+		}
+	})
+	var hops []Hop
+	for ttl := 1; ttl <= maxTTL; ttl++ {
+		probe := icmp.EchoRequest(id, uint16(ttl), []byte("trace"))
+		src.SendIPTTL(srcDev.IP, dstDev.IP, ipv4.ProtoICMP, byte(ttl), probe.Marshal())
+		f.Sim.RunFor(50 * time.Millisecond)
+		hop := Hop{TTL: ttl}
+		for _, a := range answers {
+			if int(a.seq) == ttl {
+				hop.Addr = a.from
+				hop.Reached = a.reached
+				break
+			}
+		}
+		hops = append(hops, hop)
+		if hop.Reached {
+			return hops, nil
+		}
+	}
+	return hops, nil
+}
+
+// RenderHops prints a traceroute in the familiar layout.
+func RenderHops(hops []Hop) string {
+	out := ""
+	for _, h := range hops {
+		addr := "*"
+		if !h.Addr.IsZero() {
+			addr = h.Addr.String()
+		}
+		mark := ""
+		if h.Reached {
+			mark = "  (destination)"
+		}
+		out += fmt.Sprintf("%2d  %s%s\n", h.TTL, addr, mark)
+	}
+	return out
+}

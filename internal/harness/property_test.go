@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+)
+
+func TestPropertyAnyFabricConvergesAndDelivers(t *testing.T) {
+	// Build pseudo-random fabric shapes and require, for both protocols:
+	// convergence, then all-pairs server reachability. This generalizes
+	// the paper's two fixed topologies to the whole family.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 6; trial++ {
+		spec := topology.Spec{
+			Pods:            rng.Intn(3) + 2, // 2..4
+			LeavesPerPod:    rng.Intn(2) + 1, // 1..2
+			SpinesPerPod:    rng.Intn(2) + 1, // 1..2
+			UplinksPerSpine: rng.Intn(2) + 1, // 1..2
+			ServersPerLeaf:  1,
+		}
+		for _, proto := range []Protocol{ProtoMRMTP, ProtoBGP} {
+			f, err := Build(DefaultOptions(spec, proto, int64(trial)+101))
+			if err != nil {
+				t.Fatalf("%+v %v: %v", spec, proto, err)
+			}
+			if err := f.WarmUp(WarmupTime); err != nil {
+				t.Fatalf("%+v %v: %v", spec, proto, err)
+			}
+			checkAllPairs(t, f)
+			if t.Failed() {
+				t.Fatalf("fabric %+v under %v failed all-pairs delivery", spec, proto)
+			}
+		}
+	}
+}
+
+func TestPropertyFailureNeverPartitionsRedundantFabric(t *testing.T) {
+	// With >= 2 spines per pod and >= 2 uplinks per spine, any single
+	// interface failure leaves every rack pair connected once the fabric
+	// reconverges — for both protocols.
+	spec := topology.FourPodSpec()
+	for _, proto := range []Protocol{ProtoMRMTP, ProtoBGP} {
+		for _, tc := range topology.AllFailureCases() {
+			f, err := Build(DefaultOptions(spec, proto, int64(tc)*31))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.WarmUp(WarmupTime); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Fail(tc); err != nil {
+				t.Fatal(err)
+			}
+			f.Sim.RunFor(SettleTime)
+			checkAllPairs(t, f)
+			if t.Failed() {
+				t.Fatalf("%v under %v partitioned the fabric", tc, proto)
+			}
+		}
+	}
+}
+
+func TestPropertyRandomDoubleFailuresMatchOracle(t *testing.T) {
+	// Two random simultaneous interface failures, then compare actual
+	// delivery per rack pair against a valley-free reachability oracle
+	// computed over the surviving links. (A Clos fabric can be *logically*
+	// partitioned by two failures even when physically connected —
+	// valley-free routing never transits a leaf — so the oracle, not
+	// blanket connectivity, is the correct specification for both
+	// protocols.)
+	rng := rand.New(rand.NewSource(7))
+	spec := topology.FourPodSpec()
+	for trial := 0; trial < 5; trial++ {
+		for _, proto := range []Protocol{ProtoMRMTP, ProtoBGP} {
+			f, err := Build(DefaultOptions(spec, proto, int64(trial)+500))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.WarmUp(WarmupTime); err != nil {
+				t.Fatal(err)
+			}
+			routers := f.Topo.Routers()
+			victims := map[string]int{}
+			for len(victims) < 2 {
+				d := routers[rng.Intn(len(routers))]
+				port := rng.Intn(len(d.Ports)-1) + 1
+				if d.Ports[port].Peer.Device.Tier == topology.TierServer {
+					continue
+				}
+				if _, dup := victims[d.Name]; dup {
+					continue
+				}
+				victims[d.Name] = port
+			}
+			for name, port := range victims {
+				f.Sim.Node(name).Port(port).Fail()
+			}
+			f.Sim.RunFor(5 * time.Second)
+			checkPairsAgainstOracle(t, f, victims)
+		}
+	}
+}
+
+// linkAlive reports whether the link between two devices survives (neither
+// end's port failed).
+func linkAlive(f *Fabric, a *topology.Device, b *topology.Device) bool {
+	for _, p := range a.Ports[1:] {
+		if p.Peer.Device == b {
+			return f.Sim.Node(a.Name).Port(p.Index).Up() &&
+				f.Sim.Node(b.Name).Port(p.Peer.Index).Up()
+		}
+	}
+	return false
+}
+
+// oracleReachable computes valley-free reachability between two leaves:
+// up through a pod spine (and top spine for cross-pod pairs), down the far
+// side, never transiting a leaf.
+func oracleReachable(f *Fabric, src, dst *topology.Device) bool {
+	for _, s := range f.Topo.Spines {
+		if s.Pod != src.Pod || !linkAlive(f, src, s) {
+			continue
+		}
+		if src.Pod == dst.Pod {
+			if linkAlive(f, s, dst) {
+				return true
+			}
+			// fall through: the up-over-top detour inside a pod also
+			// counts (hash may use it when the direct spine link died).
+		}
+		for _, top := range f.Topo.Tops {
+			if !linkAlive(f, s, top) {
+				continue
+			}
+			for _, d := range f.Topo.Spines {
+				if d.Pod != dst.Pod {
+					continue
+				}
+				if linkAlive(f, top, d) && linkAlive(f, d, dst) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkPairsAgainstOracle probes every ordered rack pair and compares
+// delivery with the valley-free oracle.
+func checkPairsAgainstOracle(t *testing.T, f *Fabric, victims map[string]int) {
+	t.Helper()
+	for _, src := range f.Topo.Leaves {
+		for _, dst := range f.Topo.Leaves {
+			if src == dst {
+				continue
+			}
+			want := oracleReachable(f, src, dst)
+			res, err := Ping(f, src.VID, dst.VID, 200*time.Millisecond)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.OK != want {
+				t.Errorf("%v: %s->%s delivered=%v oracle=%v (failures %v)",
+					f.Opts.Protocol, src.Name, dst.Name, res.OK, want, victims)
+			}
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package icmp
+
+import "testing"
+
+func FuzzUnmarshal(f *testing.F) {
+	req := EchoRequest(1, 2, []byte("ping"))
+	f.Add(req.Marshal())
+	te := TimeExceeded(make([]byte, 28))
+	f.Add(te.Marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Valid messages re-marshal to a checksum-valid form.
+		if _, err := Unmarshal(m.Marshal()); err != nil {
+			t.Fatalf("re-marshal broke validity: %v", err)
+		}
+		// QuotedEcho must never panic on arbitrary error payloads.
+		_, _, _ = QuotedEcho(m)
+	})
+}

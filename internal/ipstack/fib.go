@@ -1,0 +1,163 @@
+// Package ipstack is the host/router IP stack of the BGP baseline: Ethernet
+// demux, ARP resolution, IPv4 forwarding with an ECMP-capable FIB, and
+// UDP/TCP delivery. It plays the role of the Linux kernel networking that
+// the paper's FRR routers sat on, including the behaviour the experiments
+// depend on: when a local interface dies, next hops through it become
+// unusable immediately (the kernel's dead-nexthop handling), which is why
+// BGP packet loss is small when the failure is adjacent to the traffic
+// source (Fig. 7, TC1/TC3).
+package ipstack
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/flowhash"
+	"repro/internal/netaddr"
+)
+
+// Route protocol tags, mirroring `ip route` output (Listing 3).
+const (
+	ProtoKernel = "kernel"
+	ProtoBGP    = "bgp"
+	ProtoStatic = "static"
+)
+
+// NextHop is one way out of the router for a route.
+type NextHop struct {
+	Via   netaddr.IPv4 // gateway; zero for directly connected routes
+	Iface *Iface
+}
+
+// Route is a FIB entry. Multiple next hops form an ECMP group.
+type Route struct {
+	Prefix   netaddr.Prefix
+	NextHops []NextHop
+	Proto    string
+	Metric   int
+}
+
+// FIB is a longest-prefix-match forwarding table.
+type FIB struct {
+	routes []Route
+}
+
+// Replace installs a route, replacing any same-prefix route from the same
+// protocol.
+func (f *FIB) Replace(r Route) {
+	for i := range f.routes {
+		if f.routes[i].Prefix == r.Prefix && f.routes[i].Proto == r.Proto {
+			f.routes[i] = r
+			return
+		}
+	}
+	f.routes = append(f.routes, r)
+}
+
+// Remove deletes the route for prefix installed by proto. It reports
+// whether a route was removed.
+func (f *FIB) Remove(prefix netaddr.Prefix, proto string) bool {
+	for i := range f.routes {
+		if f.routes[i].Prefix == prefix && f.routes[i].Proto == proto {
+			f.routes = append(f.routes[:i], f.routes[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Get returns the route for an exact prefix+proto, or nil.
+func (f *FIB) Get(prefix netaddr.Prefix, proto string) *Route {
+	for i := range f.routes {
+		if f.routes[i].Prefix == prefix && f.routes[i].Proto == proto {
+			return &f.routes[i]
+		}
+	}
+	return nil
+}
+
+// Len returns the number of routes: the "routing table size" metric of the
+// paper's §VII.H comparison.
+func (f *FIB) Len() int { return len(f.routes) }
+
+// Lookup performs longest-prefix-match for dst, preferring more-specific
+// prefixes, then lower metrics. Next hops whose interface is down are
+// filtered out (kernel dead-nexthop behaviour); a route with no usable next
+// hops is skipped entirely.
+func (f *FIB) Lookup(dst netaddr.IPv4) (Route, bool) {
+	best := -1
+	for i, r := range f.routes {
+		if !r.Prefix.Contains(dst) {
+			continue
+		}
+		if !r.usable() {
+			continue
+		}
+		if best < 0 ||
+			r.Prefix.Bits > f.routes[best].Prefix.Bits ||
+			(r.Prefix.Bits == f.routes[best].Prefix.Bits && r.Metric < f.routes[best].Metric) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Route{}, false
+	}
+	r := f.routes[best]
+	live := make([]NextHop, 0, len(r.NextHops))
+	for _, nh := range r.NextHops {
+		if nh.Iface.Usable() {
+			live = append(live, nh)
+		}
+	}
+	r.NextHops = live
+	return r, true
+}
+
+func (r Route) usable() bool {
+	for _, nh := range r.NextHops {
+		if nh.Iface.Usable() {
+			return true
+		}
+	}
+	return false
+}
+
+// FlowKey is the 5-tuple ECMP hashes on. It is shared with MR-MTP's uplink
+// load balancing (paper §III.C mentions "a hash algorithm to load balance
+// traffic from a downstream router to upstream routers") via flowhash.
+type FlowKey = flowhash.Key
+
+// Pick selects a next hop for the flow from an ECMP group.
+func (r Route) Pick(k FlowKey) NextHop {
+	return r.NextHops[int(k.Hash())%len(r.NextHops)]
+}
+
+// Render prints the FIB in `ip route` style, matching the paper's
+// Listing 3 (kernel routing table at a tier-2 spine).
+func (f *FIB) Render() string {
+	routes := append([]Route(nil), f.routes...)
+	sort.Slice(routes, func(i, j int) bool {
+		if routes[i].Prefix.IP != routes[j].Prefix.IP {
+			return routes[i].Prefix.IP.Uint32() < routes[j].Prefix.IP.Uint32()
+		}
+		return routes[i].Prefix.Bits < routes[j].Prefix.Bits
+	})
+	var b strings.Builder
+	for _, r := range routes {
+		switch {
+		case r.Proto == ProtoKernel:
+			fmt.Fprintf(&b, "%s dev eth%d proto kernel scope link src %s\n",
+				r.Prefix, r.NextHops[0].Iface.Port.Index, r.NextHops[0].Iface.IP)
+		case len(r.NextHops) == 1:
+			fmt.Fprintf(&b, "%s via %s dev eth%d proto %s metric %d\n",
+				r.Prefix, r.NextHops[0].Via, r.NextHops[0].Iface.Port.Index, r.Proto, r.Metric)
+		default:
+			fmt.Fprintf(&b, "%s proto %s metric %d\n", r.Prefix, r.Proto, r.Metric)
+			for _, nh := range r.NextHops {
+				fmt.Fprintf(&b, "\tnexthop via %s dev eth%d weight 1\n", nh.Via, nh.Iface.Port.Index)
+			}
+		}
+	}
+	return b.String()
+}

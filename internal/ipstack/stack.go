@@ -1,0 +1,375 @@
+package ipstack
+
+import (
+	"fmt"
+
+	"repro/internal/arp"
+	"repro/internal/ethernet"
+	"repro/internal/icmp"
+	"repro/internal/ipv4"
+	"repro/internal/netaddr"
+	"repro/internal/simnet"
+	"repro/internal/tcp"
+	"repro/internal/udp"
+)
+
+// Iface is one configured IP interface.
+type Iface struct {
+	Port   *simnet.Port
+	IP     netaddr.IPv4
+	Subnet netaddr.Prefix
+}
+
+// Usable reports whether the interface can carry traffic.
+func (i *Iface) Usable() bool { return i.Port.Up() }
+
+// Stats counts stack-level events for the experiments.
+type Stats struct {
+	IPDelivered  uint64
+	IPForwarded  uint64
+	NoRoute      uint64
+	TTLExpired   uint64
+	ARPRequests  uint64
+	ARPReplies   uint64
+	BlackholedTx uint64 // packets that died because the chosen port was down
+}
+
+// UDPHandler receives a delivered datagram.
+type UDPHandler func(src, dst netaddr.IPv4, dg udp.Datagram)
+
+// ICMPHandler receives a delivered (non-echo-request) ICMP message.
+type ICMPHandler func(src netaddr.IPv4, m icmp.Message)
+
+// Stack is the per-node IP stack. It implements simnet.Handler.
+type Stack struct {
+	Node *simnet.Node
+	FIB  FIB
+	TCP  *tcp.Endpoint
+
+	ifaces   map[int]*Iface // by port index
+	localIPs map[netaddr.IPv4]*Iface
+
+	arpTable   map[netaddr.IPv4]arpEntry
+	arpPending map[netaddr.IPv4][][]byte // queued IP packets awaiting resolution
+
+	udpHandlers  map[uint16]UDPHandler
+	icmpHandlers []ICMPHandler
+
+	// OnPortDown/OnPortUp forward local carrier events to the routing
+	// daemons (BGP reacts to them like FRR reacts to netlink link state).
+	OnPortDown func(p *simnet.Port)
+	OnPortUp   func(p *simnet.Port)
+
+	// OnStart is invoked when the simulation starts (daemons begin
+	// dialing peers here).
+	OnStart func()
+
+	Stats Stats
+	ipID  uint16
+}
+
+// arpEntry records a resolved neighbor and the interface it answered on —
+// necessary when several interfaces share a subnet (a multi-server rack).
+type arpEntry struct {
+	mac netaddr.MAC
+	ifc *Iface
+}
+
+// New attaches a fresh stack to the node as its handler.
+func New(node *simnet.Node) *Stack {
+	s := &Stack{
+		Node:        node,
+		ifaces:      make(map[int]*Iface),
+		localIPs:    make(map[netaddr.IPv4]*Iface),
+		arpTable:    make(map[netaddr.IPv4]arpEntry),
+		arpPending:  make(map[netaddr.IPv4][][]byte),
+		udpHandlers: make(map[uint16]UDPHandler),
+	}
+	s.TCP = tcp.NewEndpoint(node.Sim, s.sendTCPSegment)
+	node.Handler = s
+	return s
+}
+
+// AddIface configures an IP address on a port.
+func (s *Stack) AddIface(port *simnet.Port, ip netaddr.IPv4, subnet netaddr.Prefix) *Iface {
+	ifc := &Iface{Port: port, IP: ip, Subnet: subnet}
+	s.ifaces[port.Index] = ifc
+	s.localIPs[ip] = ifc
+	// Connected route, like the kernel installs on address assignment.
+	s.FIB.Replace(Route{Prefix: subnet, NextHops: []NextHop{{Iface: ifc}}, Proto: ProtoKernel})
+	return ifc
+}
+
+// Iface returns the interface on a port index, or nil.
+func (s *Stack) Iface(index int) *Iface { return s.ifaces[index] }
+
+// Ifaces returns all interfaces keyed by port index.
+func (s *Stack) Ifaces() map[int]*Iface { return s.ifaces }
+
+// IsLocal reports whether ip is one of the stack's addresses.
+func (s *Stack) IsLocal(ip netaddr.IPv4) bool { return s.localIPs[ip] != nil }
+
+// AddDefaultRoute points 0.0.0.0/0 at a gateway (used by servers).
+func (s *Stack) AddDefaultRoute(via netaddr.IPv4, ifc *Iface) {
+	s.FIB.Replace(Route{
+		Prefix:   netaddr.Prefix{},
+		NextHops: []NextHop{{Via: via, Iface: ifc}},
+		Proto:    ProtoStatic, Metric: 100,
+	})
+}
+
+// ListenUDP registers a datagram handler on a local port.
+func (s *Stack) ListenUDP(port uint16, h UDPHandler) { s.udpHandlers[port] = h }
+
+// ListenICMP registers a handler for delivered ICMP messages (echo
+// requests are answered by the stack itself and not dispatched).
+func (s *Stack) ListenICMP(h ICMPHandler) { s.icmpHandlers = append(s.icmpHandlers, h) }
+
+// SendICMP emits an ICMP message from a local address.
+func (s *Stack) SendICMP(src, dst netaddr.IPv4, m icmp.Message) {
+	s.sendIP(src, dst, ipv4.ProtoICMP, m.Marshal())
+}
+
+// SendUDP emits a datagram from a local address.
+func (s *Stack) SendUDP(src, dst netaddr.IPv4, srcPort, dstPort uint16, payload []byte) {
+	dg := udp.Datagram{SrcPort: srcPort, DstPort: dstPort, Payload: payload}
+	s.sendIP(src, dst, ipv4.ProtoUDP, dg.Marshal(src, dst))
+}
+
+// Start implements simnet.Handler.
+func (s *Stack) Start() {
+	if s.OnStart != nil {
+		s.OnStart()
+	}
+}
+
+// PortDown implements simnet.Handler: local carrier loss.
+func (s *Stack) PortDown(p *simnet.Port) {
+	if s.OnPortDown != nil {
+		s.OnPortDown(p)
+	}
+}
+
+// PortUp implements simnet.Handler.
+func (s *Stack) PortUp(p *simnet.Port) {
+	if s.OnPortUp != nil {
+		s.OnPortUp(p)
+	}
+}
+
+// HandleFrame implements simnet.Handler.
+func (s *Stack) HandleFrame(p *simnet.Port, frame []byte) {
+	f, err := ethernet.Unmarshal(frame)
+	if err != nil {
+		return
+	}
+	if f.Dst != p.MAC && !f.Dst.IsBroadcast() {
+		return // not for us
+	}
+	switch f.EtherType {
+	case ethernet.TypeARP:
+		s.handleARP(p, f)
+	case ethernet.TypeIPv4:
+		s.handleIPv4(p, f.Payload)
+	}
+}
+
+func (s *Stack) handleARP(p *simnet.Port, f ethernet.Frame) {
+	pkt, err := arp.Unmarshal(f.Payload)
+	if err != nil {
+		return
+	}
+	ifc := s.ifaces[p.Index]
+	if ifc == nil {
+		return
+	}
+	// Learn the sender either way (gratuitous and request learning).
+	s.arpTable[pkt.SenderIP] = arpEntry{mac: pkt.SenderMAC, ifc: ifc}
+	s.flushARPPending(pkt.SenderIP)
+	if pkt.Op != arp.OpRequest {
+		return
+	}
+	answer := pkt.TargetIP == ifc.IP
+	if !answer && !s.IsLocal(pkt.TargetIP) && pkt.TargetIP != pkt.SenderIP {
+		// Proxy-ARP: answer for a target we route toward a *different*
+		// interface, so hosts on separate ports of a shared subnet (a
+		// multi-server rack behind an L3 ToR) can reach each other
+		// through us.
+		if r, ok := s.FIB.Lookup(pkt.TargetIP); ok && len(r.NextHops) > 0 && r.NextHops[0].Iface != ifc {
+			answer = true
+		}
+	}
+	if answer {
+		s.Stats.ARPReplies++
+		reply := arp.Packet{
+			Op:        arp.OpReply,
+			SenderMAC: p.MAC, SenderIP: pkt.TargetIP,
+			TargetMAC: pkt.SenderMAC, TargetIP: pkt.SenderIP,
+		}
+		out := ethernet.Frame{Dst: pkt.SenderMAC, Src: p.MAC, EtherType: ethernet.TypeARP, Payload: reply.Marshal()}
+		p.Send(out.Marshal())
+	}
+}
+
+func (s *Stack) handleIPv4(p *simnet.Port, payload []byte) {
+	pkt, err := ipv4.Unmarshal(payload)
+	if err != nil {
+		return
+	}
+	if s.IsLocal(pkt.Header.Dst) {
+		s.deliver(pkt)
+		return
+	}
+	// Forward: decrement TTL in place and route on.
+	buf := append([]byte(nil), payload...)
+	if err := ipv4.Forward(buf); err != nil {
+		s.Stats.TTLExpired++
+		// Tell the source, like a router does (traceroute depends on
+		// this); the reply originates from the receiving interface.
+		if ifc := s.ifaces[p.Index]; ifc != nil && !pkt.Header.Src.IsZero() {
+			s.SendICMP(ifc.IP, pkt.Header.Src, icmp.TimeExceeded(payload))
+		}
+		return
+	}
+	s.Stats.IPForwarded++
+	s.routeOut(pkt.Header, buf)
+}
+
+func (s *Stack) deliver(pkt ipv4.Packet) {
+	s.Stats.IPDelivered++
+	switch pkt.Header.Protocol {
+	case ipv4.ProtoTCP:
+		s.TCP.Input(pkt.Header.Src, pkt.Header.Dst, pkt.Payload)
+	case ipv4.ProtoUDP:
+		dg, err := udp.Unmarshal(pkt.Header.Src, pkt.Header.Dst, pkt.Payload)
+		if err != nil {
+			return
+		}
+		if h := s.udpHandlers[dg.DstPort]; h != nil {
+			h(pkt.Header.Src, pkt.Header.Dst, dg)
+		}
+	case ipv4.ProtoICMP:
+		m, err := icmp.Unmarshal(pkt.Payload)
+		if err != nil {
+			return
+		}
+		if m.Type == icmp.TypeEchoRequest {
+			s.SendICMP(pkt.Header.Dst, pkt.Header.Src, icmp.EchoReplyTo(m))
+			return
+		}
+		for _, h := range s.icmpHandlers {
+			h(pkt.Header.Src, m)
+		}
+	}
+}
+
+// sendTCPSegment is the TCP endpoint's output path.
+func (s *Stack) sendTCPSegment(src, dst netaddr.IPv4, segment []byte) {
+	s.sendIP(src, dst, ipv4.ProtoTCP, segment)
+}
+
+// SendIP emits a locally originated IP packet.
+func (s *Stack) SendIP(src, dst netaddr.IPv4, proto byte, payload []byte) {
+	s.SendIPTTL(src, dst, proto, ipv4.DefaultTTL, payload)
+}
+
+// SendIPTTL emits a locally originated IP packet with an explicit TTL
+// (traceroute probes).
+func (s *Stack) SendIPTTL(src, dst netaddr.IPv4, proto, ttl byte, payload []byte) {
+	s.ipID++
+	pkt := ipv4.Packet{
+		Header:  ipv4.Header{ID: s.ipID, TTL: ttl, Protocol: proto, Src: src, Dst: dst},
+		Payload: payload,
+	}
+	s.routeOut(pkt.Header, pkt.Marshal())
+}
+
+func (s *Stack) sendIP(src, dst netaddr.IPv4, proto byte, payload []byte) {
+	s.SendIPTTL(src, dst, proto, ipv4.DefaultTTL, payload)
+}
+
+// routeOut forwards a wire-format IP packet (header h describes it).
+func (s *Stack) routeOut(h ipv4.Header, wire []byte) {
+	r, ok := s.FIB.Lookup(h.Dst)
+	if !ok {
+		s.Stats.NoRoute++
+		return
+	}
+	nh := r.NextHops[0]
+	if len(r.NextHops) > 1 {
+		nh = r.Pick(flowKeyOf(h, wire))
+	}
+	gw := nh.Via
+	if gw.IsZero() {
+		gw = h.Dst // directly connected: resolve the final destination
+	}
+	s.transmit(nh.Iface, gw, wire)
+}
+
+// flowKeyOf extracts the ECMP 5-tuple. Port numbers live at the same offset
+// in TCP and UDP headers.
+func flowKeyOf(h ipv4.Header, wire []byte) FlowKey {
+	k := FlowKey{Src: h.Src, Dst: h.Dst, Proto: h.Protocol}
+	tl := wire[ipv4.HeaderLen:]
+	if (h.Protocol == ipv4.ProtoTCP || h.Protocol == ipv4.ProtoUDP) && len(tl) >= 4 {
+		k.SrcPort = uint16(tl[0])<<8 | uint16(tl[1])
+		k.DstPort = uint16(tl[2])<<8 | uint16(tl[3])
+	}
+	return k
+}
+
+func (s *Stack) transmit(ifc *Iface, nextHop netaddr.IPv4, wire []byte) {
+	e, ok := s.arpTable[nextHop]
+	if !ok {
+		// Queue behind an ARP request on every interface whose subnet
+		// covers the target (a rack subnet can span several ports).
+		s.arpPending[nextHop] = append(s.arpPending[nextHop], wire)
+		asked := false
+		for _, cand := range s.ifaces {
+			if cand.Subnet.Contains(nextHop) && cand.Usable() {
+				s.sendARPRequest(cand, nextHop)
+				asked = true
+			}
+		}
+		if !asked && ifc.Usable() {
+			s.sendARPRequest(ifc, nextHop)
+		}
+		return
+	}
+	out := e.ifc
+	if out == nil || !out.Usable() {
+		out = ifc
+	}
+	if !out.Usable() {
+		s.Stats.BlackholedTx++
+		return
+	}
+	f := ethernet.Frame{Dst: e.mac, Src: out.Port.MAC, EtherType: ethernet.TypeIPv4, Payload: wire}
+	out.Port.Send(f.Marshal())
+}
+
+func (s *Stack) sendARPRequest(ifc *Iface, target netaddr.IPv4) {
+	s.Stats.ARPRequests++
+	req := arp.Packet{Op: arp.OpRequest, SenderMAC: ifc.Port.MAC, SenderIP: ifc.IP, TargetIP: target}
+	f := ethernet.Frame{Dst: netaddr.Broadcast, Src: ifc.Port.MAC, EtherType: ethernet.TypeARP, Payload: req.Marshal()}
+	ifc.Port.Send(f.Marshal())
+}
+
+func (s *Stack) flushARPPending(ip netaddr.IPv4) {
+	pending := s.arpPending[ip]
+	if pending == nil {
+		return
+	}
+	delete(s.arpPending, ip)
+	e := s.arpTable[ip]
+	if e.ifc == nil || !e.ifc.Usable() {
+		return
+	}
+	for _, wire := range pending {
+		f := ethernet.Frame{Dst: e.mac, Src: e.ifc.Port.MAC, EtherType: ethernet.TypeIPv4, Payload: wire}
+		e.ifc.Port.Send(f.Marshal())
+	}
+}
+
+// String identifies the stack in logs.
+func (s *Stack) String() string { return fmt.Sprintf("ipstack(%s)", s.Node.Name) }

@@ -1,0 +1,23 @@
+package ipv4
+
+import "testing"
+
+func FuzzUnmarshal(f *testing.F) {
+	p := Packet{Header: Header{TTL: 64, Protocol: ProtoUDP}, Payload: []byte("payload")}
+	f.Add(p.Marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pkt, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// A valid packet must survive Forward (TTL permitting) with its
+		// checksum intact.
+		buf := append([]byte(nil), data...)
+		if err := Forward(buf); err == nil {
+			if _, err := Unmarshal(buf); err != nil {
+				t.Fatalf("Forward broke the checksum: %v", err)
+			}
+		}
+		_ = pkt
+	})
+}

@@ -1,0 +1,156 @@
+// Package ipv4 implements the IPv4 header used by the BGP/ECMP/BFD stack
+// and by server traffic entering the fabric.
+//
+// MR-MTP itself never parses past the ToR: the fabric carries server IP
+// packets opaquely inside MR-MTP encapsulation (paper §III.D), so only the
+// ToRs and servers need this package in the MR-MTP configurations, while
+// every BGP router forwards with it.
+package ipv4
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/netaddr"
+)
+
+// HeaderLen is the size of an option-less IPv4 header.
+const HeaderLen = 20
+
+// IP protocol numbers used in the reproduction.
+const (
+	ProtoICMP byte = 1
+	ProtoTCP  byte = 6
+	ProtoUDP  byte = 17
+)
+
+// DefaultTTL matches the Linux default.
+const DefaultTTL = 64
+
+// Header is an option-less IPv4 header.
+type Header struct {
+	TOS      byte
+	ID       uint16
+	TTL      byte
+	Protocol byte
+	Src, Dst netaddr.IPv4
+	// TotalLen is filled in by Marshal from the payload length and
+	// verified by Unmarshal.
+	TotalLen uint16
+}
+
+// Packet couples a header with its payload.
+type Packet struct {
+	Header  Header
+	Payload []byte
+}
+
+var (
+	// ErrTruncated reports a buffer shorter than the header claims.
+	ErrTruncated = errors.New("ipv4: truncated packet")
+	// ErrBadVersion reports a non-IPv4 version nibble.
+	ErrBadVersion = errors.New("ipv4: bad version")
+	// ErrBadChecksum reports a header checksum mismatch.
+	ErrBadChecksum = errors.New("ipv4: bad header checksum")
+	// ErrTTLExceeded is returned by Forward when the TTL hits zero.
+	ErrTTLExceeded = errors.New("ipv4: TTL exceeded")
+)
+
+// Checksum computes the RFC 1071 internet checksum over b.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// Marshal renders the packet to wire format, computing TotalLen and the
+// header checksum.
+func (p *Packet) Marshal() []byte {
+	b := make([]byte, HeaderLen+len(p.Payload))
+	h := &p.Header
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = h.TOS
+	total := uint16(HeaderLen + len(p.Payload))
+	b[2] = byte(total >> 8)
+	b[3] = byte(total)
+	b[4] = byte(h.ID >> 8)
+	b[5] = byte(h.ID)
+	// flags/fragment offset zero: the simulated fabric never fragments.
+	ttl := h.TTL
+	if ttl == 0 {
+		ttl = DefaultTTL
+	}
+	b[8] = ttl
+	b[9] = h.Protocol
+	copy(b[12:16], h.Src[:])
+	copy(b[16:20], h.Dst[:])
+	ck := Checksum(b[:HeaderLen])
+	b[10] = byte(ck >> 8)
+	b[11] = byte(ck)
+	copy(b[HeaderLen:], p.Payload)
+	return b
+}
+
+// Unmarshal parses and validates a wire-format packet. The payload aliases b.
+func Unmarshal(b []byte) (Packet, error) {
+	if len(b) < HeaderLen {
+		return Packet{}, ErrTruncated
+	}
+	if b[0]>>4 != 4 {
+		return Packet{}, ErrBadVersion
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < HeaderLen || len(b) < ihl {
+		return Packet{}, ErrTruncated
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return Packet{}, ErrBadChecksum
+	}
+	var p Packet
+	h := &p.Header
+	h.TOS = b[1]
+	h.TotalLen = uint16(b[2])<<8 | uint16(b[3])
+	if int(h.TotalLen) > len(b) || int(h.TotalLen) < ihl {
+		return Packet{}, ErrTruncated
+	}
+	h.ID = uint16(b[4])<<8 | uint16(b[5])
+	h.TTL = b[8]
+	h.Protocol = b[9]
+	copy(h.Src[:], b[12:16])
+	copy(h.Dst[:], b[16:20])
+	p.Payload = b[ihl:h.TotalLen]
+	return p, nil
+}
+
+// Forward decrements the TTL in a wire-format packet in place, fixing up the
+// checksum incrementally (RFC 1141). It returns ErrTTLExceeded when the
+// packet must be dropped.
+func Forward(b []byte) error {
+	if len(b) < HeaderLen {
+		return ErrTruncated
+	}
+	if b[8] <= 1 {
+		return ErrTTLExceeded
+	}
+	b[8]--
+	// Incremental checksum update: TTL lives in the high byte of word 4.
+	sum := uint32(b[10])<<8 | uint32(b[11])
+	sum += 0x0100 // adding 1 to the one's-complement sum == subtracting 0x0100 from the field
+	sum = (sum & 0xffff) + (sum >> 16)
+	b[10] = byte(sum >> 8)
+	b[11] = byte(sum)
+	return nil
+}
+
+// String renders a short summary of the header.
+func (h Header) String() string {
+	return fmt.Sprintf("%s > %s proto=%d ttl=%d", h.Src, h.Dst, h.Protocol, h.TTL)
+}

@@ -1,0 +1,129 @@
+package ipv4
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netaddr"
+)
+
+func TestRoundTrip(t *testing.T) {
+	f := func(tos byte, id uint16, ttl, proto byte, src, dst netaddr.IPv4, payload []byte) bool {
+		if ttl == 0 {
+			ttl = DefaultTTL
+		}
+		in := Packet{Header: Header{TOS: tos, ID: id, TTL: ttl, Protocol: proto, Src: src, Dst: dst}, Payload: payload}
+		out, err := Unmarshal(in.Marshal())
+		if err != nil {
+			return false
+		}
+		h := out.Header
+		return h.TOS == tos && h.ID == id && h.TTL == ttl && h.Protocol == proto &&
+			h.Src == src && h.Dst == dst && bytes.Equal(out.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChecksumValidates(t *testing.T) {
+	p := Packet{Header: Header{Protocol: ProtoUDP, Src: netaddr.MakeIPv4(10, 0, 0, 1), Dst: netaddr.MakeIPv4(10, 0, 0, 2)}}
+	b := p.Marshal()
+	if Checksum(b[:HeaderLen]) != 0 {
+		t.Error("checksum over marshalled header is not zero")
+	}
+	b[16] ^= 0xff // corrupt destination
+	if _, err := Unmarshal(b); err != ErrBadChecksum {
+		t.Errorf("corrupted packet err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// Classic example from RFC 1071 materials.
+	b := []byte{0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11,
+		0x00, 0x00, 0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7}
+	if got := Checksum(b); got != 0xb861 {
+		t.Errorf("Checksum = %#04x, want 0xb861", got)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// Odd-length buffers are padded with a zero byte.
+	if Checksum([]byte{0x01}) != Checksum([]byte{0x01, 0x00}) {
+		t.Error("odd-length checksum disagrees with zero-padded even length")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 10)); err != ErrTruncated {
+		t.Errorf("short buffer err = %v, want ErrTruncated", err)
+	}
+	b := (&Packet{Header: Header{TTL: 64}}).Marshal()
+	b[0] = 0x65 // version 6
+	if _, err := Unmarshal(b); err != ErrBadVersion {
+		t.Errorf("bad version err = %v, want ErrBadVersion", err)
+	}
+	b = (&Packet{Header: Header{TTL: 64}, Payload: []byte("abcdef")}).Marshal()
+	if _, err := Unmarshal(b[:len(b)-3]); err != ErrTruncated {
+		t.Errorf("truncated payload err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestForwardDecrementsTTLAndKeepsChecksumValid(t *testing.T) {
+	f := func(ttl byte, id uint16, src, dst netaddr.IPv4) bool {
+		if ttl < 2 {
+			ttl = 2
+		}
+		p := Packet{Header: Header{TTL: ttl, ID: id, Protocol: ProtoTCP, Src: src, Dst: dst}}
+		b := p.Marshal()
+		if err := Forward(b); err != nil {
+			return false
+		}
+		out, err := Unmarshal(b) // re-validates the checksum
+		return err == nil && out.Header.TTL == ttl-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForwardManyHops(t *testing.T) {
+	p := Packet{Header: Header{TTL: 64, Src: netaddr.MakeIPv4(192, 168, 11, 1), Dst: netaddr.MakeIPv4(192, 168, 14, 1)}}
+	b := p.Marshal()
+	for hop := 0; hop < 63; hop++ {
+		if err := Forward(b); err != nil {
+			t.Fatalf("hop %d: %v", hop, err)
+		}
+		if _, err := Unmarshal(b); err != nil {
+			t.Fatalf("hop %d: checksum broke: %v", hop, err)
+		}
+	}
+	if err := Forward(b); err != ErrTTLExceeded {
+		t.Errorf("TTL=1 Forward err = %v, want ErrTTLExceeded", err)
+	}
+}
+
+func TestForwardTruncated(t *testing.T) {
+	if err := Forward(make([]byte, 5)); err != ErrTruncated {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestHeaderString(t *testing.T) {
+	h := Header{Src: netaddr.MakeIPv4(10, 0, 0, 1), Dst: netaddr.MakeIPv4(10, 0, 0, 2), Protocol: 6, TTL: 64}
+	if got, want := h.String(), "10.0.0.1 > 10.0.0.2 proto=6 ttl=64"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestMarshalDefaultTTL(t *testing.T) {
+	p := Packet{Header: Header{Protocol: ProtoUDP}}
+	out, err := Unmarshal(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Header.TTL != DefaultTTL {
+		t.Errorf("TTL = %d, want default %d", out.Header.TTL, DefaultTTL)
+	}
+}

@@ -1,0 +1,99 @@
+package mrmtp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/flowhash"
+	"repro/internal/ipv4"
+	"repro/internal/simnet"
+)
+
+func simNew() *simnet.Sim { return simnet.New(17) }
+
+const benchWarm = 2 * time.Second
+
+func BenchmarkMessageMarshalUpdate(b *testing.B) {
+	m := Message{Type: TypeUpdate, Sub: UpdateLost, Roots: []byte{11, 12}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.Marshal()
+	}
+}
+
+func BenchmarkMessageParseAdvertise(b *testing.B) {
+	m := Message{Type: TypeAdvertise, Tier: 2, VIDs: []VID{{11, 1}, {12, 1}}}
+	wire := m.Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseMessage(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForwardDataDown(b *testing.B) {
+	// The spine data-plane hot path: VID-table hit, forward toward root.
+	bc := newBenchColumn(b)
+	ip := ipv4.Packet{Header: ipv4.Header{Protocol: ipv4.ProtoUDP, TTL: 64,
+		Src: rack(12).Host(1), Dst: rack(11).Host(1)}}
+	wire := ip.Marshal()
+	payload := MarshalData(12, 11, DataTTL, wire)
+	key := flowhash.FromIPPacket(wire)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bc.spine.forwardData(payload, 11, key)
+	}
+}
+
+func BenchmarkForwardDataUpHash(b *testing.B) {
+	// The ToR data-plane hot path: no table entry, hashed uplink pick.
+	bc := newBenchColumn(b)
+	ip := ipv4.Packet{Header: ipv4.Header{Protocol: ipv4.ProtoUDP, TTL: 64,
+		Src: rack(11).Host(1), Dst: rack(12).Host(1)}}
+	wire := ip.Marshal()
+	payload := MarshalData(11, 12, DataTTL, wire)
+	key := flowhash.FromIPPacket(wire)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bc.tor.forwardData(payload, 12, key)
+	}
+}
+
+func BenchmarkVIDKey(b *testing.B) {
+	v := VID{11, 1, 2, 3}
+	for i := 0; i < b.N; i++ {
+		_ = v.Key()
+	}
+}
+
+// newBenchColumn reuses the test fabric for benchmarks.
+func newBenchColumn(b *testing.B) *column {
+	b.Helper()
+	// The column helper takes *testing.T; rebuild inline.
+	c := &column{sim: simNew()}
+	torN := c.sim.AddNode("tor")
+	tor2N := c.sim.AddNode("tor2")
+	spineN := c.sim.AddNode("spine")
+	topN := c.sim.AddNode("top")
+	c.server = c.sim.AddNode("server")
+	c.sim.Connect(torN.AddPort(), spineN.AddPort())
+	c.sim.Connect(tor2N.AddPort(), spineN.AddPort())
+	c.sim.Connect(spineN.AddPort(), topN.AddPort())
+	c.sim.Connect(torN.AddPort(), c.server.AddPort())
+	torCfg := DefaultConfig(1, 3)
+	torCfg.ServerPort = 2
+	torCfg.RackSubnet = rack(11)
+	c.tor = New(torN, torCfg, nil)
+	tor2Cfg := DefaultConfig(1, 3)
+	tor2Cfg.ServerPort = 2
+	tor2Cfg.RackSubnet = rack(12)
+	c.tor2 = New(tor2N, tor2Cfg, nil)
+	c.spine = New(spineN, DefaultConfig(2, 3), nil)
+	c.top = New(topN, DefaultConfig(3, 3), nil)
+	c.sim.Start()
+	c.sim.RunFor(benchWarm)
+	return c
+}

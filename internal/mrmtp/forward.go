@@ -1,0 +1,190 @@
+package mrmtp
+
+import (
+	"repro/internal/arp"
+	"repro/internal/ethernet"
+	"repro/internal/flowhash"
+	"repro/internal/icmp"
+	"repro/internal/ipv4"
+	"repro/internal/netaddr"
+	"repro/internal/simnet"
+)
+
+// This file is MR-MTP's data plane (paper §III.D): ToRs encapsulate server
+// IP packets behind a (src VID, dst VID) header and the fabric forwards by
+// VID table — down toward a known root, or up by hashed default. The ToR is
+// the only device that ever parses IP, and the rack side keeps ordinary
+// IP/ARP semantics so servers need no changes (backward compatibility).
+
+// GatewayIP returns the address the ToR answers ARP for on the rack side.
+func (r *Router) GatewayIP() netaddr.IPv4 { return r.Cfg.RackSubnet.Host(254) }
+
+// handleRackFrame processes server-side traffic at a ToR.
+func (r *Router) handleRackFrame(p *simnet.Port, f ethernet.Frame) {
+	switch f.EtherType {
+	case ethernet.TypeARP:
+		r.handleRackARP(p, f)
+	case ethernet.TypeIPv4:
+		r.ingressIP(f.Payload)
+	}
+}
+
+func (r *Router) handleRackARP(p *simnet.Port, f ethernet.Frame) {
+	pkt, err := arp.Unmarshal(f.Payload)
+	if err != nil {
+		return
+	}
+	// Learn the sender either way.
+	r.arpCache[pkt.SenderIP] = arpEntry{mac: pkt.SenderMAC, port: p.Index}
+	r.flushRackPending(pkt.SenderIP)
+	if pkt.Op != arp.OpRequest {
+		return
+	}
+	// Answer for the gateway, and proxy-answer for other rack addresses:
+	// servers hang off separate ToR ports, so sibling traffic flows
+	// through the ToR's L3 switching path (deliverToRack).
+	answer := pkt.TargetIP == r.GatewayIP() ||
+		(r.Cfg.RackSubnet.Contains(pkt.TargetIP) && pkt.TargetIP != pkt.SenderIP)
+	if answer {
+		reply := arp.Packet{
+			Op:        arp.OpReply,
+			SenderMAC: p.MAC, SenderIP: pkt.TargetIP,
+			TargetMAC: pkt.SenderMAC, TargetIP: pkt.SenderIP,
+		}
+		out := ethernet.Frame{Dst: pkt.SenderMAC, Src: p.MAC, EtherType: ethernet.TypeARP, Payload: reply.Marshal()}
+		p.Send(out.Marshal())
+	}
+}
+
+// ingressIP handles an IP packet entering the fabric from a server.
+func (r *Router) ingressIP(ipWire []byte) {
+	pkt, err := ipv4.Unmarshal(ipWire)
+	if err != nil {
+		return
+	}
+	dst := pkt.Header.Dst
+	if r.Cfg.RackSubnet.Contains(dst) {
+		// Intra-rack: stay in IP world.
+		r.deliverToRack(ipWire, dst)
+		return
+	}
+	// The entire fabric is one routed hop from IP's point of view: the
+	// ingress ToR decrements the TTL once; spines never touch the inner
+	// packet. An expired TTL gets the standard router treatment —
+	// time-exceeded from the rack gateway address — which is why a
+	// traceroute across MR-MTP shows a single hop (cf. the per-router
+	// hops of the BGP fabric).
+	buf := append([]byte(nil), ipWire...)
+	if err := ipv4.Forward(buf); err != nil {
+		r.Stats.DataDropped++
+		reply := ipv4.Packet{
+			Header: ipv4.Header{
+				TTL: ipv4.DefaultTTL, Protocol: ipv4.ProtoICMP,
+				Src: r.GatewayIP(), Dst: pkt.Header.Src,
+			},
+			Payload: marshalICMP(icmp.TimeExceeded(ipWire)),
+		}
+		r.deliverToRack(reply.Marshal(), pkt.Header.Src)
+		return
+	}
+	// Paper §III.D: derive the destination ToR VID from the destination
+	// IP address with the §III.A algorithm.
+	dstRoot := byte(dst[2])
+	r.forwardData(MarshalData(r.rootVID, dstRoot, DataTTL, buf), dstRoot, flowhash.FromIPPacket(buf))
+}
+
+// handleData forwards (or delivers) an encapsulated packet arriving on a
+// fabric port.
+func (r *Router) handleData(p *simnet.Port, payload []byte) {
+	h, ipWire, err := ParseData(payload)
+	if err != nil {
+		r.Stats.DataDropped++
+		return
+	}
+	if r.Cfg.Tier == 1 && h.DstRoot == r.rootVID {
+		// Destination ToR: de-encapsulate and hand the IP packet to the
+		// rack (paper §III.D final step).
+		pkt, err := ipv4.Unmarshal(ipWire)
+		if err != nil {
+			r.Stats.DataDropped++
+			return
+		}
+		r.Stats.DataDelivered++
+		r.deliverToRack(ipWire, pkt.Header.Dst)
+		return
+	}
+	if h.TTL <= 1 {
+		r.Stats.DataDropped++
+		return
+	}
+	fwd := append([]byte(nil), payload...)
+	fwd[1] = h.TTL - 1
+	r.forwardData(fwd, h.DstRoot, flowhash.FromIPPacket(ipWire))
+}
+
+// forwardData routes an encapsulated packet: down the tree when the VID
+// table knows the root, otherwise up by load-balanced default.
+func (r *Router) forwardData(payload []byte, dstRoot byte, key flowhash.Key) {
+	// Downward: a VID entry's acquisition port points at the root.
+	for _, vidKey := range r.byRoot[dstRoot] {
+		e := r.entries[vidKey]
+		adj := r.adjs[e.port]
+		if adj != nil && adj.state == adjUp && adj.port.Up() {
+			r.Stats.DataForwarded++
+			r.sendOn(adj, payload)
+			return
+		}
+	}
+	// Upward: hash across live uplinks not marked unreachable for the
+	// destination root (§III.C load balancing).
+	ups := r.uplinks()
+	eligible := ups[:0:0]
+	for _, adj := range ups {
+		if !r.unreachable[adj.port.Index][dstRoot] {
+			eligible = append(eligible, adj)
+		}
+	}
+	if len(eligible) == 0 || r.downstream[dstRoot] || (r.Cfg.Tier == 1 && dstRoot == r.rootVID) {
+		r.Stats.DataDropped++
+		return
+	}
+	adj := eligible[int(key.Hash())%len(eligible)]
+	r.Stats.DataForwarded++
+	r.sendOn(adj, payload)
+}
+
+// deliverToRack sends an IP packet to a server behind this ToR, resolving
+// the server's MAC on demand.
+func (r *Router) deliverToRack(ipWire []byte, dst netaddr.IPv4) {
+	if e, ok := r.arpCache[dst]; ok {
+		port := r.Node.Port(e.port)
+		f := ethernet.Frame{Dst: e.mac, Src: port.MAC, EtherType: ethernet.TypeIPv4, Payload: ipWire}
+		port.Send(f.Marshal())
+		return
+	}
+	r.arpPending[dst] = append(r.arpPending[dst], append([]byte(nil), ipWire...))
+	for _, p := range r.Node.Ports[1:] {
+		if !r.isServerPort(p.Index) {
+			continue
+		}
+		req := arp.Packet{Op: arp.OpRequest, SenderMAC: p.MAC, SenderIP: r.GatewayIP(), TargetIP: dst}
+		f := ethernet.Frame{Dst: netaddr.Broadcast, Src: p.MAC, EtherType: ethernet.TypeARP, Payload: req.Marshal()}
+		p.Send(f.Marshal())
+	}
+}
+
+func marshalICMP(m icmp.Message) []byte { return m.Marshal() }
+
+func (r *Router) flushRackPending(ip netaddr.IPv4) {
+	pending := r.arpPending[ip]
+	if pending == nil {
+		return
+	}
+	delete(r.arpPending, ip)
+	e := r.arpCache[ip]
+	port := r.Node.Port(e.port)
+	for _, wire := range pending {
+		f := ethernet.Frame{Dst: e.mac, Src: port.MAC, EtherType: ethernet.TypeIPv4, Payload: wire}
+		port.Send(f.Marshal())
+	}
+}

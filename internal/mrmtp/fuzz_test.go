@@ -1,0 +1,62 @@
+package mrmtp
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzParseMessage(f *testing.F) {
+	f.Add([]byte{TypeHello})
+	f.Add((&Message{Type: TypeAdvertise, Tier: 2, VIDs: []VID{{11}, {12, 1}}}).Marshal())
+	f.Add((&Message{Type: TypeJoin, VIDs: []VID{{11}}}).Marshal())
+	f.Add((&Message{Type: TypeUpdate, Sub: UpdateLost, Roots: []byte{11, 12}}).Marshal())
+	f.Add([]byte{TypeJoin, 255, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseMessage(data)
+		if err != nil {
+			return
+		}
+		// Anything that parses must re-marshal and re-parse to the same
+		// message (canonical wire form).
+		out := m.Marshal()
+		m2, err := ParseMessage(out)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if m2.Type != m.Type || m2.Tier != m.Tier || m2.Sub != m.Sub ||
+			len(m2.VIDs) != len(m.VIDs) || !bytes.Equal(m2.Roots, m.Roots) {
+			t.Fatalf("round trip changed the message: %+v -> %+v", m, m2)
+		}
+	})
+}
+
+func FuzzParseData(f *testing.F) {
+	f.Add(MarshalData(11, 14, DataTTL, []byte{0x45, 0, 0, 20}))
+	f.Add([]byte{TypeData})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, inner, err := ParseData(data)
+		if err != nil {
+			return
+		}
+		out := MarshalData(h.SrcRoot, h.DstRoot, h.TTL, inner)
+		if !bytes.Equal(out, data) {
+			t.Fatalf("data frame round trip diverged")
+		}
+	})
+}
+
+func FuzzParseVID(f *testing.F) {
+	f.Add("11.1.2")
+	f.Add("255")
+	f.Add("11..2")
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseVID(s)
+		if err != nil {
+			return
+		}
+		w, err := ParseVID(v.String())
+		if err != nil || !w.Equal(v) {
+			t.Fatalf("VID round trip diverged: %q -> %v -> %v (%v)", s, v, w, err)
+		}
+	})
+}

@@ -1,0 +1,864 @@
+package mrmtp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/ethernet"
+	"repro/internal/metrics"
+	"repro/internal/netaddr"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// Config configures one MR-MTP router. The only fabric-wide inputs are the
+// tier value and, for ToRs, the rack-facing port — exactly the contents of
+// the paper's Listing 2 JSON file.
+type Config struct {
+	// Tier is the device's tier: 1 for ToRs, up to TopTier for the top
+	// spines.
+	Tier int
+	// TopTier is the highest tier in the fabric (3 in the paper).
+	TopTier int
+	// ServerPort is the first rack-facing port on a ToR (uplinks are
+	// numbered before it); 0 on spines.
+	ServerPort int
+	// RackSubnet is the ToR's server subnet, from which the VID is
+	// derived (paper §III.A).
+	RackSubnet netaddr.Prefix
+
+	// HelloInterval and DeadInterval implement Quick-to-Detect: the
+	// paper runs 50 ms hellos with a 100 ms dead timer — a neighbor is
+	// assumed down after a single missed hello.
+	HelloInterval time.Duration
+	DeadInterval  time.Duration
+	// AcceptHellos implements Slow-to-Accept: consecutive keep-alives
+	// required before a failed neighbor is believed up again (3 in the
+	// paper).
+	AcceptHellos int
+
+	// Coalesce is the hold-down applied to received reachability
+	// updates so that simultaneous LOST reports (one per meshed tree
+	// branch) are processed as one batch.
+	Coalesce time.Duration
+
+	// JoinRetry is the retransmission interval for the join handshake
+	// (the "request-response and accept-acknowledge" reliability of
+	// §III.C).
+	JoinRetry time.Duration
+
+	// AdvertiseInterval is the period of the background re-ADVERTISE on
+	// live adjacencies. One small frame per second makes tree formation
+	// robust to frame loss without a reliable transport, completing the
+	// §III.C reliability story.
+	AdvertiseInterval time.Duration
+}
+
+// DefaultConfig returns the paper's timer profile for a device.
+func DefaultConfig(tier, topTier int) Config {
+	return Config{
+		Tier:              tier,
+		TopTier:           topTier,
+		HelloInterval:     50 * time.Millisecond,
+		DeadInterval:      100 * time.Millisecond,
+		AcceptHellos:      3,
+		Coalesce:          200 * time.Microsecond,
+		JoinRetry:         200 * time.Millisecond,
+		AdvertiseInterval: time.Second,
+	}
+}
+
+// adjacency states.
+type adjState int
+
+const (
+	adjDown   adjState = iota // never heard from
+	adjUp                     // operational
+	adjFailed                 // declared dead; Slow-to-Accept applies
+)
+
+// adjacency is the per-port neighbor state.
+type adjacency struct {
+	port         *simnet.Port
+	state        adjState
+	neighborTier int
+	lastRx       time.Duration
+	lastTx       time.Duration
+	consecutive  int
+	deadTimer    *simnet.Timer
+
+	// advertised is the latest VID set the neighbor offered to extend.
+	advertised []VID
+	// requested tracks parent VIDs we have an outstanding JOIN for.
+	requested map[string]bool
+	// offered tracks child VIDs we assigned over this port.
+	offered map[string]bool
+	// accepted tracks child VIDs the neighbor confirmed (tree children).
+	accepted map[string]bool
+}
+
+// vidEntry is one VID table row: the VID and its acquisition port.
+type vidEntry struct {
+	vid  VID
+	port int
+}
+
+// Stats counts router activity.
+type Stats struct {
+	HellosSent    uint64
+	JoinsSent     uint64
+	OffersSent    uint64
+	UpdatesSent   uint64
+	UpdatesRecv   uint64
+	DataForwarded uint64
+	DataDelivered uint64
+	DataDropped   uint64
+	NeighborsLost uint64
+}
+
+// Router is one MR-MTP device. It implements simnet.Handler directly on
+// Ethernet frames: the protocol needs no IP stack in the fabric.
+type Router struct {
+	Node *simnet.Node
+	Cfg  Config
+
+	rec     metrics.Recorder
+	rootVID byte
+
+	entries map[string]vidEntry // VID table, keyed by VID
+	byRoot  map[byte][]string   // root -> VID keys
+	adjs    map[int]*adjacency
+
+	// unreachable[port][root] records "this port cannot be used for
+	// traffic destined to this root VID" (the paper's §VII.B description
+	// of what ToRs note after a failure update).
+	unreachable map[int]map[byte]bool
+	// downstream marks roots learned via lower-tier neighbors: they must
+	// never be chased through the default up-forwarding path.
+	downstream map[byte]bool
+	// lostSent marks roots we have propagated LOST for and not yet
+	// recovered.
+	lostSent map[byte]bool
+
+	// staged reachability updates awaiting coalesced processing.
+	staged        []stagedUpdate
+	coalesceTimer *simnet.Timer
+
+	// ToR data-plane state (rack-side ARP).
+	arpCache   map[netaddr.IPv4]arpEntry
+	arpPending map[netaddr.IPv4][][]byte
+
+	Stats Stats
+}
+
+type stagedUpdate struct {
+	port int
+	sub  byte
+	root byte
+}
+
+type arpEntry struct {
+	mac  netaddr.MAC
+	port int
+}
+
+// New attaches an MR-MTP router to a node. For ToRs (tier 1) the config
+// must carry ServerPort and RackSubnet; the VID is derived from the third
+// byte of the rack subnet as in §III.A.
+func New(node *simnet.Node, cfg Config, rec metrics.Recorder) *Router {
+	if rec == nil {
+		rec = metrics.Nop{}
+	}
+	r := &Router{
+		Node:        node,
+		Cfg:         cfg,
+		rec:         rec,
+		entries:     make(map[string]vidEntry),
+		byRoot:      make(map[byte][]string),
+		adjs:        make(map[int]*adjacency),
+		unreachable: make(map[int]map[byte]bool),
+		downstream:  make(map[byte]bool),
+		lostSent:    make(map[byte]bool),
+		arpCache:    make(map[netaddr.IPv4]arpEntry),
+		arpPending:  make(map[netaddr.IPv4][][]byte),
+	}
+	if cfg.Tier == 1 {
+		r.rootVID = byte(topology.DeriveVID(cfg.RackSubnet))
+	}
+	node.Handler = r
+	return r
+}
+
+// RootVID returns the ToR's derived VID (0 on spines).
+func (r *Router) RootVID() byte { return r.rootVID }
+
+func (r *Router) sim() *simnet.Sim { return r.Node.Sim }
+
+func (r *Router) isServerPort(i int) bool {
+	return r.Cfg.ServerPort > 0 && i >= r.Cfg.ServerPort
+}
+
+// Start implements simnet.Handler: announce on every fabric port and start
+// the hello machinery.
+func (r *Router) Start() {
+	for _, p := range r.Node.Ports[1:] {
+		if r.isServerPort(p.Index) {
+			continue
+		}
+		adj := &adjacency{
+			port:      p,
+			requested: make(map[string]bool),
+			offered:   make(map[string]bool),
+			accepted:  make(map[string]bool),
+		}
+		r.adjs[p.Index] = adj
+		r.sendAdvertise(adj)
+		r.scheduleHello(adj)
+		r.scheduleAdvertise(adj)
+	}
+}
+
+// scheduleAdvertise re-announces the joinable VID set periodically so that
+// a lost ADVERTISE (or JOIN/OFFER) never wedges tree formation: the next
+// announcement restarts the handshake.
+func (r *Router) scheduleAdvertise(adj *adjacency) {
+	if r.Cfg.AdvertiseInterval <= 0 {
+		return
+	}
+	r.sim().After(r.Cfg.AdvertiseInterval, func() {
+		if r.adjs[adj.port.Index] != adj {
+			return
+		}
+		if adj.state == adjUp {
+			r.sendAdvertise(adj)
+		}
+		r.scheduleAdvertise(adj)
+	})
+}
+
+// --- transmission helpers -------------------------------------------------
+
+func (r *Router) sendOn(adj *adjacency, payload []byte) {
+	adj.lastTx = r.sim().Now()
+	adj.port.Send(frame(adj.port.MAC, payload))
+}
+
+func (r *Router) sendAdvertise(adj *adjacency) {
+	m := Message{Type: TypeAdvertise, Tier: r.Cfg.Tier, VIDs: r.joinableVIDs()}
+	r.sendOn(adj, m.Marshal())
+}
+
+// joinableVIDs lists the VIDs this device extends to upper-tier joiners:
+// the ToR's own root VID, or every acquired VID on a spine.
+func (r *Router) joinableVIDs() []VID {
+	if r.Cfg.Tier == 1 {
+		return []VID{{r.rootVID}}
+	}
+	out := make([]VID, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e.vid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+func (r *Router) scheduleHello(adj *adjacency) {
+	r.sim().After(r.Cfg.HelloInterval, func() {
+		if r.adjs[adj.port.Index] != adj {
+			return
+		}
+		// Keep-alive only when nothing else was sent in the interval
+		// (paper §IV.B: any MR-MTP message serves as a keep-alive).
+		if r.sim().Now()-adj.lastTx >= r.Cfg.HelloInterval {
+			r.Stats.HellosSent++
+			r.sendOn(adj, []byte{TypeHello})
+		}
+		r.scheduleHello(adj)
+	})
+}
+
+func (r *Router) armDead(adj *adjacency) {
+	if adj.deadTimer != nil {
+		adj.deadTimer.Stop()
+	}
+	adj.deadTimer = r.sim().After(r.Cfg.DeadInterval, func() {
+		if adj.state == adjUp {
+			r.neighborDown(adj)
+		}
+	})
+}
+
+// --- simnet.Handler -------------------------------------------------------
+
+// PortDown implements simnet.Handler: local carrier loss is an immediate
+// neighbor-down (no dead timer involved).
+func (r *Router) PortDown(p *simnet.Port) {
+	if adj := r.adjs[p.Index]; adj != nil && adj.state == adjUp {
+		r.neighborDown(adj)
+	}
+}
+
+// PortUp implements simnet.Handler. The adjacency still has to pass
+// Slow-to-Accept via received hellos, so nothing happens here beyond
+// resuming our own hellos (the hello scheduler never stopped).
+func (r *Router) PortUp(p *simnet.Port) {}
+
+// HandleFrame implements simnet.Handler.
+func (r *Router) HandleFrame(p *simnet.Port, raw []byte) {
+	f, err := ethernet.Unmarshal(raw)
+	if err != nil {
+		return
+	}
+	if r.isServerPort(p.Index) {
+		r.handleRackFrame(p, f)
+		return
+	}
+	if f.EtherType != ethernet.TypeMRMTP || len(f.Payload) == 0 {
+		return
+	}
+	adj := r.adjs[p.Index]
+	if adj == nil {
+		return
+	}
+	now := r.sim().Now()
+	switch adj.state {
+	case adjDown:
+		// First contact brings the adjacency up immediately.
+		adj.lastRx = now
+		r.adjacencyUp(adj)
+	case adjFailed:
+		// Slow-to-Accept: require AcceptHellos consecutive keep-alives
+		// (any MR-MTP message counts; a gap restarts the count).
+		if now-adj.lastRx > r.Cfg.DeadInterval {
+			adj.consecutive = 1
+		} else {
+			adj.consecutive++
+		}
+		adj.lastRx = now
+		if adj.consecutive < r.Cfg.AcceptHellos {
+			// Not believed yet: act on nothing, but remember the
+			// neighbor's advertisement so the tree re-join can start
+			// the moment the neighbor is accepted (the advertise may
+			// not be repeated once both ends are past dampening).
+			if f.Payload[0] == TypeAdvertise {
+				if m, err := ParseMessage(f.Payload); err == nil {
+					adj.neighborTier = m.Tier
+					adj.advertised = m.VIDs
+				}
+			}
+			return
+		}
+		// The accepting frame itself is processed normally below — it is
+		// often the neighbor's re-ADVERTISE, which restarts the tree join.
+		r.adjacencyUp(adj)
+	case adjUp:
+		adj.lastRx = now
+		r.armDead(adj)
+	}
+
+	if f.Payload[0] == TypeData {
+		r.handleData(p, f.Payload)
+		return
+	}
+	m, err := ParseMessage(f.Payload)
+	if err != nil {
+		return
+	}
+	r.handleControl(adj, m)
+}
+
+func (r *Router) adjacencyUp(adj *adjacency) {
+	adj.state = adjUp
+	adj.consecutive = 0
+	r.armDead(adj)
+	r.sendAdvertise(adj)
+	// Act on any advertisement recorded while the neighbor was dampened.
+	r.maybeJoin(adj)
+	// Roots we had written off may be reachable again through this port.
+	r.reevaluateLostRoots()
+}
+
+// neighborDown implements Quick-to-Detect failure handling: remove the VID
+// table entries acquired through the port and propagate LOST updates for
+// roots that are now unreachable from this device.
+func (r *Router) neighborDown(adj *adjacency) {
+	r.Stats.NeighborsLost++
+	adj.state = adjFailed
+	adj.consecutive = 0
+	if adj.deadTimer != nil {
+		adj.deadTimer.Stop()
+	}
+	adj.advertised = nil
+	adj.requested = make(map[string]bool)
+	adj.offered = make(map[string]bool)
+	adj.accepted = make(map[string]bool)
+
+	port := adj.port.Index
+	affected := make(map[byte]bool)
+	for key, e := range r.entries {
+		if e.port == port {
+			affected[e.vid.Root()] = true
+			r.removeEntry(key)
+		}
+	}
+	// Marks recorded against the dead port are stale either way.
+	for root := range r.unreachable[port] {
+		affected[root] = true
+	}
+	delete(r.unreachable, port)
+
+	r.processReachability(affected, port, true)
+}
+
+// --- VID table ------------------------------------------------------------
+
+func (r *Router) addEntry(v VID, port int, fromTier int) bool {
+	key := v.Key()
+	if _, dup := r.entries[key]; dup {
+		return false
+	}
+	r.entries[key] = vidEntry{vid: v.Clone(), port: port}
+	r.byRoot[v.Root()] = append(r.byRoot[v.Root()], key)
+	if fromTier < r.Cfg.Tier {
+		r.downstream[v.Root()] = true
+	}
+	return true
+}
+
+func (r *Router) removeEntry(key string) {
+	e, ok := r.entries[key]
+	if !ok {
+		return
+	}
+	delete(r.entries, key)
+	// Allow a future re-JOIN of the parent tree through the same port
+	// (recovery after Slow-to-Accept re-admits the neighbor).
+	if adj := r.adjs[e.port]; adj != nil && len(e.vid) > 1 {
+		delete(adj.requested, e.vid[:len(e.vid)-1].Key())
+	}
+	keys := r.byRoot[e.vid.Root()]
+	for i, k := range keys {
+		if k == key {
+			r.byRoot[e.vid.Root()] = append(keys[:i], keys[i+1:]...)
+			break
+		}
+	}
+	if len(r.byRoot[e.vid.Root()]) == 0 {
+		delete(r.byRoot, e.vid.Root())
+	}
+}
+
+// VIDs returns the table contents sorted by VID (testing and Listing 5).
+func (r *Router) VIDs() []string {
+	out := make([]string, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e.vid.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EntryPort returns the acquisition port for a VID, or 0.
+func (r *Router) EntryPort(vid string) int {
+	v, err := ParseVID(vid)
+	if err != nil {
+		return 0
+	}
+	if e, ok := r.entries[v.Key()]; ok {
+		return e.port
+	}
+	return 0
+}
+
+// RenderVIDTable prints the table in the paper's Listing 5 layout: one row
+// per port with the VIDs acquired on it.
+func (r *Router) RenderVIDTable() string {
+	byPort := make(map[int][]string)
+	for _, e := range r.entries {
+		byPort[e.port] = append(byPort[e.port], e.vid.String())
+	}
+	ports := make([]int, 0, len(byPort))
+	for p := range byPort {
+		ports = append(ports, p)
+	}
+	sort.Ints(ports)
+	var b strings.Builder
+	for _, p := range ports {
+		sort.Strings(byPort[p])
+		fmt.Fprintf(&b, "eth%d\t%s\n", p, strings.Join(byPort[p], ", "))
+	}
+	return b.String()
+}
+
+// UnreachableVia reports whether traffic for root must avoid the port.
+func (r *Router) UnreachableVia(port int, root byte) bool {
+	return r.unreachable[port][root]
+}
+
+// TableSize returns the number of VID entries — the paper's routing-table
+// size comparison (Listing 3 vs Listing 5).
+func (r *Router) TableSize() int { return len(r.entries) }
+
+// --- control plane --------------------------------------------------------
+
+func (r *Router) handleControl(adj *adjacency, m Message) {
+	switch m.Type {
+	case TypeHello:
+		// Liveness already refreshed.
+	case TypeAdvertise:
+		adj.neighborTier = m.Tier
+		adj.advertised = m.VIDs
+		r.maybeJoin(adj)
+	case TypeJoin:
+		r.handleJoin(adj, m.VIDs)
+	case TypeOffer:
+		r.handleOffer(adj, m.VIDs)
+	case TypeAccept:
+		r.handleAccept(adj, m.VIDs)
+	case TypeAck:
+		// Handshake complete; nothing further to record.
+	case TypeUpdate:
+		r.Stats.UpdatesRecv++
+		r.stageUpdate(adj.port.Index, m.Sub, m.Roots)
+	}
+}
+
+// maybeJoin requests membership in every tree the lower-tier neighbor
+// advertises that we have not acquired through this port yet.
+func (r *Router) maybeJoin(adj *adjacency) {
+	if adj.neighborTier != r.Cfg.Tier-1 {
+		return
+	}
+	var want []VID
+	for _, v := range adj.advertised {
+		if r.haveViaPort(v, adj.port.Index) || adj.requested[v.Key()] {
+			continue
+		}
+		want = append(want, v)
+		adj.requested[v.Key()] = true
+	}
+	if len(want) == 0 {
+		return
+	}
+	r.Stats.JoinsSent++
+	m := Message{Type: TypeJoin, VIDs: want}
+	r.sendOn(adj, m.Marshal())
+	r.armJoinRetry(adj, want, maxJoinRetries)
+}
+
+// maxJoinRetries bounds JOIN retransmission; a fresh ADVERTISE restarts the
+// handshake, so a parent that lost the tree meanwhile does not attract an
+// endless retry stream.
+const maxJoinRetries = 25
+
+// haveViaPort reports whether we already hold a child VID of parent
+// acquired on the port.
+func (r *Router) haveViaPort(parent VID, port int) bool {
+	for _, key := range r.byRoot[parent.Root()] {
+		e := r.entries[key]
+		if e.port == port && e.vid.HasPrefix(parent) && len(e.vid) == len(parent)+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// armJoinRetry retransmits the JOIN if the OFFER never arrives (§III.C
+// reliability).
+func (r *Router) armJoinRetry(adj *adjacency, want []VID, budget int) {
+	if budget <= 0 {
+		for _, v := range want {
+			delete(adj.requested, v.Key()) // give up; a new ADVERTISE may retry
+		}
+		return
+	}
+	r.sim().After(r.Cfg.JoinRetry, func() {
+		if adj.state != adjUp {
+			return
+		}
+		var missing []VID
+		for _, v := range want {
+			if !r.haveViaPort(v, adj.port.Index) {
+				missing = append(missing, v)
+				adj.requested[v.Key()] = true
+			}
+		}
+		if len(missing) == 0 {
+			return
+		}
+		r.Stats.JoinsSent++
+		m := Message{Type: TypeJoin, VIDs: missing}
+		r.sendOn(adj, m.Marshal())
+		r.armJoinRetry(adj, missing, budget-1)
+	})
+}
+
+// handleJoin answers a join request: derive each child VID by appending the
+// arrival port number (§III.B) and offer it.
+func (r *Router) handleJoin(adj *adjacency, parents []VID) {
+	var offers []VID
+	for _, parent := range parents {
+		if !r.holds(parent) {
+			continue
+		}
+		child := parent.Extend(adj.port.Index)
+		offers = append(offers, child)
+		adj.offered[child.Key()] = true
+	}
+	if len(offers) == 0 {
+		return
+	}
+	r.Stats.OffersSent++
+	m := Message{Type: TypeOffer, VIDs: offers}
+	r.sendOn(adj, m.Marshal())
+}
+
+// holds reports whether this device owns the VID (its root identity or an
+// acquired entry).
+func (r *Router) holds(v VID) bool {
+	if r.Cfg.Tier == 1 {
+		return len(v) == 1 && v[0] == r.rootVID
+	}
+	_, ok := r.entries[v.Key()]
+	return ok
+}
+
+// handleOffer installs assigned VIDs and confirms with ACCEPT.
+func (r *Router) handleOffer(adj *adjacency, vids []VID) {
+	recovered := make(map[byte]bool)
+	added := false
+	for _, v := range vids {
+		wasReachable := r.reachable(v.Root())
+		if r.addEntry(v, adj.port.Index, adj.neighborTier) {
+			added = true
+			if !wasReachable {
+				recovered[v.Root()] = true
+			}
+		}
+		delete(adj.requested, v[:len(v)-1].Key())
+	}
+	m := Message{Type: TypeAccept, VIDs: vids}
+	r.sendOn(adj, m.Marshal())
+	if added {
+		// Our joinable set grew: tell upper tiers.
+		for _, other := range r.adjs {
+			if other != adj && other.state == adjUp {
+				r.sendAdvertise(other)
+			}
+		}
+	}
+	if len(recovered) > 0 {
+		r.processReachability(recovered, adj.port.Index, false)
+	}
+}
+
+// handleAccept finalizes the parent side of the handshake.
+func (r *Router) handleAccept(adj *adjacency, vids []VID) {
+	for _, v := range vids {
+		if adj.offered[v.Key()] {
+			adj.accepted[v.Key()] = true
+		}
+	}
+	m := Message{Type: TypeAck, VIDs: vids}
+	r.sendOn(adj, m.Marshal())
+}
+
+// --- reachability ----------------------------------------------------------
+
+// uplinks returns the live upper-tier adjacencies in port order.
+func (r *Router) uplinks() []*adjacency {
+	if r.topTier() {
+		return nil
+	}
+	var out []*adjacency
+	for _, adj := range r.adjs {
+		if adj.state != adjUp || !adj.port.Up() {
+			continue
+		}
+		// neighborTier 0 means "not yet learned": optimistic, so early
+		// traffic still flows during fabric bring-up.
+		if adj.neighborTier > r.Cfg.Tier || adj.neighborTier == 0 {
+			out = append(out, adj)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].port.Index < out[j].port.Index })
+	return out
+}
+
+func (r *Router) topTier() bool { return r.Cfg.Tier >= r.Cfg.TopTier }
+
+// reachable reports whether this device can still forward traffic for the
+// root: it is the root itself, holds a live VID entry for it, or may use
+// default up-forwarding (unless the root is downstream or every uplink is
+// marked unreachable for it).
+func (r *Router) reachable(root byte) bool {
+	if r.Cfg.Tier == 1 && root == r.rootVID {
+		return true
+	}
+	for _, key := range r.byRoot[root] {
+		e := r.entries[key]
+		if adj := r.adjs[e.port]; adj != nil && adj.state == adjUp && adj.port.Up() {
+			return true
+		}
+	}
+	if r.topTier() || r.downstream[root] {
+		return false
+	}
+	for _, adj := range r.uplinks() {
+		if !r.unreachable[adj.port.Index][root] {
+			return true
+		}
+	}
+	return false
+}
+
+// stageUpdate queues a received reachability update for coalesced
+// processing, so the LOST reports arriving from every meshed-tree branch of
+// the same failure are evaluated as one event.
+func (r *Router) stageUpdate(port int, sub byte, roots []byte) {
+	for _, root := range roots {
+		r.staged = append(r.staged, stagedUpdate{port: port, sub: sub, root: root})
+	}
+	if r.coalesceTimer == nil {
+		r.coalesceTimer = r.sim().After(r.Cfg.Coalesce, r.processStaged)
+	}
+}
+
+func (r *Router) processStaged() {
+	r.coalesceTimer = nil
+	staged := r.staged
+	r.staged = nil
+
+	affected := make(map[byte]bool)
+	fromPorts := make(map[byte]map[int]bool)
+	for _, u := range staged {
+		affected[u.root] = true
+		if fromPorts[u.root] == nil {
+			fromPorts[u.root] = make(map[int]bool)
+		}
+		fromPorts[u.root][u.port] = true
+		marks := r.unreachable[u.port]
+		if u.sub == UpdateLost {
+			if marks == nil {
+				marks = make(map[byte]bool)
+				r.unreachable[u.port] = marks
+			}
+			marks[u.root] = true
+			// Entries for the root acquired via the reporting port are
+			// dead branches of the broken tree.
+			for _, key := range append([]string(nil), r.byRoot[u.root]...) {
+				if r.entries[key].port == u.port {
+					r.removeEntry(key)
+				}
+			}
+		} else if marks != nil {
+			delete(marks, u.root)
+		}
+	}
+	r.applyReachability(affected, fromPorts)
+}
+
+// processReachability handles locally detected changes (neighbor loss or
+// recovery) for the affected roots.
+func (r *Router) processReachability(affected map[byte]bool, sourcePort int, lost bool) {
+	if len(affected) == 0 {
+		return
+	}
+	fromPorts := make(map[byte]map[int]bool)
+	for root := range affected {
+		fromPorts[root] = map[int]bool{sourcePort: true}
+	}
+	r.applyReachability(affected, fromPorts)
+}
+
+// applyReachability decides, per root, whether this device absorbs the
+// change (it still has a usable path: a forwarding-table update the paper
+// counts in the blast radius) or must propagate it (it became a relay with
+// no choice of its own: "spines along the way only forward the update").
+func (r *Router) applyReachability(affected map[byte]bool, fromPorts map[byte]map[int]bool) {
+	var lostRoots, foundRoots []byte
+	absorbed := false
+	for root := range affected {
+		nowReachable := r.reachable(root)
+		wasLost := r.lostSent[root]
+		switch {
+		case !nowReachable && !wasLost:
+			lostRoots = append(lostRoots, root)
+			r.lostSent[root] = true
+		case nowReachable && wasLost:
+			foundRoots = append(foundRoots, root)
+			delete(r.lostSent, root)
+			absorbed = true
+		case nowReachable:
+			absorbed = true
+		}
+	}
+	if absorbed && len(lostRoots) == 0 {
+		r.rec.RouteUpdate(r.sim().Now(), r.Node.Name)
+	}
+	sort.Slice(lostRoots, func(i, j int) bool { return lostRoots[i] < lostRoots[j] })
+	sort.Slice(foundRoots, func(i, j int) bool { return foundRoots[i] < foundRoots[j] })
+	if len(lostRoots) > 0 {
+		r.propagate(UpdateLost, lostRoots, fromPorts)
+	}
+	if len(foundRoots) > 0 {
+		r.propagate(UpdateFound, foundRoots, fromPorts)
+	}
+}
+
+// propagate sends an UPDATE on every live adjacency that did not itself
+// report the change.
+func (r *Router) propagate(sub byte, roots []byte, fromPorts map[byte]map[int]bool) {
+	for _, adj := range r.adjs {
+		if adj.state != adjUp || !adj.port.Up() {
+			continue
+		}
+		var send []byte
+		for _, root := range roots {
+			if fromPorts[root][adj.port.Index] {
+				continue
+			}
+			send = append(send, root)
+		}
+		if len(send) == 0 {
+			continue
+		}
+		m := Message{Type: TypeUpdate, Sub: sub, Roots: send}
+		payload := m.Marshal()
+		r.Stats.UpdatesSent++
+		r.sendOn(adj, payload)
+		r.rec.ControlMessage(r.sim().Now(), r.Node.Name, ethernet.HeaderLen+len(payload))
+	}
+}
+
+// reevaluateLostRoots checks, after an adjacency recovery, whether any
+// written-off roots are reachable again and announces the recovery.
+func (r *Router) reevaluateLostRoots() {
+	recovered := make(map[byte]bool)
+	for root := range r.lostSent {
+		if r.reachable(root) {
+			recovered[root] = true
+		}
+	}
+	if len(recovered) > 0 {
+		r.processReachability(recovered, 0, false)
+	}
+}
+
+// NeighborState reports the adjacency state on a port ("down", "up",
+// "failed"), the operational visibility a `show mtp neighbors` would give.
+func (r *Router) NeighborState(port int) string {
+	adj := r.adjs[port]
+	if adj == nil {
+		return "none"
+	}
+	switch adj.state {
+	case adjUp:
+		return "up"
+	case adjFailed:
+		return "failed"
+	}
+	return "down"
+}

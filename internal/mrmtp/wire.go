@@ -1,0 +1,180 @@
+package mrmtp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ethernet"
+	"repro/internal/netaddr"
+)
+
+// Message type bytes. HELLO is 0x06 so that the keep-alive frame carries
+// the single byte 0x06, matching the paper's Fig. 10 Wireshark capture
+// ("Data: 06, [Length: 1]").
+const (
+	TypeAdvertise byte = 0x01 // parent announces joinable VIDs + its tier
+	TypeJoin      byte = 0x02 // child requests to join advertised trees
+	TypeOffer     byte = 0x03 // parent assigns derived VIDs
+	TypeAccept    byte = 0x04 // child confirms the assignment
+	TypeAck       byte = 0x05 // parent acknowledges; handshake complete
+	TypeHello     byte = 0x06 // 1-byte keep-alive
+	TypeUpdate    byte = 0x07 // reachability change (lost/found roots)
+	TypeData      byte = 0x08 // encapsulated IP packet
+)
+
+// Update subtypes.
+const (
+	UpdateLost  byte = 1
+	UpdateFound byte = 2
+)
+
+// DataHeaderLen is the encapsulation header: type, TTL, source root VID,
+// destination root VID (paper §III.D: "an MR-MTP header with the source
+// ToR VID = 11 and destination ToR VID = 14").
+const DataHeaderLen = 4
+
+// DataTTL bounds transient forwarding loops during reconvergence. The
+// longest valley-free path in a 3-tier fabric is 4 hops; 16 leaves margin
+// for multi-tier scale-out.
+const DataTTL = 16
+
+// ErrMalformed reports an undecodable MR-MTP message.
+var ErrMalformed = errors.New("mrmtp: malformed message")
+
+// Message is a decoded control message.
+type Message struct {
+	Type  byte
+	Tier  int    // Advertise
+	VIDs  []VID  // Advertise/Join/Offer/Accept/Ack
+	Sub   byte   // Update subtype
+	Roots []byte // Update root VIDs
+}
+
+// marshalVIDs appends count + length-prefixed VIDs.
+func marshalVIDs(b []byte, vids []VID) []byte {
+	b = append(b, byte(len(vids)))
+	for _, v := range vids {
+		b = append(b, byte(len(v)))
+		b = append(b, v...)
+	}
+	return b
+}
+
+func parseVIDs(b []byte) ([]VID, []byte, error) {
+	if len(b) < 1 {
+		return nil, nil, ErrMalformed
+	}
+	n := int(b[0])
+	b = b[1:]
+	vids := make([]VID, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 1 {
+			return nil, nil, ErrMalformed
+		}
+		l := int(b[0])
+		if l == 0 || len(b) < 1+l {
+			return nil, nil, ErrMalformed
+		}
+		vids = append(vids, VID(append([]byte(nil), b[1:1+l]...)))
+		b = b[1+l:]
+	}
+	return vids, b, nil
+}
+
+// Marshal renders a control message body (the Ethernet payload).
+func (m *Message) Marshal() []byte {
+	switch m.Type {
+	case TypeHello:
+		return []byte{TypeHello}
+	case TypeAdvertise:
+		b := []byte{TypeAdvertise, byte(m.Tier)}
+		return marshalVIDs(b, m.VIDs)
+	case TypeJoin, TypeOffer, TypeAccept, TypeAck:
+		return marshalVIDs([]byte{m.Type}, m.VIDs)
+	case TypeUpdate:
+		b := []byte{TypeUpdate, m.Sub, byte(len(m.Roots))}
+		return append(b, m.Roots...)
+	}
+	panic(fmt.Sprintf("mrmtp: cannot marshal message type %#02x", m.Type))
+}
+
+// ParseMessage decodes a control message body. Data frames (TypeData) are
+// handled separately because their payload is an opaque IP packet.
+func ParseMessage(b []byte) (Message, error) {
+	if len(b) < 1 {
+		return Message{}, ErrMalformed
+	}
+	m := Message{Type: b[0]}
+	switch m.Type {
+	case TypeHello:
+		return m, nil
+	case TypeAdvertise:
+		if len(b) < 2 {
+			return Message{}, ErrMalformed
+		}
+		m.Tier = int(b[1])
+		vids, _, err := parseVIDs(b[2:])
+		if err != nil {
+			return Message{}, err
+		}
+		m.VIDs = vids
+		return m, nil
+	case TypeJoin, TypeOffer, TypeAccept, TypeAck:
+		vids, _, err := parseVIDs(b[1:])
+		if err != nil {
+			return Message{}, err
+		}
+		m.VIDs = vids
+		return m, nil
+	case TypeUpdate:
+		if len(b) < 3 || len(b) < 3+int(b[2]) {
+			return Message{}, ErrMalformed
+		}
+		m.Sub = b[1]
+		if m.Sub != UpdateLost && m.Sub != UpdateFound {
+			return Message{}, ErrMalformed
+		}
+		m.Roots = append([]byte(nil), b[3:3+int(b[2])]...)
+		return m, nil
+	}
+	return Message{}, fmt.Errorf("mrmtp: unknown message type %#02x", b[0])
+}
+
+// MarshalData builds a data frame payload: the 4-byte MR-MTP header
+// followed by the raw IP packet.
+func MarshalData(srcRoot, dstRoot byte, ttl byte, ipPacket []byte) []byte {
+	b := make([]byte, DataHeaderLen+len(ipPacket))
+	b[0] = TypeData
+	b[1] = ttl
+	b[2] = srcRoot
+	b[3] = dstRoot
+	copy(b[DataHeaderLen:], ipPacket)
+	return b
+}
+
+// DataHeader is the decoded encapsulation header.
+type DataHeader struct {
+	TTL              byte
+	SrcRoot, DstRoot byte
+}
+
+// ParseData splits a data frame payload into header and IP packet.
+func ParseData(b []byte) (DataHeader, []byte, error) {
+	if len(b) < DataHeaderLen || b[0] != TypeData {
+		return DataHeader{}, nil, ErrMalformed
+	}
+	return DataHeader{TTL: b[1], SrcRoot: b[2], DstRoot: b[3]}, b[DataHeaderLen:], nil
+}
+
+// frame wraps an MR-MTP payload in the broadcast-addressed Ethernet frame
+// the paper uses (§VII.F: broadcast destination avoids ARP on the
+// point-to-point links).
+func frame(src netaddr.MAC, payload []byte) []byte {
+	f := ethernet.Frame{
+		Dst:       netaddr.Broadcast,
+		Src:       src,
+		EtherType: ethernet.TypeMRMTP,
+		Payload:   payload,
+	}
+	return f.Marshal()
+}

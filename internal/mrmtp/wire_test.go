@@ -1,0 +1,134 @@
+package mrmtp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netaddr"
+)
+
+func TestHelloIsOneByte(t *testing.T) {
+	m := Message{Type: TypeHello}
+	b := m.Marshal()
+	if len(b) != 1 || b[0] != 0x06 {
+		t.Fatalf("hello = % x, want the single byte 06 of Fig. 10", b)
+	}
+	// Full frame: 15 bytes at layer 2 with broadcast addressing.
+	fr := frame(netaddr.MAC{0x6a}, b)
+	if len(fr) != 15 {
+		t.Errorf("hello frame = %d bytes, want 15", len(fr))
+	}
+	if fr[12] != 0x88 || fr[13] != 0x50 {
+		t.Errorf("ethertype = %02x%02x, want 8850 (paper §VII.F)", fr[12], fr[13])
+	}
+	if !bytes.Equal(fr[0:6], netaddr.Broadcast[:]) {
+		t.Error("hello frame not broadcast-addressed")
+	}
+}
+
+func TestControlRoundTrips(t *testing.T) {
+	vids := []VID{{11}, {11, 1}, {12, 2, 1}}
+	msgs := []Message{
+		{Type: TypeAdvertise, Tier: 2, VIDs: vids},
+		{Type: TypeJoin, VIDs: vids[:1]},
+		{Type: TypeOffer, VIDs: vids[1:]},
+		{Type: TypeAccept, VIDs: vids},
+		{Type: TypeAck, VIDs: vids},
+		{Type: TypeUpdate, Sub: UpdateLost, Roots: []byte{11, 12}},
+		{Type: TypeUpdate, Sub: UpdateFound, Roots: []byte{11}},
+		{Type: TypeHello},
+	}
+	for _, in := range msgs {
+		out, err := ParseMessage(in.Marshal())
+		if err != nil {
+			t.Fatalf("%#02x: %v", in.Type, err)
+		}
+		if out.Type != in.Type || out.Tier != in.Tier || out.Sub != in.Sub {
+			t.Errorf("%#02x: header mismatch: %+v", in.Type, out)
+		}
+		if len(out.VIDs) != len(in.VIDs) {
+			t.Fatalf("%#02x: VIDs %d != %d", in.Type, len(out.VIDs), len(in.VIDs))
+		}
+		for i := range in.VIDs {
+			if !out.VIDs[i].Equal(in.VIDs[i]) {
+				t.Errorf("%#02x: VID %d mismatch", in.Type, i)
+			}
+		}
+		if !bytes.Equal(out.Roots, in.Roots) {
+			t.Errorf("%#02x: roots %v != %v", in.Type, out.Roots, in.Roots)
+		}
+	}
+}
+
+func TestAdvertiseRoundTripProperty(t *testing.T) {
+	f := func(tier uint8, raw [][]byte) bool {
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		var vids []VID
+		for _, b := range raw {
+			if len(b) == 0 || len(b) > 12 {
+				continue
+			}
+			vids = append(vids, VID(b))
+		}
+		in := Message{Type: TypeAdvertise, Tier: int(tier), VIDs: vids}
+		out, err := ParseMessage(in.Marshal())
+		if err != nil || out.Tier != int(tier) || len(out.VIDs) != len(vids) {
+			return false
+		}
+		for i := range vids {
+			if !out.VIDs[i].Equal(vids[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := [][]byte{
+		{},
+		{0x99},                          // unknown type
+		{TypeAdvertise},                 // missing tier
+		{TypeJoin, 1},                   // count says 1, no VID
+		{TypeJoin, 1, 0},                // zero-length VID
+		{TypeJoin, 1, 5, 1},             // truncated VID
+		{TypeUpdate, UpdateLost},        // missing count
+		{TypeUpdate, UpdateLost, 2, 11}, // truncated roots
+		{TypeUpdate, 9, 1, 11},          // unknown subtype
+	}
+	for _, b := range bad {
+		if _, err := ParseMessage(b); err == nil {
+			t.Errorf("ParseMessage(% x) succeeded, want error", b)
+		}
+	}
+}
+
+func TestDataRoundTrip(t *testing.T) {
+	ip := []byte{0x45, 0, 0, 20}
+	b := MarshalData(11, 14, DataTTL, ip)
+	if len(b) != DataHeaderLen+len(ip) {
+		t.Fatalf("data payload = %d bytes", len(b))
+	}
+	h, got, err := ParseData(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SrcRoot != 11 || h.DstRoot != 14 || h.TTL != DataTTL {
+		t.Errorf("header = %+v", h)
+	}
+	if !bytes.Equal(got, ip) {
+		t.Error("payload corrupted")
+	}
+	if _, _, err := ParseData([]byte{TypeData}); err == nil {
+		t.Error("truncated data accepted")
+	}
+	if _, _, err := ParseData(b[1:]); err == nil {
+		t.Error("non-data payload accepted")
+	}
+}

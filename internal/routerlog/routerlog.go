@@ -1,0 +1,170 @@
+// Package routerlog reproduces the paper's measurement *methodology*, not
+// just its results. On the testbed, a bash script recorded the interface
+// failure instant, print statements in the MR-MTP C code (and tshark for
+// BGP) recorded update messages, and Python scripts parsed the collected
+// logs into convergence times (§VI.B). This package provides the same
+// pipeline: routers journal timestamped text lines, the journal renders to
+// the raw log format, a parser reads it back, and an analyzer recomputes
+// the metrics — so the repository can cross-validate its in-memory
+// measurements against a log-derived computation, exactly as a testbed user
+// would.
+package routerlog
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Line is one journal entry.
+type Line struct {
+	At   time.Duration
+	Node string
+	Text string
+}
+
+// Journal collects timestamped log lines from every router. It implements
+// metrics.Recorder, so it can be plugged into the protocols directly, and
+// offers Logf for harness-level events (failure injection).
+type Journal struct {
+	Lines []Line
+}
+
+// Logf appends a line.
+func (j *Journal) Logf(at time.Duration, node, format string, args ...any) {
+	j.Lines = append(j.Lines, Line{At: at, Node: node, Text: fmt.Sprintf(format, args...)})
+}
+
+// RouteUpdate implements metrics.Recorder.
+func (j *Journal) RouteUpdate(at time.Duration, node string) {
+	j.Logf(at, node, "routing table updated")
+}
+
+// ControlMessage implements metrics.Recorder.
+func (j *Journal) ControlMessage(at time.Duration, node string, l2Bytes int) {
+	j.Logf(at, node, "update message sent bytes=%d", l2Bytes)
+}
+
+// FailureInjected records the failure instant, like the paper's bash
+// script running `ip link set down` and stamping the time.
+func (j *Journal) FailureInjected(at time.Duration, node string, port int) {
+	j.Logf(at, node, "interface eth%d down (failure injected)", port)
+}
+
+// Render prints the journal as raw text logs, one file's worth: lines are
+// "<seconds-with-µs> <node> <text>", sorted by time then insertion order.
+func (j *Journal) Render() string {
+	lines := append([]Line(nil), j.Lines...)
+	sort.SliceStable(lines, func(i, k int) bool { return lines[i].At < lines[k].At })
+	var b strings.Builder
+	for _, l := range lines {
+		fmt.Fprintf(&b, "%.6f %s %s\n", l.At.Seconds(), l.Node, l.Text)
+	}
+	return b.String()
+}
+
+// Parse reads logs rendered by Render (the "download and parse" step).
+func Parse(text string) ([]Line, error) {
+	var out []Line
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for n := 1; sc.Scan(); n++ {
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		parts := strings.SplitN(raw, " ", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("routerlog: malformed line %d: %q", n, raw)
+		}
+		at, err := parseTimestamp(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("routerlog: bad timestamp on line %d: %v", n, err)
+		}
+		out = append(out, Line{At: at, Node: parts[1], Text: parts[2]})
+	}
+	return out, sc.Err()
+}
+
+// parseTimestamp reads "seconds.micros" exactly (float parsing would lose
+// the microsecond precision the convergence numbers depend on).
+func parseTimestamp(s string) (time.Duration, error) {
+	dot := strings.IndexByte(s, '.')
+	if dot < 0 {
+		secs, err := strconv.ParseInt(s, 10, 64)
+		return time.Duration(secs) * time.Second, err
+	}
+	secs, err := strconv.ParseInt(s[:dot], 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	frac := s[dot+1:]
+	if len(frac) > 6 {
+		frac = frac[:6]
+	}
+	for len(frac) < 6 {
+		frac += "0"
+	}
+	micros, err := strconv.ParseInt(frac, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(secs)*time.Second + time.Duration(micros)*time.Microsecond, nil
+}
+
+// Analysis is the log-derived metric set of §VI.B-C.
+type Analysis struct {
+	FailureAt    time.Duration
+	Convergence  time.Duration
+	ControlBytes int
+	ControlMsgs  int
+	BlastRadius  int
+}
+
+// Analyze recomputes convergence time, control overhead, and blast radius
+// from parsed log lines, exactly as the paper's scripts did: the failure
+// line gives the start time; the last update message gives the end; bytes
+// are summed from the update lines; the blast radius counts distinct
+// routers logging a table update.
+func Analyze(lines []Line) (Analysis, error) {
+	var a Analysis
+	foundFailure := false
+	updated := make(map[string]bool)
+	var lastUpdate time.Duration
+	for _, l := range lines {
+		switch {
+		case strings.Contains(l.Text, "failure injected"):
+			if !foundFailure || l.At < a.FailureAt {
+				a.FailureAt = l.At
+				foundFailure = true
+			}
+		case strings.HasPrefix(l.Text, "update message sent"):
+			if !foundFailure {
+				continue // pre-failure noise
+			}
+			var bytes int
+			if _, err := fmt.Sscanf(l.Text, "update message sent bytes=%d", &bytes); err != nil {
+				return a, fmt.Errorf("routerlog: unparseable update line: %q", l.Text)
+			}
+			a.ControlBytes += bytes
+			a.ControlMsgs++
+			if l.At > lastUpdate {
+				lastUpdate = l.At
+			}
+		case l.Text == "routing table updated":
+			if foundFailure {
+				updated[l.Node] = true
+			}
+		}
+	}
+	if !foundFailure {
+		return a, fmt.Errorf("routerlog: no failure-injection line in the logs")
+	}
+	if lastUpdate > a.FailureAt {
+		a.Convergence = lastUpdate - a.FailureAt
+	}
+	a.BlastRadius = len(updated)
+	return a, nil
+}

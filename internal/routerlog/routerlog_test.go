@@ -1,0 +1,95 @@
+package routerlog
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRenderParseRoundTrip(t *testing.T) {
+	var j Journal
+	j.FailureInjected(16*time.Second+123*time.Microsecond, "L-1-1", 1)
+	j.ControlMessage(16*time.Second+100*time.Millisecond, "S-1-1", 18)
+	j.RouteUpdate(16*time.Second+101*time.Millisecond, "L-1-2")
+	text := j.Render()
+	lines, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("parsed %d lines, want 3", len(lines))
+	}
+	if lines[0].Node != "L-1-1" || !strings.Contains(lines[0].Text, "failure injected") {
+		t.Errorf("first line = %+v", lines[0])
+	}
+	// Microsecond precision survives the text round trip.
+	if lines[0].At != 16*time.Second+123*time.Microsecond {
+		t.Errorf("timestamp = %v", lines[0].At)
+	}
+}
+
+func TestRenderSortsByTime(t *testing.T) {
+	var j Journal
+	j.RouteUpdate(2*time.Second, "b")
+	j.RouteUpdate(1*time.Second, "a")
+	lines, err := Parse(j.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines[0].Node != "a" || lines[1].Node != "b" {
+		t.Errorf("lines not time-sorted: %+v", lines)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse("justoneword\n"); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if _, err := Parse("abc node text\n"); err == nil {
+		t.Error("bad timestamp accepted")
+	}
+	lines, err := Parse("\n\n")
+	if err != nil || len(lines) != 0 {
+		t.Error("blank lines should be skipped")
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	var j Journal
+	// Pre-failure noise must be ignored.
+	j.ControlMessage(10*time.Second, "S-1-1", 999)
+	j.FailureInjected(16*time.Second, "L-1-1", 1)
+	j.ControlMessage(16*time.Second+90*time.Millisecond, "S-1-1", 18)
+	j.ControlMessage(16*time.Second+95*time.Millisecond, "T-1", 18)
+	j.RouteUpdate(16*time.Second+96*time.Millisecond, "L-1-2")
+	j.RouteUpdate(16*time.Second+97*time.Millisecond, "L-1-2") // same node
+	lines, err := Parse(j.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FailureAt != 16*time.Second {
+		t.Errorf("failure at %v", a.FailureAt)
+	}
+	if a.Convergence != 95*time.Millisecond {
+		t.Errorf("convergence = %v, want 95ms (last update message)", a.Convergence)
+	}
+	if a.ControlBytes != 36 || a.ControlMsgs != 2 {
+		t.Errorf("control = %d B / %d msgs", a.ControlBytes, a.ControlMsgs)
+	}
+	if a.BlastRadius != 1 {
+		t.Errorf("blast = %d, want 1 distinct node", a.BlastRadius)
+	}
+}
+
+func TestAnalyzeNoFailure(t *testing.T) {
+	var j Journal
+	j.RouteUpdate(time.Second, "x")
+	lines, _ := Parse(j.Render())
+	if _, err := Analyze(lines); err == nil {
+		t.Error("analysis without a failure line should error")
+	}
+}

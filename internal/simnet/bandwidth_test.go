@@ -1,0 +1,109 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSerializationDelay(t *testing.T) {
+	s := New(1)
+	a, b := s.AddNode("a"), s.AddNode("b")
+	h := &echoHandler{}
+	b.Handler = h
+	var arrived []time.Duration
+	h.onRx = func(*Port, []byte) { arrived = append(arrived, s.Now()) }
+	link := s.ConnectLatency(a.AddPort(), b.AddPort(), 100*time.Microsecond)
+	link.SetBandwidth(8_000_000, 0) // 8 Mb/s: a 1000-byte frame takes 1ms
+	a.Port(1).Send(make([]byte, 1000))
+	s.RunFor(10 * time.Millisecond)
+	if len(arrived) != 1 {
+		t.Fatalf("arrived %d frames", len(arrived))
+	}
+	// 1ms serialization + 100µs propagation.
+	if arrived[0] != 1100*time.Microsecond {
+		t.Errorf("arrival at %v, want 1.1ms", arrived[0])
+	}
+}
+
+func TestQueueingBehindEarlierFrames(t *testing.T) {
+	s := New(1)
+	a, b := s.AddNode("a"), s.AddNode("b")
+	h := &echoHandler{}
+	b.Handler = h
+	var arrived []time.Duration
+	h.onRx = func(*Port, []byte) { arrived = append(arrived, s.Now()) }
+	link := s.ConnectLatency(a.AddPort(), b.AddPort(), 0)
+	link.SetBandwidth(8_000_000, 0)
+	for i := 0; i < 3; i++ {
+		a.Port(1).Send(make([]byte, 1000)) // 1ms each, back to back
+	}
+	s.RunFor(10 * time.Millisecond)
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond}
+	if len(arrived) != 3 {
+		t.Fatalf("arrived %d frames", len(arrived))
+	}
+	for i := range want {
+		if arrived[i] != want[i] {
+			t.Errorf("frame %d at %v, want %v", i, arrived[i], want[i])
+		}
+	}
+}
+
+func TestThroughputCap(t *testing.T) {
+	// Offer 2x the link rate for one second; delivered bytes must match
+	// the configured bandwidth, not the offered load.
+	s := New(1)
+	a, b := s.AddNode("a"), s.AddNode("b")
+	h := &echoHandler{}
+	b.Handler = h
+	link := s.ConnectLatency(a.AddPort(), b.AddPort(), 0)
+	link.SetBandwidth(8_000_000, 0) // 1 MB/s
+	var offered func()
+	frame := make([]byte, 1000)
+	offered = func() {
+		a.Port(1).Send(frame)
+		a.Port(1).Send(frame) // 2x rate
+		s.After(time.Millisecond, offered)
+	}
+	offered()
+	s.RunFor(time.Second)
+	got := b.Port(1).Counters.RxBytes
+	if got < 990_000 || got > 1_010_000 {
+		t.Errorf("delivered %d bytes in 1s over a 1MB/s link", got)
+	}
+}
+
+func TestQueueOverflowTailDrops(t *testing.T) {
+	s := New(1)
+	a, b := s.AddNode("a"), s.AddNode("b")
+	b.Handler = &echoHandler{}
+	link := s.ConnectLatency(a.AddPort(), b.AddPort(), 0)
+	link.SetBandwidth(8_000_000, 4) // at most 4 frames queued
+	for i := 0; i < 10; i++ {
+		a.Port(1).Send(make([]byte, 1000))
+	}
+	s.RunFor(time.Second)
+	if link.Overflowed != 6 {
+		t.Errorf("overflowed = %d, want 6 (10 offered, 4 queue slots)", link.Overflowed)
+	}
+	if got := b.Port(1).Counters.RxFrames; got != 4 {
+		t.Errorf("delivered = %d, want 4", got)
+	}
+}
+
+func TestZeroBandwidthIsIdeal(t *testing.T) {
+	// Default links have no serialization delay: delivery at exactly the
+	// propagation latency regardless of frame size.
+	s := New(1)
+	a, b := s.AddNode("a"), s.AddNode("b")
+	h := &echoHandler{}
+	b.Handler = h
+	var at time.Duration
+	h.onRx = func(*Port, []byte) { at = s.Now() }
+	s.ConnectLatency(a.AddPort(), b.AddPort(), 250*time.Microsecond)
+	a.Port(1).Send(make([]byte, 9000))
+	s.RunFor(time.Millisecond)
+	if at != 250*time.Microsecond {
+		t.Errorf("ideal link delivered at %v", at)
+	}
+}

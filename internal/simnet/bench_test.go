@@ -1,0 +1,51 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkEventLoop(b *testing.B) {
+	// Raw scheduling throughput: the ceiling on everything the
+	// experiments can simulate per wall-clock second.
+	s := New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, func() {})
+		s.Step()
+	}
+}
+
+func BenchmarkFrameDelivery(b *testing.B) {
+	s := New(1)
+	na, nb := s.AddNode("a"), s.AddNode("b")
+	h := &echoHandler{}
+	nb.Handler = h
+	s.Connect(na.AddPort(), nb.AddPort())
+	frame := make([]byte, 85) // a BGP keepalive's worth
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		na.Port(1).Send(frame)
+		s.Step()
+		h.frames = h.frames[:0]
+	}
+}
+
+func BenchmarkTimerResetChurn(b *testing.B) {
+	// Dead-timer re-arming is the hottest timer pattern in the fabric
+	// (every received frame resets a timer).
+	s := New(1)
+	t := s.After(time.Millisecond, func() {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Reset(time.Millisecond)
+		if i%1024 == 1023 {
+			// Drain the cancelled events like a real run would.
+			s.RunFor(2 * time.Millisecond)
+			t = s.After(time.Millisecond, func() {})
+		}
+	}
+}

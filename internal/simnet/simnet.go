@@ -1,0 +1,514 @@
+// Package simnet is a deterministic discrete-event network simulator.
+//
+// It stands in for the FABRIC testbed used in the paper: nodes are virtual
+// machines, ports are their network interfaces, and links are the
+// point-to-point fiber connections between them. Time is virtual — the event
+// loop advances a microsecond-resolution clock from event to event — so a
+// three-second BGP hold timer costs nothing to simulate and every run with
+// the same seed is bit-for-bit reproducible.
+//
+// The failure model mirrors the paper's method of failing an interface with
+// a script executed on the target node (`ip link set X down`): the node that
+// owns the failed interface observes carrier-down after a small local
+// detection delay, while the peer's interface stays up and the peer learns
+// of the failure only through protocol timers. This asymmetry is what makes
+// the paper's TC1/TC3 failure points behave differently from TC2/TC4.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/netaddr"
+)
+
+// Handler is the protocol stack attached to a node. All methods are invoked
+// from the simulator's event loop; implementations never block and schedule
+// future work through the node's simulator.
+type Handler interface {
+	// Start runs when the simulation begins (or when the handler is
+	// attached to an already-running simulation).
+	Start()
+	// HandleFrame delivers a received Ethernet frame. The slice is owned
+	// by the receiver.
+	HandleFrame(p *Port, frame []byte)
+	// PortDown reports local carrier loss on p (admin-down or failure
+	// injection on this node). It is NOT called on the remote peer.
+	PortDown(p *Port)
+	// PortUp reports local carrier restoration on p.
+	PortUp(p *Port)
+}
+
+// Sim is a single simulation instance. It is not safe for concurrent use;
+// all protocol code runs on the event loop goroutine.
+type Sim struct {
+	now    time.Duration
+	queue  eventQueue
+	seq    uint64
+	rng    *rand.Rand
+	nodes  map[string]*Node
+	links  []*Link
+	macSeq uint32
+
+	// LocalDetectDelay is the time between an interface failure and the
+	// owning node's PortDown callback (carrier-loss interrupt latency).
+	LocalDetectDelay time.Duration
+
+	// DefaultLatency is the one-way propagation delay applied to links
+	// created without an explicit latency.
+	DefaultLatency time.Duration
+
+	// Trace, when non-nil, receives a line for every noteworthy event
+	// (frame drops, failures). Used by examples and debugging.
+	Trace func(at time.Duration, format string, args ...any)
+
+	events uint64 // total events processed, for stats
+}
+
+// New creates a simulator seeded for deterministic runs.
+func New(seed int64) *Sim {
+	return &Sim{
+		rng:              rand.New(rand.NewSource(seed)),
+		nodes:            make(map[string]*Node),
+		LocalDetectDelay: 1 * time.Millisecond,
+		DefaultLatency:   100 * time.Microsecond,
+	}
+}
+
+// Now returns the current virtual time (time since simulation start).
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Rand exposes the simulation's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Events returns the number of events processed so far.
+func (s *Sim) Events() uint64 { return s.events }
+
+func (s *Sim) tracef(format string, args ...any) {
+	if s.Trace != nil {
+		s.Trace(s.now, format, args...)
+	}
+}
+
+// event is a scheduled callback. Events with equal time fire in scheduling
+// order (seq), which keeps runs deterministic.
+type event struct {
+	at      time.Duration
+	seq     uint64
+	fn      func()
+	stopped bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// At schedules fn at absolute virtual time t. Scheduling in the past is a
+// programming error and panics.
+func (s *Sim) At(t time.Duration, fn func()) *Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("simnet: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, ev)
+	return &Timer{sim: s, ev: ev}
+}
+
+// After schedules fn d from now and returns a cancellable timer.
+func (s *Sim) After(d time.Duration, fn func()) *Timer {
+	return s.At(s.now+d, fn)
+}
+
+// Timer is a handle to a scheduled event.
+type Timer struct {
+	sim *Sim
+	ev  *event
+	fn  func()
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the call
+// prevented the timer from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.stopped || t.ev.fn == nil {
+		return false
+	}
+	t.ev.stopped = true
+	return true
+}
+
+// Reset re-arms the timer to fire d from now with the original callback,
+// cancelling any pending firing.
+func (t *Timer) Reset(d time.Duration) {
+	if t.fn == nil {
+		// Preserve the callback on first reset.
+		t.fn = t.ev.fn
+	}
+	t.Stop()
+	nt := t.sim.After(d, t.fn)
+	t.ev = nt.ev
+}
+
+// Step processes the next event. It reports false when the queue is empty.
+func (s *Sim) Step() bool {
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.stopped {
+			continue
+		}
+		s.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		s.events++
+		fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil processes every event scheduled at or before t, then advances the
+// clock to exactly t.
+func (s *Sim) RunUntil(t time.Duration) {
+	for s.queue.Len() > 0 {
+		next := s.queue[0]
+		if next.stopped {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// RunFor advances the simulation by d.
+func (s *Sim) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
+
+// RunUntilIdle drains the event queue, but never past the maxTime horizon
+// (protocol keep-alives re-arm forever, so a pure drain would not finish).
+func (s *Sim) RunUntilIdle(maxTime time.Duration) {
+	s.RunUntil(maxTime)
+}
+
+// Node is one device: a router, switch, or server.
+type Node struct {
+	Name    string
+	Sim     *Sim
+	Ports   []*Port // index 0 unused; ports are 1-based like the paper's VID port numbers
+	Handler Handler
+
+	// Meta carries harness-level labels (tier, pod, VID) without the
+	// simulator depending on topology types.
+	Meta map[string]string
+}
+
+// AddNode creates a node. Names must be unique.
+func (s *Sim) AddNode(name string) *Node {
+	if _, dup := s.nodes[name]; dup {
+		panic("simnet: duplicate node name " + name)
+	}
+	n := &Node{Name: name, Sim: s, Ports: []*Port{nil}, Meta: make(map[string]string)}
+	s.nodes[name] = n
+	return n
+}
+
+// Node returns a node by name, or nil.
+func (s *Sim) Node(name string) *Node { return s.nodes[name] }
+
+// Nodes returns every node, in no particular order.
+func (s *Sim) Nodes() []*Node {
+	out := make([]*Node, 0, len(s.nodes))
+	for _, n := range s.nodes {
+		out = append(out, n)
+	}
+	return out
+}
+
+// AddPort appends a new port to the node and returns it. Port indices start
+// at 1 to match the paper's VID construction ("append the port number on
+// which the request arrived").
+func (n *Node) AddPort() *Port {
+	n.Sim.macSeq++
+	p := &Port{
+		Node:  n,
+		Index: len(n.Ports),
+		MAC:   netaddr.MAC{0x02, 0x00, byte(n.Sim.macSeq >> 16), byte(n.Sim.macSeq >> 8), byte(n.Sim.macSeq), 0x01},
+		up:    true,
+	}
+	n.Ports = append(n.Ports, p)
+	return p
+}
+
+// Port returns the i-th (1-based) port. It panics on a bad index because
+// topology wiring is static.
+func (n *Node) Port(i int) *Port {
+	if i < 1 || i >= len(n.Ports) {
+		panic(fmt.Sprintf("simnet: node %s has no port %d", n.Name, i))
+	}
+	return n.Ports[i]
+}
+
+// Start invokes Start on every attached handler. Call once after wiring.
+func (s *Sim) Start() {
+	// Deterministic order: nodes sorted by name.
+	for _, n := range sortedNodes(s.nodes) {
+		if n.Handler != nil {
+			n.Handler.Start()
+		}
+	}
+}
+
+func sortedNodes(m map[string]*Node) []*Node {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	// Insertion sort: n is small and this avoids importing sort for one call.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	out := make([]*Node, len(names))
+	for i, name := range names {
+		out[i] = m[name]
+	}
+	return out
+}
+
+// PortCounters tracks per-port frame statistics.
+type PortCounters struct {
+	TxFrames  uint64
+	TxBytes   uint64
+	RxFrames  uint64
+	RxBytes   uint64
+	TxDropped uint64 // transmit attempts while the port or link was down
+	RxDropped uint64 // frames arriving at a down port
+}
+
+// Port is a network interface on a node.
+type Port struct {
+	Node  *Node
+	Index int
+	MAC   netaddr.MAC
+	Link  *Link
+	up    bool
+
+	Counters PortCounters
+}
+
+// Name renders the paper-style interface name ("T-1:eth2").
+func (p *Port) Name() string { return fmt.Sprintf("%s:eth%d", p.Node.Name, p.Index) }
+
+// Up reports local carrier status.
+func (p *Port) Up() bool { return p.up }
+
+// Peer returns the port at the other end of the link, or nil when unwired.
+func (p *Port) Peer() *Port {
+	if p.Link == nil {
+		return nil
+	}
+	if p.Link.A == p {
+		return p.Link.B
+	}
+	return p.Link.A
+}
+
+// Send transmits an Ethernet frame out the port. Frames hitting a down port
+// or unwired port are counted and dropped; otherwise delivery is scheduled
+// after the link latency and checked against the receiving port's status at
+// arrival time (frames in flight when a failure hits are lost).
+func (p *Port) Send(frame []byte) {
+	sim := p.Node.Sim
+	if !p.up || p.Link == nil {
+		p.Counters.TxDropped++
+		sim.tracef("%s: tx drop (port down), %d bytes", p.Name(), len(frame))
+		return
+	}
+	p.Counters.TxFrames++
+	p.Counters.TxBytes += uint64(len(frame))
+	link := p.Link
+	for _, tap := range link.taps {
+		tap(sim.now, p, frame)
+	}
+	if link.lossRate > 0 && sim.rng.Float64() < link.lossRate {
+		link.Lost++
+		sim.tracef("%s: frame lost in transit (%d bytes)", p.Name(), len(frame))
+		return
+	}
+	// Serialization and queueing: with finite bandwidth the frame waits
+	// behind earlier frames, then occupies the wire for its bit time.
+	delay := link.Latency
+	if link.bandwidth > 0 {
+		d := link.dir(p)
+		if link.maxQueue > 0 && d.queued >= link.maxQueue {
+			link.Overflowed++
+			sim.tracef("%s: egress queue overflow (%d bytes)", p.Name(), len(frame))
+			return
+		}
+		txTime := time.Duration(int64(len(frame)) * 8 * int64(time.Second) / link.bandwidth)
+		start := sim.now
+		if d.busyUntil > start {
+			start = d.busyUntil
+		}
+		d.busyUntil = start + txTime
+		d.queued++
+		delay = d.busyUntil - sim.now + link.Latency
+		doneAt := d.busyUntil
+		sim.At(doneAt, func() { d.queued-- })
+	}
+	peer := p.Peer()
+	sim.After(delay, func() {
+		if !peer.up || !p.up || p.Link != link {
+			peer.Counters.RxDropped++
+			sim.tracef("%s: rx drop (port down at arrival), %d bytes", peer.Name(), len(frame))
+			return
+		}
+		peer.Counters.RxFrames++
+		peer.Counters.RxBytes += uint64(len(frame))
+		if peer.Node.Handler != nil {
+			peer.Node.Handler.HandleFrame(peer, frame)
+		}
+	})
+}
+
+// Fail injects an interface failure on this port, as the paper's bash
+// script does with `ip link set down` on the target node: the local node
+// gets PortDown after the simulator's LocalDetectDelay; the peer notices
+// nothing at the physical layer.
+func (p *Port) Fail() {
+	if !p.up {
+		return
+	}
+	p.up = false
+	sim := p.Node.Sim
+	sim.tracef("%s: interface FAILED", p.Name())
+	sim.After(sim.LocalDetectDelay, func() {
+		if p.Node.Handler != nil && !p.up {
+			p.Node.Handler.PortDown(p)
+		}
+	})
+}
+
+// Restore brings a failed port back up and notifies the local handler.
+func (p *Port) Restore() {
+	if p.up {
+		return
+	}
+	p.up = true
+	sim := p.Node.Sim
+	sim.tracef("%s: interface restored", p.Name())
+	sim.After(sim.LocalDetectDelay, func() {
+		if p.Node.Handler != nil && p.up {
+			p.Node.Handler.PortUp(p)
+		}
+	})
+}
+
+// CaptureFunc observes a frame at transmit time: the timestamped capture
+// hook used by the tshark-equivalent in internal/capture.
+type CaptureFunc func(at time.Duration, from *Port, frame []byte)
+
+// Link is a full-duplex point-to-point connection between two ports.
+type Link struct {
+	A, B    *Port
+	Latency time.Duration
+	taps    []CaptureFunc
+
+	// lossRate is the probability of dropping each frame in flight
+	// (fault injection for protocol-robustness tests).
+	lossRate float64
+	// Lost counts frames dropped by loss injection.
+	Lost uint64
+
+	// bandwidth, when nonzero, serializes frames at this many bits per
+	// second per direction; frames queue FIFO behind the transmitter.
+	bandwidth int64
+	// maxQueue bounds the per-direction egress queue in frames; beyond
+	// it frames tail-drop (counted in Overflowed). 0 means unbounded.
+	maxQueue int
+	// Overflowed counts tail-dropped frames.
+	Overflowed uint64
+
+	// Per-direction transmitter state, keyed by the sending port.
+	dirA, dirB dirState
+}
+
+type dirState struct {
+	busyUntil time.Duration
+	queued    int
+}
+
+// SetLossRate makes the link drop each frame with probability p (0..1).
+func (l *Link) SetLossRate(p float64) { l.lossRate = p }
+
+// SetBandwidth models link capacity: frames serialize at bps bits per
+// second per direction and queue FIFO (tail-dropping beyond maxQueue
+// frames; maxQueue 0 leaves the queue unbounded). bps 0 restores the
+// ideal infinite-capacity link.
+func (l *Link) SetBandwidth(bps int64, maxQueue int) {
+	l.bandwidth = bps
+	l.maxQueue = maxQueue
+}
+
+func (l *Link) dir(from *Port) *dirState {
+	if from == l.A {
+		return &l.dirA
+	}
+	return &l.dirB
+}
+
+// Connect wires two ports with the default latency.
+func (s *Sim) Connect(a, b *Port) *Link { return s.ConnectLatency(a, b, s.DefaultLatency) }
+
+// ConnectLatency wires two ports with an explicit one-way latency.
+func (s *Sim) ConnectLatency(a, b *Port, latency time.Duration) *Link {
+	if a.Link != nil || b.Link != nil {
+		panic(fmt.Sprintf("simnet: port already wired: %s <-> %s", a.Name(), b.Name()))
+	}
+	if a.Node == b.Node {
+		panic("simnet: cannot connect a node to itself")
+	}
+	l := &Link{A: a, B: b, Latency: latency}
+	a.Link = l
+	b.Link = l
+	s.links = append(s.links, l)
+	return l
+}
+
+// Links returns every link created so far.
+func (s *Sim) Links() []*Link { return s.links }
+
+// Tap registers a capture hook on the link; it sees frames from both
+// directions at their transmit timestamps.
+func (l *Link) Tap(fn CaptureFunc) { l.taps = append(l.taps, fn) }
+
+// Other returns the port opposite p on this link.
+func (l *Link) Other(p *Port) *Port {
+	if l.A == p {
+		return l.B
+	}
+	return l.A
+}

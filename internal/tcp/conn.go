@@ -1,0 +1,379 @@
+package tcp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netaddr"
+	"repro/internal/simnet"
+)
+
+// State is a TCP connection state (a condensed RFC 793 machine).
+type State int
+
+// Connection states.
+const (
+	StateClosed State = iota
+	StateSynSent
+	StateSynReceived
+	StateEstablished
+)
+
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "CLOSED"
+	case StateSynSent:
+		return "SYN-SENT"
+	case StateSynReceived:
+		return "SYN-RECEIVED"
+	case StateEstablished:
+		return "ESTABLISHED"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Retransmission parameters. The RTO is fixed rather than RTT-estimated:
+// simulated DCN RTTs are sub-millisecond and constant, so an adaptive
+// estimator would converge to a floor anyway.
+const (
+	initialRTO = 200 * time.Millisecond
+	maxRetries = 8
+	maxRTO     = 10 * time.Second
+)
+
+// Endpoint is the per-node TCP instance. The owning IP stack feeds it
+// received segments via Input and provides the outbound path via the output
+// function handed to NewEndpoint.
+type Endpoint struct {
+	sim    *simnet.Sim
+	output func(src, dst netaddr.IPv4, segment []byte)
+
+	listeners map[uint16]func(*Conn)
+	conns     map[connKey]*Conn
+	portSeq   uint16
+
+	// Stats counts segments for the overhead experiments.
+	Stats struct {
+		SegmentsSent uint64
+		SegmentsRecv uint64
+		Retransmits  uint64
+		PureAcksSent uint64
+	}
+}
+
+type connKey struct {
+	localIP    netaddr.IPv4
+	localPort  uint16
+	remoteIP   netaddr.IPv4
+	remotePort uint16
+}
+
+// NewEndpoint creates a TCP endpoint that transmits segments through output.
+func NewEndpoint(sim *simnet.Sim, output func(src, dst netaddr.IPv4, segment []byte)) *Endpoint {
+	return &Endpoint{
+		sim:       sim,
+		output:    output,
+		listeners: make(map[uint16]func(*Conn)),
+		conns:     make(map[connKey]*Conn),
+		portSeq:   49152, // ephemeral range
+	}
+}
+
+// Listen registers an accept callback for a local port. The callback runs
+// when a new connection reaches ESTABLISHED.
+func (e *Endpoint) Listen(port uint16, accept func(*Conn)) {
+	e.listeners[port] = accept
+}
+
+// Dial opens a connection from local to remote:remotePort. The returned
+// conn reports readiness through OnState.
+func (e *Endpoint) Dial(local, remote netaddr.IPv4, remotePort uint16) *Conn {
+	e.portSeq++
+	c := e.newConn(connKey{local, e.portSeq, remote, remotePort})
+	c.state = StateSynSent
+	c.sndNxt = c.iss + 1
+	c.sendSegment(FlagSYN, c.iss, 0, nil)
+	c.armRetransmit()
+	return c
+}
+
+func (e *Endpoint) newConn(k connKey) *Conn {
+	c := &Conn{
+		ep:  e,
+		key: k,
+		iss: uint32(e.sim.Rand().Int63()),
+	}
+	c.sndUna = c.iss
+	e.conns[k] = c
+	return c
+}
+
+// Input feeds a received TCP segment (IP payload) into the endpoint.
+func (e *Endpoint) Input(src, dst netaddr.IPv4, payload []byte) {
+	seg, err := Unmarshal(src, dst, payload)
+	if err != nil {
+		return // corrupt segments are silently dropped, as in a kernel
+	}
+	e.Stats.SegmentsRecv++
+	k := connKey{dst, seg.DstPort, src, seg.SrcPort}
+	c := e.conns[k]
+	if c == nil {
+		if seg.Flags&FlagSYN != 0 && seg.Flags&FlagACK == 0 {
+			if accept, ok := e.listeners[seg.DstPort]; ok {
+				c = e.newConn(k)
+				c.acceptFn = accept
+				c.state = StateSynReceived
+				c.rcvNxt = seg.Seq + 1
+				c.sndNxt = c.iss + 1
+				c.sendSegment(FlagSYN|FlagACK, c.iss, c.rcvNxt, nil)
+				c.armRetransmit()
+				return
+			}
+		}
+		// No listener and no connection: RST anything but an RST.
+		if seg.Flags&FlagRST == 0 {
+			e.sendRST(dst, src, seg)
+		}
+		return
+	}
+	c.input(seg)
+}
+
+func (e *Endpoint) sendRST(src, dst netaddr.IPv4, in Segment) {
+	rst := Segment{
+		SrcPort: in.DstPort, DstPort: in.SrcPort,
+		Seq: in.Ack, Ack: in.Seq + uint32(len(in.Payload)),
+		Flags: FlagRST | FlagACK,
+	}
+	e.Stats.SegmentsSent++
+	e.output(src, dst, rst.Marshal(src, dst))
+}
+
+// Conn is one TCP connection.
+type Conn struct {
+	ep       *Endpoint
+	key      connKey
+	state    State
+	acceptFn func(*Conn)
+
+	iss    uint32
+	sndUna uint32 // oldest unacknowledged byte
+	sndNxt uint32 // next sequence number to send
+	rcvNxt uint32 // next expected receive sequence
+
+	unacked []byte // bytes in [sndUna, sndNxt) awaiting acknowledgement
+	pending []byte // bytes not yet transmitted (window beyond go-back-N burst)
+
+	retransTimer *simnet.Timer
+	retries      int
+
+	onData  func([]byte)
+	onState func(State)
+}
+
+// LocalAddr returns the connection's local IP.
+func (c *Conn) LocalAddr() netaddr.IPv4 { return c.key.localIP }
+
+// RemoteAddr returns the connection's remote IP.
+func (c *Conn) RemoteAddr() netaddr.IPv4 { return c.key.remoteIP }
+
+// State returns the connection state.
+func (c *Conn) State() State { return c.state }
+
+// OnData registers the in-order stream delivery callback.
+func (c *Conn) OnData(fn func([]byte)) { c.onData = fn }
+
+// OnState registers a callback invoked on every state transition
+// (ESTABLISHED on success, CLOSED on reset, failure, or close).
+func (c *Conn) OnState(fn func(State)) { c.onState = fn }
+
+func (c *Conn) setState(s State) {
+	if c.state == s {
+		return
+	}
+	c.state = s
+	if s == StateEstablished && c.acceptFn != nil {
+		fn := c.acceptFn
+		c.acceptFn = nil
+		fn(c)
+	}
+	if c.onState != nil {
+		c.onState(s)
+	}
+}
+
+// Send queues application data for reliable delivery. Data sent before the
+// connection is established is transmitted once the handshake completes.
+func (c *Conn) Send(data []byte) {
+	if c.state == StateClosed {
+		return
+	}
+	c.pending = append(c.pending, data...)
+	if c.state == StateEstablished {
+		c.pushPending()
+	}
+}
+
+func (c *Conn) pushPending() {
+	for len(c.pending) > 0 {
+		n := len(c.pending)
+		if n > MSS {
+			n = MSS
+		}
+		chunk := c.pending[:n]
+		c.sendSegment(FlagACK|FlagPSH, c.sndNxt, c.rcvNxt, chunk)
+		c.unacked = append(c.unacked, chunk...)
+		c.sndNxt += uint32(n)
+		c.pending = c.pending[n:]
+	}
+	c.armRetransmit()
+}
+
+// Close aborts the connection with a RST. BGP sessions in the experiments
+// end either by failure or by teardown, so the simplified machine does not
+// model the FIN exchange; NOTIFICATION-then-RST is how FRR behaves when a
+// session is administratively cleared anyway.
+func (c *Conn) Close() {
+	if c.state == StateClosed {
+		return
+	}
+	seg := Segment{SrcPort: c.key.localPort, DstPort: c.key.remotePort,
+		Seq: c.sndNxt, Ack: c.rcvNxt, Flags: FlagRST | FlagACK}
+	c.ep.Stats.SegmentsSent++
+	c.ep.output(c.key.localIP, c.key.remoteIP, seg.Marshal(c.key.localIP, c.key.remoteIP))
+	c.teardown()
+}
+
+func (c *Conn) teardown() {
+	if c.retransTimer != nil {
+		c.retransTimer.Stop()
+	}
+	delete(c.ep.conns, c.key)
+	c.setState(StateClosed)
+}
+
+func (c *Conn) sendSegment(flags byte, seq, ack uint32, payload []byte) {
+	seg := Segment{
+		SrcPort: c.key.localPort, DstPort: c.key.remotePort,
+		Seq: seq, Ack: ack, Flags: flags,
+		TSVal:   uint32(c.ep.sim.Now() / time.Millisecond),
+		Payload: payload,
+	}
+	c.ep.Stats.SegmentsSent++
+	if flags&FlagACK != 0 && len(payload) == 0 && flags&(FlagSYN|FlagRST) == 0 {
+		c.ep.Stats.PureAcksSent++
+	}
+	c.ep.output(c.key.localIP, c.key.remoteIP, seg.Marshal(c.key.localIP, c.key.remoteIP))
+}
+
+func (c *Conn) armRetransmit() {
+	if len(c.unacked) == 0 && c.state != StateSynSent && c.state != StateSynReceived {
+		if c.retransTimer != nil {
+			c.retransTimer.Stop()
+		}
+		return
+	}
+	rto := initialRTO << uint(c.retries)
+	if rto > maxRTO {
+		rto = maxRTO
+	}
+	if c.retransTimer != nil {
+		c.retransTimer.Stop()
+	}
+	c.retransTimer = c.ep.sim.After(rto, c.retransmit)
+}
+
+func (c *Conn) retransmit() {
+	if c.state == StateClosed {
+		return
+	}
+	c.retries++
+	if c.retries > maxRetries {
+		c.teardown()
+		return
+	}
+	c.ep.Stats.Retransmits++
+	switch c.state {
+	case StateSynSent:
+		c.sendSegment(FlagSYN, c.iss, 0, nil)
+	case StateSynReceived:
+		c.sendSegment(FlagSYN|FlagACK, c.iss, c.rcvNxt, nil)
+	default:
+		// Go-back-N: resend everything from sndUna in MSS chunks.
+		for off := 0; off < len(c.unacked); off += MSS {
+			end := off + MSS
+			if end > len(c.unacked) {
+				end = len(c.unacked)
+			}
+			c.sendSegment(FlagACK|FlagPSH, c.sndUna+uint32(off), c.rcvNxt, c.unacked[off:end])
+		}
+	}
+	c.armRetransmit()
+}
+
+func (c *Conn) input(seg Segment) {
+	if seg.Flags&FlagRST != 0 {
+		// Accept any RST with a plausible sequence; this is a control
+		// plane simulation, not an attack surface.
+		c.teardown()
+		return
+	}
+	switch c.state {
+	case StateSynSent:
+		if seg.Flags&FlagSYN != 0 && seg.Flags&FlagACK != 0 && seg.Ack == c.iss+1 {
+			c.rcvNxt = seg.Seq + 1
+			c.sndUna = seg.Ack
+			c.retries = 0
+			c.sendSegment(FlagACK, c.sndNxt, c.rcvNxt, nil)
+			c.setState(StateEstablished)
+			c.pushPending()
+			c.armRetransmit()
+		}
+	case StateSynReceived:
+		if seg.Flags&FlagACK != 0 && seg.Ack == c.iss+1 {
+			c.sndUna = seg.Ack
+			c.retries = 0
+			c.setState(StateEstablished)
+			c.pushPending()
+			c.armRetransmit()
+			// The handshake ACK may already carry data.
+			if len(seg.Payload) > 0 {
+				c.acceptData(seg)
+			}
+		}
+	case StateEstablished:
+		c.processAck(seg)
+		if len(seg.Payload) > 0 {
+			c.acceptData(seg)
+		}
+	}
+}
+
+func (c *Conn) processAck(seg Segment) {
+	if seg.Flags&FlagACK == 0 {
+		return
+	}
+	if seqLT(c.sndUna, seg.Ack) && seqLEQ(seg.Ack, c.sndNxt) {
+		advanced := seg.Ack - c.sndUna
+		c.unacked = c.unacked[advanced:]
+		c.sndUna = seg.Ack
+		c.retries = 0
+		c.armRetransmit()
+	}
+}
+
+func (c *Conn) acceptData(seg Segment) {
+	if seg.Seq != c.rcvNxt {
+		// Out-of-order (a retransmission gap): discard and re-ACK what we
+		// have. The go-back-N sender will resend from the gap.
+		c.sendSegment(FlagACK, c.sndNxt, c.rcvNxt, nil)
+		return
+	}
+	c.rcvNxt += uint32(len(seg.Payload))
+	c.sendSegment(FlagACK, c.sndNxt, c.rcvNxt, nil)
+	if c.onData != nil {
+		data := append([]byte(nil), seg.Payload...)
+		c.onData(data)
+	}
+}

@@ -1,0 +1,111 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netaddr"
+)
+
+func TestISSUnpredictablePerConnection(t *testing.T) {
+	w := newWirePair(t)
+	w.b.Listen(179, func(c *Conn) {})
+	c1 := w.a.Dial(ipA, ipB, 179)
+	c2 := w.a.Dial(ipA, ipB, 179)
+	if c1.iss == c2.iss {
+		t.Error("two connections share an initial sequence number")
+	}
+}
+
+func TestSendAfterCloseIgnored(t *testing.T) {
+	w := newWirePair(t)
+	var got []byte
+	w.b.Listen(179, func(c *Conn) {
+		c.OnData(func(d []byte) { got = append(got, d...) })
+	})
+	c := w.a.Dial(ipA, ipB, 179)
+	w.sim.RunFor(10 * time.Millisecond)
+	c.Close()
+	c.Send([]byte("too late"))
+	w.sim.RunFor(time.Second)
+	if len(got) != 0 {
+		t.Errorf("data delivered after close: %q", got)
+	}
+}
+
+func TestRelistenAfterReset(t *testing.T) {
+	// A listener must accept a *new* connection after the previous one
+	// was reset.
+	w := newWirePair(t)
+	accepts := 0
+	w.b.Listen(179, func(c *Conn) { accepts++ })
+	c1 := w.a.Dial(ipA, ipB, 179)
+	w.sim.RunFor(10 * time.Millisecond)
+	c1.Close()
+	w.sim.RunFor(10 * time.Millisecond)
+	c2 := w.a.Dial(ipA, ipB, 179)
+	w.sim.RunFor(10 * time.Millisecond)
+	if accepts != 2 {
+		t.Errorf("accepts = %d, want 2", accepts)
+	}
+	if c2.State() != StateEstablished {
+		t.Errorf("second connection state = %v", c2.State())
+	}
+}
+
+func TestInterleavedBidirectionalStreams(t *testing.T) {
+	w := newWirePair(t)
+	var serverGot, clientGot []byte
+	var serverConn *Conn
+	w.b.Listen(179, func(c *Conn) {
+		serverConn = c
+		c.OnData(func(d []byte) {
+			serverGot = append(serverGot, d...)
+			c.Send([]byte("ack:" + string(d)))
+		})
+	})
+	c := w.a.Dial(ipA, ipB, 179)
+	c.OnData(func(d []byte) { clientGot = append(clientGot, d...) })
+	w.sim.RunFor(10 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		c.Send([]byte{byte('a' + i)})
+		w.sim.RunFor(5 * time.Millisecond)
+	}
+	if string(serverGot) != "abcde" {
+		t.Errorf("server got %q", serverGot)
+	}
+	if string(clientGot) != "ack:aack:back:cack:dack:e" {
+		t.Errorf("client got %q", clientGot)
+	}
+	_ = serverConn
+}
+
+func TestTimestampOptionEchoes(t *testing.T) {
+	// Every non-SYN segment carries a timestamp: verify the wire has it
+	// and the value tracks virtual time (the 85-byte keepalive depends on
+	// this option's 12 bytes).
+	w := newWirePair(t)
+	var lastTS uint32
+	seen := 0
+	w.drop = func(from netaddr.IPv4, seg []byte) bool {
+		s, err := Unmarshal(ipA, ipB, seg)
+		if err == nil && from == ipA && s.Flags&FlagSYN == 0 {
+			lastTS = s.TSVal
+			seen++
+		}
+		return false
+	}
+	w.b.Listen(179, func(c *Conn) {})
+	c := w.a.Dial(ipA, ipB, 179)
+	w.sim.RunFor(10 * time.Millisecond)
+	c.Send([]byte("x"))
+	w.sim.RunFor(5 * time.Second)
+	c.Send([]byte("y"))
+	w.sim.RunFor(10 * time.Millisecond)
+	if seen < 2 {
+		t.Fatalf("observed %d data segments", seen)
+	}
+	if lastTS < 5000 {
+		t.Errorf("timestamp %d does not track virtual milliseconds", lastTS)
+	}
+}

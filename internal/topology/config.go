@@ -1,0 +1,190 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// ConfigFile is the whole-fabric MR-MTP configuration of the paper's
+// Listing 2: a single JSON document that tells every node its tier and
+// tells the ToRs which interface faces the server rack, from which they
+// derive their VIDs. This is the entire configuration an MR-MTP fabric
+// needs — the comparison against per-router BGP configuration (Listing 1)
+// is one of the paper's headline simplicity claims.
+type ConfigFile struct {
+	Topology ConfigTopology `json:"topology"`
+}
+
+// ConfigTopology mirrors Listing 2's structure.
+type ConfigTopology struct {
+	Leaves                []string          `json:"leaves"`
+	LeavesNetworkPortDict map[string]string `json:"leavesNetworkPortDict"`
+	TopSpines             []string          `json:"topSpines"`
+	Pods                  []ConfigPod       `json:"pods"`
+}
+
+// ConfigPod lists the tier-2 spines of one pod.
+type ConfigPod struct {
+	TopSpines []string `json:"topSpines"` // Listing 2 reuses the key name for pod spines
+}
+
+// MRMTPConfig renders the Listing-2 configuration for the fabric.
+func (t *Topology) MRMTPConfig() ConfigFile {
+	cfg := ConfigFile{}
+	cfg.Topology.LeavesNetworkPortDict = make(map[string]string, len(t.Leaves))
+	for _, leaf := range t.Leaves {
+		cfg.Topology.Leaves = append(cfg.Topology.Leaves, leaf.Name)
+		cfg.Topology.LeavesNetworkPortDict[leaf.Name] = fmt.Sprintf("eth%d", leaf.ServerPort)
+	}
+	for _, top := range t.Tops {
+		cfg.Topology.TopSpines = append(cfg.Topology.TopSpines, top.Name)
+	}
+	maxPod := 0
+	for _, sp := range t.Spines {
+		if sp.Pod > maxPod {
+			maxPod = sp.Pod
+		}
+	}
+	for pod := 1; pod <= maxPod; pod++ {
+		var p ConfigPod
+		for _, sp := range t.Spines {
+			if sp.Pod == pod {
+				p.TopSpines = append(p.TopSpines, sp.Name)
+			}
+		}
+		cfg.Topology.Pods = append(cfg.Topology.Pods, p)
+	}
+	return cfg
+}
+
+// MarshalJSON-friendly rendering with stable ordering.
+func (c ConfigFile) Render() ([]byte, error) {
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// ParseConfig reads a Listing-2 JSON document.
+func ParseConfig(data []byte) (ConfigFile, error) {
+	var c ConfigFile
+	if err := json.Unmarshal(data, &c); err != nil {
+		return ConfigFile{}, fmt.Errorf("topology: bad config: %w", err)
+	}
+	if len(c.Topology.Leaves) == 0 {
+		return ConfigFile{}, fmt.Errorf("topology: config lists no leaves")
+	}
+	for _, leaf := range c.Topology.Leaves {
+		if _, ok := c.Topology.LeavesNetworkPortDict[leaf]; !ok {
+			return ConfigFile{}, fmt.Errorf("topology: leaf %s missing from leavesNetworkPortDict", leaf)
+		}
+	}
+	return c, nil
+}
+
+// BGPConfig renders the FRR-style per-router configuration of Listing 1 for
+// one device. The experiments use it to quantify the configuration burden:
+// BGP needs this block on every router, growing with its neighbor count,
+// while MR-MTP needs only the fabric-wide JSON above.
+func (t *Topology) BGPConfig(name string, withBFD bool) (string, error) {
+	d := t.Devices[name]
+	if d == nil {
+		return "", fmt.Errorf("topology: no device %s", name)
+	}
+	if d.Tier == TierServer {
+		return "", fmt.Errorf("topology: %s is a server, not a BGP router", name)
+	}
+	var out []byte
+	app := func(format string, args ...any) {
+		out = append(out, fmt.Sprintf(format+"\n", args...)...)
+	}
+	app("frr version 10.0")
+	app("frr defaults datacenter")
+	app("hostname %s", d.Name)
+	app("log file /var/log/frr/bgpd.log")
+	app("log timestamp precision 3")
+	app("no ipv6 forwarding")
+	app("!")
+	app("router bgp %d", d.ASN)
+	app(" timers bgp 1 3")
+	type nb struct {
+		ip  string
+		asn uint32
+	}
+	var neighbors []nb
+	for _, p := range d.Ports[1:] {
+		peer := p.Peer.Device
+		if peer.Tier == TierServer {
+			continue
+		}
+		neighbors = append(neighbors, nb{p.Peer.IP.String(), peer.ASN})
+	}
+	sort.Slice(neighbors, func(i, j int) bool { return neighbors[i].ip < neighbors[j].ip })
+	for _, n := range neighbors {
+		app(" neighbor %s remote-as %d", n.ip, n.asn)
+		if withBFD {
+			app(" neighbor %s bfd", n.ip)
+		}
+	}
+	if d.Tier == TierLeaf {
+		app(" address-family ipv4 unicast")
+		app("  network %s", d.ServerSubnet)
+		app(" exit-address-family")
+	}
+	app("!")
+	if withBFD {
+		app("bfd")
+		app(" profile lowerIntervals")
+		app("  transmit-interval 100")
+		app("  receive-interval 100")
+		app(" exit")
+		for _, n := range neighbors {
+			app(" peer %s", n.ip)
+			app("  profile lowerIntervals")
+			app(" exit")
+		}
+		app("exit")
+		app("!")
+	}
+	return string(out), nil
+}
+
+// ConfigSizes summarizes the configuration burden for the whole fabric:
+// total rendered bytes and lines for BGP (sum over routers) versus the
+// single MR-MTP JSON. Used by the Listing 1-vs-2 experiment.
+type ConfigSizes struct {
+	BGPBytes   int
+	BGPLines   int
+	MRMTPBytes int
+	MRMTPLines int
+	Routers    int
+}
+
+// MeasureConfigs computes ConfigSizes for the fabric.
+func (t *Topology) MeasureConfigs(withBFD bool) (ConfigSizes, error) {
+	var cs ConfigSizes
+	for _, d := range t.Routers() {
+		cfg, err := t.BGPConfig(d.Name, withBFD)
+		if err != nil {
+			return cs, err
+		}
+		cs.BGPBytes += len(cfg)
+		cs.BGPLines += countLines(cfg)
+		cs.Routers++
+	}
+	blob, err := t.MRMTPConfig().Render()
+	if err != nil {
+		return cs, err
+	}
+	cs.MRMTPBytes = len(blob)
+	cs.MRMTPLines = countLines(string(blob))
+	return cs, nil
+}
+
+func countLines(s string) int {
+	n := 0
+	for _, c := range s {
+		if c == '\n' {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,67 @@
+package topology
+
+import "fmt"
+
+// FailureCase identifies one of the paper's four interface-failure test
+// points (Fig. 3). All four sit on the L-1-1 / S-1-1 / T-1 column; TC1/TC2
+// are the two ends of the leaf↔spine link and TC3/TC4 the two ends of the
+// spine↔top link. The *end* matters: the device owning the failed interface
+// detects it immediately, the other end only via protocol timers.
+type FailureCase int
+
+// The paper's failure test cases.
+const (
+	TC1 FailureCase = iota + 1 // L-1-1's uplink interface to S-1-1
+	TC2                        // S-1-1's downlink interface to L-1-1
+	TC3                        // S-1-1's uplink interface to T-1
+	TC4                        // T-1's downlink interface to S-1-1
+)
+
+func (c FailureCase) String() string {
+	if c < TC1 || c > TC4 {
+		return fmt.Sprintf("FailureCase(%d)", int(c))
+	}
+	return fmt.Sprintf("TC%d", int(c))
+}
+
+// AllFailureCases lists TC1..TC4 in order.
+func AllFailureCases() []FailureCase { return []FailureCase{TC1, TC2, TC3, TC4} }
+
+// FailurePoint names the interface a test case brings down.
+type FailurePoint struct {
+	Device string // node executing the `ip link set down`
+	Port   int    // 1-based interface index on that node
+}
+
+// FailurePoint resolves a test case against this fabric.
+func (t *Topology) FailurePoint(c FailureCase) (FailurePoint, error) {
+	leaf := t.Devices["L-1-1"]
+	spine := t.Devices["S-1-1"]
+	top := t.Devices["T-1"]
+	if leaf == nil || spine == nil || top == nil {
+		return FailurePoint{}, fmt.Errorf("topology: fabric lacks the L-1-1/S-1-1/T-1 column")
+	}
+	find := func(from *Device, to *Device) (int, error) {
+		for _, p := range from.Ports[1:] {
+			if p.Peer.Device == to {
+				return p.Index, nil
+			}
+		}
+		return 0, fmt.Errorf("topology: %s has no link to %s", from.Name, to.Name)
+	}
+	switch c {
+	case TC1:
+		idx, err := find(leaf, spine)
+		return FailurePoint{leaf.Name, idx}, err
+	case TC2:
+		idx, err := find(spine, leaf)
+		return FailurePoint{spine.Name, idx}, err
+	case TC3:
+		idx, err := find(spine, top)
+		return FailurePoint{spine.Name, idx}, err
+	case TC4:
+		idx, err := find(top, spine)
+		return FailurePoint{top.Name, idx}, err
+	}
+	return FailurePoint{}, fmt.Errorf("topology: unknown failure case %d", int(c))
+}

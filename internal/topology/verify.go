@@ -1,0 +1,129 @@
+package topology
+
+import (
+	"fmt"
+)
+
+// Verify checks the structural invariants of a folded-Clos fabric. It is
+// the in-process equivalent of the paper's topology-verification scripts
+// (item 7 of their automation suite): every experiment starts from a fabric
+// that has been proven well-formed.
+func (t *Topology) Verify() error {
+	spec := t.Spec
+	if got, want := len(t.Tops), spec.TopSpines(); got != want {
+		return fmt.Errorf("topology: %d top spines, want %d", got, want)
+	}
+	if got, want := len(t.Spines), spec.Pods*spec.SpinesPerPod; got != want {
+		return fmt.Errorf("topology: %d pod spines, want %d", got, want)
+	}
+	if got, want := len(t.Leaves), spec.Pods*spec.LeavesPerPod; got != want {
+		return fmt.Errorf("topology: %d leaves, want %d", got, want)
+	}
+	if got, want := len(t.Servers), spec.Pods*spec.LeavesPerPod*spec.ServersPerLeaf; got != want {
+		return fmt.Errorf("topology: %d servers, want %d", got, want)
+	}
+
+	// Every port wired exactly once, both directions agreeing.
+	for _, d := range t.Devices {
+		for _, p := range d.Ports[1:] {
+			if p.Peer == nil {
+				return fmt.Errorf("topology: unwired port %s", p.Name())
+			}
+			if p.Peer.Peer != p {
+				return fmt.Errorf("topology: asymmetric wiring at %s", p.Name())
+			}
+			if p.Peer.Device == d {
+				return fmt.Errorf("topology: self-loop at %s", p.Name())
+			}
+		}
+	}
+
+	// Leaves: uplink ports 1..SpinesPerPod reach each pod spine once, in
+	// spine order (MR-MTP's VID suffixes depend on this numbering).
+	for _, leaf := range t.Leaves {
+		for s := 1; s <= spec.SpinesPerPod; s++ {
+			peer := leaf.Ports[s].Peer.Device
+			want := fmt.Sprintf("S-%d-%d", leaf.Pod, s)
+			if peer.Name != want {
+				return fmt.Errorf("topology: %s port %d reaches %s, want %s", leaf.Name, s, peer.Name, want)
+			}
+		}
+		if leaf.ServerPort != spec.SpinesPerPod+1 {
+			return fmt.Errorf("topology: %s server port %d, want %d", leaf.Name, leaf.ServerPort, spec.SpinesPerPod+1)
+		}
+		if DeriveVID(leaf.ServerSubnet) != leaf.VID {
+			return fmt.Errorf("topology: %s VID %d does not match subnet %s", leaf.Name, leaf.VID, leaf.ServerSubnet)
+		}
+	}
+
+	// Pod spines: uplink u reaches top spine s+(u-1)·SpinesPerPod (the
+	// plane wiring of Fig. 2); downlinks reach every leaf in the pod.
+	for _, sp := range t.Spines {
+		for u := 1; u <= spec.UplinksPerSpine; u++ {
+			want := fmt.Sprintf("T-%d", sp.Index+(u-1)*spec.SpinesPerPod)
+			if got := sp.Ports[u].Peer.Device.Name; got != want {
+				return fmt.Errorf("topology: %s uplink %d reaches %s, want %s", sp.Name, u, got, want)
+			}
+		}
+		for lf := 1; lf <= spec.LeavesPerPod; lf++ {
+			want := fmt.Sprintf("L-%d-%d", sp.Pod, lf)
+			if got := sp.Ports[spec.UplinksPerSpine+lf].Peer.Device.Name; got != want {
+				return fmt.Errorf("topology: %s downlink %d reaches %s, want %s", sp.Name, lf, got, want)
+			}
+		}
+	}
+
+	// Top spines: port p reaches pod p, always the same spine plane.
+	for _, top := range t.Tops {
+		plane := (top.Index-1)%spec.SpinesPerPod + 1
+		for p := 1; p <= spec.Pods; p++ {
+			peer := top.Ports[p].Peer.Device
+			if peer.Pod != p || peer.Index != plane {
+				return fmt.Errorf("topology: %s port %d reaches %s, want S-%d-%d", top.Name, p, peer.Name, p, plane)
+			}
+		}
+	}
+
+	// Addressing: router-to-router link subnets unique; higher tier is .1.
+	subnets := make(map[string]string)
+	vids := make(map[int]string)
+	for _, l := range t.Links {
+		if l.A.Device.Tier == TierServer {
+			continue
+		}
+		key := l.A.Subnet.String()
+		if prev, dup := subnets[key]; dup {
+			return fmt.Errorf("topology: subnet %s reused by %s and %s", key, prev, l.A.Name())
+		}
+		subnets[key] = l.A.Name()
+		if l.B.IP != l.A.Subnet.Host(1) || l.A.IP != l.A.Subnet.Host(2) {
+			return fmt.Errorf("topology: link %s-%s addressing violates the .1-upper/.2-lower rule", l.A.Name(), l.B.Name())
+		}
+	}
+	for _, leaf := range t.Leaves {
+		if prev, dup := vids[leaf.VID]; dup {
+			return fmt.Errorf("topology: VID %d reused by %s and %s", leaf.VID, prev, leaf.Name)
+		}
+		vids[leaf.VID] = leaf.Name
+	}
+
+	// ASN plan (Listing 1): top spines share, pods share per pod, leaves unique.
+	asn := make(map[uint32]string)
+	for _, leaf := range t.Leaves {
+		if prev, dup := asn[leaf.ASN]; dup {
+			return fmt.Errorf("topology: leaf ASN %d reused by %s and %s", leaf.ASN, prev, leaf.Name)
+		}
+		asn[leaf.ASN] = leaf.Name
+	}
+	for _, sp := range t.Spines {
+		if want := BaseASNTop + uint32(sp.Pod); sp.ASN != want {
+			return fmt.Errorf("topology: %s ASN %d, want %d", sp.Name, sp.ASN, want)
+		}
+	}
+	for _, top := range t.Tops {
+		if top.ASN != BaseASNTop {
+			return fmt.Errorf("topology: %s ASN %d, want %d", top.Name, top.ASN, BaseASNTop)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package trafficgen
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/ipstack"
+	"repro/internal/netaddr"
+	"repro/internal/simnet"
+)
+
+// wire builds sender-host --- router --- receiver-host.
+type wire struct {
+	sim      *simnet.Sim
+	src, dst *ipstack.Stack
+	router   *ipstack.Stack
+	srcIP    netaddr.IPv4
+	dstIP    netaddr.IPv4
+}
+
+func newWire(t *testing.T) *wire {
+	t.Helper()
+	w := &wire{sim: simnet.New(9)}
+	a, r, b := w.sim.AddNode("a"), w.sim.AddNode("r"), w.sim.AddNode("b")
+	w.src, w.router, w.dst = ipstack.New(a), ipstack.New(r), ipstack.New(b)
+	w.sim.Connect(a.AddPort(), r.AddPort())
+	w.sim.Connect(r.AddPort(), b.AddPort())
+	s1 := netaddr.MakePrefix(netaddr.MakeIPv4(10, 1, 0, 0), 24)
+	s2 := netaddr.MakePrefix(netaddr.MakeIPv4(10, 2, 0, 0), 24)
+	i1 := w.src.AddIface(a.Port(1), s1.Host(1), s1)
+	w.router.AddIface(r.Port(1), s1.Host(254), s1)
+	w.router.AddIface(r.Port(2), s2.Host(254), s2)
+	i2 := w.dst.AddIface(b.Port(1), s2.Host(1), s2)
+	w.src.AddDefaultRoute(s1.Host(254), i1)
+	w.dst.AddDefaultRoute(s2.Host(254), i2)
+	w.srcIP, w.dstIP = s1.Host(1), s2.Host(1)
+	return w
+}
+
+func TestLosslessPath(t *testing.T) {
+	w := newWire(t)
+	cfg := DefaultConfig(w.srcIP, w.dstIP)
+	s := NewSender(w.src, cfg)
+	r := NewReceiver(w.dst, cfg.DstPort)
+	s.Start()
+	w.sim.RunFor(3 * time.Second)
+	s.Stop()
+	w.sim.RunFor(100 * time.Millisecond)
+	rep := r.Report(s)
+	if rep.Sent == 0 || rep.Lost != 0 || rep.Duplicated != 0 || rep.OutOfOrder != 0 {
+		t.Fatalf("lossless path report: %+v", rep)
+	}
+	// ~333 pps for 3 s.
+	if rep.Sent < 900 || rep.Sent > 1100 {
+		t.Errorf("sent %d packets in 3s at 3ms interval, want ~1000", rep.Sent)
+	}
+}
+
+func TestLossWindowCounted(t *testing.T) {
+	w := newWire(t)
+	cfg := DefaultConfig(w.srcIP, w.dstIP)
+	s := NewSender(w.src, cfg)
+	r := NewReceiver(w.dst, cfg.DstPort)
+	s.Start()
+	w.sim.RunFor(time.Second)
+	// Black-hole the path for ~300ms by failing the router's egress.
+	w.router.Node.Port(2).Fail()
+	w.sim.RunFor(300 * time.Millisecond)
+	w.router.Node.Port(2).Restore()
+	w.sim.RunFor(time.Second)
+	s.Stop()
+	w.sim.RunFor(100 * time.Millisecond)
+	rep := r.Report(s)
+	// ≈ 300ms × 333pps = ~100 packets.
+	if rep.Lost < 80 || rep.Lost > 120 {
+		t.Errorf("lost %d packets across a 300ms outage, want ~100", rep.Lost)
+	}
+}
+
+func TestDuplicateDetection(t *testing.T) {
+	var r Receiver
+	r.seen = make(map[uint64]bool)
+	pkt := func(seq uint64) []byte {
+		b := make([]byte, headerLen)
+		be32(b, Magic)
+		be64(b[4:], seq)
+		return b
+	}
+	r.packet(pkt(0))
+	r.packet(pkt(1))
+	r.packet(pkt(1)) // dup
+	r.packet(pkt(3))
+	r.packet(pkt(2)) // out of order
+	if r.received != 4 {
+		t.Errorf("received = %d, want 4", r.received)
+	}
+	if r.duplicates != 1 {
+		t.Errorf("duplicates = %d, want 1", r.duplicates)
+	}
+	if r.outOfOrder != 1 {
+		t.Errorf("outOfOrder = %d, want 1", r.outOfOrder)
+	}
+}
+
+func TestNonGeneratorTrafficIgnored(t *testing.T) {
+	var r Receiver
+	r.seen = make(map[uint64]bool)
+	r.packet([]byte("not a generator packet"))
+	r.packet([]byte{1, 2})
+	if r.received != 0 {
+		t.Errorf("received = %d, want 0", r.received)
+	}
+}
+
+func TestSeqEncodingRoundTrip(t *testing.T) {
+	f := func(seq uint64) bool {
+		b := make([]byte, 8)
+		be64(b, seq)
+		return u64(b) == seq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReportLostNeverNegative(t *testing.T) {
+	// If the analyzer somehow sees more than sent (e.g. duplicates of a
+	// short run), Lost must clamp at zero.
+	var r Receiver
+	r.seen = make(map[uint64]bool)
+	r.received = 10
+	s := &Sender{sent: 5}
+	if rep := r.Report(s); rep.Lost != 0 {
+		t.Errorf("Lost = %d, want 0", rep.Lost)
+	}
+}
+
+func TestPayloadPadding(t *testing.T) {
+	w := newWire(t)
+	cfg := DefaultConfig(w.srcIP, w.dstIP)
+	cfg.Size = 4 // below the header floor
+	s := NewSender(w.src, cfg)
+	if s.cfg.Size != headerLen {
+		t.Errorf("size = %d, want clamped to %d", s.cfg.Size, headerLen)
+	}
+}

@@ -1,0 +1,38 @@
+package vxlan
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalUnmarshal(t *testing.T) {
+	f := func(vniSeed uint32, inner []byte) bool {
+		vni := vniSeed & 0xffffff
+		gotVNI, gotInner, err := Unmarshal(Marshal(vni, inner))
+		return err == nil && gotVNI == vni && bytes.Equal(gotInner, inner)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, _, err := Unmarshal([]byte{1, 2, 3}); err != ErrMalformed {
+		t.Errorf("short: %v", err)
+	}
+	b := Marshal(5, nil)
+	b[0] = 0 // I bit clear
+	if _, _, err := Unmarshal(b); err != ErrMalformed {
+		t.Errorf("no VNI flag: %v", err)
+	}
+}
+
+func TestHeaderSize(t *testing.T) {
+	// RFC 7348: 8-byte VXLAN header; total outer overhead over the inner
+	// frame is 8 (VXLAN) + 8 (UDP) + 20 (IP) + 14 (Ethernet) = 50 bytes,
+	// the figure the paper's §IX overhead discussion needs.
+	if got := len(Marshal(1, nil)); got != 8 {
+		t.Errorf("header = %d bytes, want 8", got)
+	}
+}
