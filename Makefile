@@ -1,0 +1,35 @@
+# Developer entry points. The repo is pure Go with no generated code, so
+# every target is a thin wrapper around the go tool.
+
+GO ?= go
+
+.PHONY: all build test vet race bench figures check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+# test is the tier-1 gate: it must stay green on every commit.
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the full suite under the race detector. The parallel trial
+# harness (internal/harness/pool.go) is the main concurrency in the repo;
+# this target is what validates it.
+race:
+	$(GO) test -race ./...
+
+# bench regenerates the paper's figures (one trial per cell; raise
+# -benchtime for averaged numbers).
+bench:
+	$(GO) test -bench 'Fig|Ablation|Scale' -benchtime 1x -run '^$$' .
+
+# figures prints the full evaluation grids via the CLI driver.
+figures:
+	$(GO) run ./cmd/closlab -experiment all
+
+check: build vet test race

@@ -52,16 +52,11 @@ func forEachCell(b *testing.B, fn func(b *testing.B, spec topology.Spec, proto h
 
 func runFailureCell(b *testing.B, spec topology.Spec, proto harness.Protocol, tc topology.FailureCase) harness.FailureSummary {
 	b.Helper()
-	var rs []harness.FailureResult
-	for i := 0; i < b.N; i++ {
-		opts := harness.DefaultOptions(spec, proto, int64(i+1))
-		r, err := harness.RunFailure(opts, tc)
-		if err != nil {
-			b.Fatal(err)
-		}
-		rs = append(rs, r)
+	s, err := harness.RunFailureTrials(harness.DefaultOptions(spec, proto, 1), tc, b.N)
+	if err != nil {
+		b.Fatal(err)
 	}
-	return harness.SummarizeFailures(rs)
+	return s
 }
 
 func BenchmarkFig4Convergence(b *testing.B) {
@@ -87,16 +82,11 @@ func BenchmarkFig6ControlOverhead(b *testing.B) {
 
 func benchLoss(b *testing.B, reverse bool) {
 	forEachCell(b, func(b *testing.B, spec topology.Spec, proto harness.Protocol, tc topology.FailureCase) {
-		var total float64
-		for i := 0; i < b.N; i++ {
-			opts := harness.DefaultOptions(spec, proto, int64(i+1))
-			r, err := harness.RunLoss(opts, tc, reverse)
-			if err != nil {
-				b.Fatal(err)
-			}
-			total += float64(r.Report.Lost)
+		avg, err := harness.RunLossTrials(harness.DefaultOptions(spec, proto, 1), tc, reverse, b.N)
+		if err != nil {
+			b.Fatal(err)
 		}
-		b.ReportMetric(total/float64(b.N), "packets_lost")
+		b.ReportMetric(avg, "packets_lost")
 	})
 }
 
@@ -191,23 +181,26 @@ func BenchmarkListingTableSizes(b *testing.B) {
 
 // --- ablations (DESIGN.md §6) ----------------------------------------------
 
+// runAblationCell runs one ablation configuration through the parallel
+// trial runner and reports mean TC1 convergence.
+func runAblationCell(b *testing.B, opts harness.Options) {
+	b.Helper()
+	s, err := harness.RunFailureTrials(opts, topology.TC1, b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(s.Convergence)/float64(time.Millisecond), "ms_convergence")
+}
+
 // BenchmarkAblationHelloInterval sweeps MR-MTP's hello timer: faster hellos
 // buy faster TC1 convergence at the cost of keep-alive traffic.
 func BenchmarkAblationHelloInterval(b *testing.B) {
 	for _, hello := range []time.Duration{25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond} {
 		b.Run(hello.String(), func(b *testing.B) {
-			var conv float64
-			for i := 0; i < b.N; i++ {
-				opts := harness.DefaultOptions(topology.TwoPodSpec(), harness.ProtoMRMTP, int64(i+1))
-				opts.MTPHello = hello
-				opts.MTPDead = 2 * hello
-				r, err := harness.RunFailure(opts, topology.TC1)
-				if err != nil {
-					b.Fatal(err)
-				}
-				conv += float64(r.Convergence) / float64(time.Millisecond)
-			}
-			b.ReportMetric(conv/float64(b.N), "ms_convergence")
+			opts := harness.DefaultOptions(topology.TwoPodSpec(), harness.ProtoMRMTP, 1)
+			opts.MTPHello = hello
+			opts.MTPDead = 2 * hello
+			runAblationCell(b, opts)
 		})
 	}
 }
@@ -217,17 +210,9 @@ func BenchmarkAblationHelloInterval(b *testing.B) {
 func BenchmarkAblationBFDMultiplier(b *testing.B) {
 	for _, mult := range []int{2, 3, 5} {
 		b.Run(fmt.Sprintf("mult%d", mult), func(b *testing.B) {
-			var conv float64
-			for i := 0; i < b.N; i++ {
-				opts := harness.DefaultOptions(topology.TwoPodSpec(), harness.ProtoBGPBFD, int64(i+1))
-				opts.BFD.DetectMult = mult
-				r, err := harness.RunFailure(opts, topology.TC1)
-				if err != nil {
-					b.Fatal(err)
-				}
-				conv += float64(r.Convergence) / float64(time.Millisecond)
-			}
-			b.ReportMetric(conv/float64(b.N), "ms_convergence")
+			opts := harness.DefaultOptions(topology.TwoPodSpec(), harness.ProtoBGPBFD, 1)
+			opts.BFD.DetectMult = mult
+			runAblationCell(b, opts)
 		})
 	}
 }
@@ -245,18 +230,10 @@ func BenchmarkAblationBGPTimers(b *testing.B) {
 		{"untuned-3s-9s", 3 * time.Second, 9 * time.Second},
 	} {
 		b.Run(timers.name, func(b *testing.B) {
-			var conv float64
-			for i := 0; i < b.N; i++ {
-				opts := harness.DefaultOptions(topology.TwoPodSpec(), harness.ProtoBGP, int64(i+1))
-				opts.BGPTimers.Keepalive = timers.keepalive
-				opts.BGPTimers.Hold = timers.hold
-				r, err := harness.RunFailure(opts, topology.TC1)
-				if err != nil {
-					b.Fatal(err)
-				}
-				conv += float64(r.Convergence) / float64(time.Millisecond)
-			}
-			b.ReportMetric(conv/float64(b.N), "ms_convergence")
+			opts := harness.DefaultOptions(topology.TwoPodSpec(), harness.ProtoBGP, 1)
+			opts.BGPTimers.Keepalive = timers.keepalive
+			opts.BGPTimers.Hold = timers.hold
+			runAblationCell(b, opts)
 		})
 	}
 }
@@ -266,17 +243,9 @@ func BenchmarkAblationBGPTimers(b *testing.B) {
 func BenchmarkAblationMRAI(b *testing.B) {
 	for _, mrai := range []time.Duration{0, 500 * time.Millisecond, 2 * time.Second} {
 		b.Run(fmt.Sprintf("mrai-%v", mrai), func(b *testing.B) {
-			var conv float64
-			for i := 0; i < b.N; i++ {
-				opts := harness.DefaultOptions(topology.TwoPodSpec(), harness.ProtoBGP, int64(i+1))
-				opts.BGPTimers.MRAI = mrai
-				r, err := harness.RunFailure(opts, topology.TC1)
-				if err != nil {
-					b.Fatal(err)
-				}
-				conv += float64(r.Convergence) / float64(time.Millisecond)
-			}
-			b.ReportMetric(conv/float64(b.N), "ms_convergence")
+			opts := harness.DefaultOptions(topology.TwoPodSpec(), harness.ProtoBGP, 1)
+			opts.BGPTimers.MRAI = mrai
+			runAblationCell(b, opts)
 		})
 	}
 }
@@ -378,17 +347,13 @@ func BenchmarkExtendedNodeFailure(b *testing.B) {
 func BenchmarkAblationSlowToAccept(b *testing.B) {
 	for _, accept := range []int{1, 3} {
 		b.Run(fmt.Sprintf("acceptAfter%d", accept), func(b *testing.B) {
-			var churn float64
-			for i := 0; i < b.N; i++ {
-				opts := harness.DefaultOptions(topology.TwoPodSpec(), harness.ProtoMRMTP, int64(i+1))
-				opts.MTPAccept = accept
-				r, err := harness.RunFlap(opts, 8, 150*time.Millisecond, 120*time.Millisecond)
-				if err != nil {
-					b.Fatal(err)
-				}
-				churn += float64(r.ControlBytes)
+			opts := harness.DefaultOptions(topology.TwoPodSpec(), harness.ProtoMRMTP, 1)
+			opts.MTPAccept = accept
+			s, err := harness.RunFlapTrials(opts, 8, 150*time.Millisecond, 120*time.Millisecond, b.N)
+			if err != nil {
+				b.Fatal(err)
 			}
-			b.ReportMetric(churn/float64(b.N), "bytes_churn")
+			b.ReportMetric(s.ControlBytes, "bytes_churn")
 		})
 	}
 }

@@ -13,7 +13,9 @@
 //	closlab -experiment config                 # Listings 1-2 comparison
 //	closlab -experiment all                    # everything
 //
-// Flags -trials and -seed control averaging, -pods restricts the topology.
+// Flags -trials and -seed control averaging, -pods restricts the topology,
+// and -parallel bounds how many trials run concurrently (the figures do not
+// depend on it: trial seeds derive from trial indices).
 package main
 
 import (
@@ -37,7 +39,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	pods := flag.Int("pods", 0, "restrict to one topology size (2 or 4); 0 = both")
 	out := flag.String("out", "closlab-artifacts", "output directory for -experiment artifacts")
+	parallel := flag.Int("parallel", harness.Workers,
+		"concurrent trials per data point (1 = sequential; results are identical either way)")
 	flag.Parse()
+	harness.Workers = *parallel
 
 	var specs []topology.Spec
 	switch *pods {
@@ -230,15 +235,15 @@ func nodeFailure(specs []topology.Spec, _ int, seed int64) error {
 	return nil
 }
 
-func flapChurn(specs []topology.Spec, _ int, seed int64) error {
+func flapChurn(specs []topology.Spec, trials int, seed int64) error {
 	fmt.Println("Extended failure cases (paper §IX) — TC1 interface flapping 5x (down 500ms, up 4s):")
 	fmt.Printf("%-14s %10s %12s %12s %10s\n", "protocol", "msgs", "ctl bytes", "route evts", "recovered")
 	for _, proto := range protocols {
-		r, err := harness.RunFlap(harness.DefaultOptions(specs[0], proto, seed), 5, 500*time.Millisecond, 4*time.Second)
+		s, err := harness.RunFlapTrials(harness.DefaultOptions(specs[0], proto, seed), 5, 500*time.Millisecond, 4*time.Second, trials)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-14s %10d %12d %12d %10v\n", proto, r.ControlMsgs, r.ControlBytes, r.RouteEvents, r.Recovered)
+		fmt.Printf("%-14s %10.0f %12.0f %12.0f %10v\n", proto, s.ControlMsgs, s.ControlBytes, s.RouteEvents, s.Recovered)
 	}
 	fmt.Println()
 	return nil

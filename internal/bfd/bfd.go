@@ -197,7 +197,12 @@ func (s *Session) scheduleTx() {
 	// self-synchronization; the simulator's seeded RNG keeps it
 	// deterministic per run.
 	jitter := time.Duration(s.sim.Rand().Int63n(int64(s.cfg.TxInterval / 4)))
-	s.txTimer = s.sim.After(s.cfg.TxInterval-jitter, func() {
+	d := s.cfg.TxInterval - jitter
+	if s.txTimer != nil {
+		s.txTimer.Reset(d)
+		return
+	}
+	s.txTimer = s.sim.After(d, func() {
 		s.transmit()
 		s.scheduleTx()
 	})
@@ -218,7 +223,8 @@ func (s *Session) transmit() {
 
 func (s *Session) armDetect() {
 	if s.detectTimer != nil {
-		s.detectTimer.Stop()
+		s.detectTimer.Reset(s.detectTime())
+		return
 	}
 	s.detectTimer = s.sim.After(s.detectTime(), s.timeout)
 }

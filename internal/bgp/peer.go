@@ -181,28 +181,31 @@ func (p *Peer) maybeEstablish() {
 }
 
 func (p *Peer) startKeepalive() {
-	if p.keepaliveTimer != nil {
-		p.keepaliveTimer.Stop()
-	}
 	interval := p.sp.Cfg.Timers.Keepalive
-	var tick func()
-	tick = func() {
+	if p.keepaliveTimer != nil {
+		p.keepaliveTimer.Reset(interval)
+		return
+	}
+	p.keepaliveTimer = p.sim().After(interval, func() {
 		if p.State != StateEstablished {
 			return
 		}
 		p.send(MarshalKeepalive())
 		p.sp.Stats.KeepalivesSent++
-		p.keepaliveTimer = p.sim().After(interval, tick)
-	}
-	p.keepaliveTimer = p.sim().After(interval, tick)
+		p.keepaliveTimer.Reset(interval)
+	})
 }
 
 func (p *Peer) touchHold() {
-	if p.holdTimer != nil {
-		p.holdTimer.Stop()
-	}
 	hold := p.sp.Cfg.Timers.Hold
 	if hold == 0 {
+		if p.holdTimer != nil {
+			p.holdTimer.Stop()
+		}
+		return
+	}
+	if p.holdTimer != nil {
+		p.holdTimer.Reset(hold)
 		return
 	}
 	p.holdTimer = p.sim().After(hold, func() {
@@ -258,10 +261,12 @@ func (p *Peer) scheduleRetry() {
 	if p.passive {
 		return // the active side re-dials
 	}
+	retry := p.sp.Cfg.Timers.ConnectRetry
 	if p.retryTimer != nil {
-		p.retryTimer.Stop()
+		p.retryTimer.Reset(retry)
+		return
 	}
-	p.retryTimer = p.sim().After(p.sp.Cfg.Timers.ConnectRetry, func() {
+	p.retryTimer = p.sim().After(retry, func() {
 		if p.State == StateIdle && p.Iface.Usable() {
 			p.connect()
 		} else if p.State == StateIdle {
@@ -296,12 +301,16 @@ func (p *Peer) queue(prefix netaddr.Prefix, announce bool) {
 		// the MinRouteAdvertisementInterval, per RFC 4271 §9.2.1.1.
 		p.flush()
 		p.mraiArmed = true
-		p.mraiTimer = p.sim().After(p.sp.Cfg.Timers.MRAI, func() {
-			p.mraiArmed = false
-			if len(p.pending) > 0 {
-				p.flush()
-			}
-		})
+		if p.mraiTimer != nil {
+			p.mraiTimer.Reset(p.sp.Cfg.Timers.MRAI)
+		} else {
+			p.mraiTimer = p.sim().After(p.sp.Cfg.Timers.MRAI, func() {
+				p.mraiArmed = false
+				if len(p.pending) > 0 {
+					p.flush()
+				}
+			})
+		}
 	}
 }
 

@@ -40,12 +40,19 @@ var ErrTruncated = errors.New("ethernet: truncated frame")
 // Marshal renders the frame to wire format.
 func (f *Frame) Marshal() []byte {
 	b := make([]byte, HeaderLen+len(f.Payload))
-	copy(b[0:6], f.Dst[:])
-	copy(b[6:12], f.Src[:])
-	b[12] = byte(f.EtherType >> 8)
-	b[13] = byte(f.EtherType)
+	PutHeader(b, f.Dst, f.Src, f.EtherType)
 	copy(b[HeaderLen:], f.Payload)
 	return b
+}
+
+// PutHeader writes the Ethernet II header into b[:HeaderLen]. It lets
+// callers that pre-allocated header room in front of a payload frame it
+// without another allocation and copy.
+func PutHeader(b []byte, dst, src netaddr.MAC, etherType uint16) {
+	copy(b[0:6], dst[:])
+	copy(b[6:12], src[:])
+	b[12] = byte(etherType >> 8)
+	b[13] = byte(etherType)
 }
 
 // Unmarshal parses a wire-format frame. The payload aliases b.

@@ -234,34 +234,63 @@ func SummarizeFailures(rs []FailureResult) FailureSummary {
 }
 
 // RunFailureTrials runs n seeds of one configuration and averages, like the
-// paper's "values averaged over multiple runs".
+// paper's "values averaged over multiple runs". Trials fan out over the
+// runTrials worker pool; the summary is identical to a sequential run.
 func RunFailureTrials(opts Options, tc topology.FailureCase, n int) (FailureSummary, error) {
-	var rs []FailureResult
-	for i := 0; i < n; i++ {
-		o := opts
-		o.Seed = opts.Seed + int64(i)*7919
-		r, err := RunFailure(o, tc)
-		if err != nil {
-			return FailureSummary{}, err
-		}
-		rs = append(rs, r)
+	rs, err := runTrials(opts, n, func(o Options) (FailureResult, error) {
+		return RunFailure(o, tc)
+	})
+	if err != nil {
+		return FailureSummary{}, err
 	}
 	return SummarizeFailures(rs), nil
 }
 
 // RunLossTrials averages packet loss over n seeds.
 func RunLossTrials(opts Options, tc topology.FailureCase, reverse bool, n int) (float64, error) {
+	rs, err := runTrials(opts, n, func(o Options) (LossResult, error) {
+		return RunLoss(o, tc, reverse)
+	})
+	if err != nil {
+		return 0, err
+	}
 	var total float64
-	for i := 0; i < n; i++ {
-		o := opts
-		o.Seed = opts.Seed + int64(i)*7919
-		r, err := RunLoss(o, tc, reverse)
-		if err != nil {
-			return 0, err
-		}
+	for _, r := range rs {
 		total += float64(r.Report.Lost)
 	}
 	return total / float64(n), nil
+}
+
+// FlapSummary averages FlapResult trials.
+type FlapSummary struct {
+	Protocol     Protocol
+	Trials       int
+	ControlMsgs  float64 // mean
+	ControlBytes float64 // mean
+	RouteEvents  float64 // mean
+	// Recovered reports whether every trial's fabric reconverged.
+	Recovered bool
+}
+
+// RunFlapTrials averages flap churn over n seeds.
+func RunFlapTrials(opts Options, flaps int, downTime, upTime time.Duration, n int) (FlapSummary, error) {
+	rs, err := runTrials(opts, n, func(o Options) (FlapResult, error) {
+		return RunFlap(o, flaps, downTime, upTime)
+	})
+	if err != nil {
+		return FlapSummary{}, err
+	}
+	s := FlapSummary{Protocol: opts.Protocol, Trials: n, Recovered: true}
+	for _, r := range rs {
+		s.ControlMsgs += float64(r.ControlMsgs)
+		s.ControlBytes += float64(r.ControlBytes)
+		s.RouteEvents += float64(r.RouteEvents)
+		s.Recovered = s.Recovered && r.Recovered
+	}
+	s.ControlMsgs /= float64(n)
+	s.ControlBytes /= float64(n)
+	s.RouteEvents /= float64(n)
+	return s, nil
 }
 
 // --- table rendering --------------------------------------------------------

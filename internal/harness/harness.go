@@ -9,6 +9,7 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/bfd"
@@ -124,8 +125,16 @@ func Build(opts Options) (*Fabric, error) {
 		Stacks:   make(map[string]*ipstack.Stack),
 	}
 
-	// Nodes and ports, in the topology's deterministic order.
-	for name, dev := range topo.Devices {
+	// Nodes and ports, in sorted-name order: Devices is a map, and letting
+	// its iteration order pick node indices (and so MAC addresses) would
+	// make wire captures differ between otherwise identical runs.
+	names := make([]string, 0, len(topo.Devices))
+	for name := range topo.Devices {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		dev := topo.Devices[name]
 		n := f.Sim.AddNode(name)
 		for range dev.Ports[1:] {
 			n.AddPort()

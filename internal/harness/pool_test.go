@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// withWorkers runs fn with the pool width pinned, restoring it afterwards.
+func withWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	old := Workers
+	Workers = n
+	defer func() { Workers = old }()
+	fn()
+}
+
+func TestTrialSeedDerivation(t *testing.T) {
+	if TrialSeed(10, 0) != 10 {
+		t.Errorf("TrialSeed(10, 0) = %d, want 10", TrialSeed(10, 0))
+	}
+	if TrialSeed(10, 3) != 10+3*7919 {
+		t.Errorf("TrialSeed(10, 3) = %d, want %d", TrialSeed(10, 3), 10+3*7919)
+	}
+	// Seeds must be a pure function of (base, index): this is what makes
+	// the parallel runner's output independent of scheduling order.
+	if TrialSeed(10, 2) != TrialSeed(10, 2) {
+		t.Error("TrialSeed is not deterministic")
+	}
+}
+
+func TestRunTrialsOrdersResultsByIndex(t *testing.T) {
+	opts := Options{Seed: 5}
+	withWorkers(t, 4, func() {
+		rs, err := runTrials(opts, 8, func(o Options) (int64, error) {
+			return o.Seed, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, got := range rs {
+			if want := TrialSeed(5, i); got != want {
+				t.Errorf("trial %d saw seed %d, want %d", i, got, want)
+			}
+		}
+	})
+}
+
+func TestRunTrialsReturnsLowestIndexedError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	withWorkers(t, 4, func() {
+		_, err := runTrials(Options{}, 6, func(o Options) (int, error) {
+			switch o.Seed {
+			case TrialSeed(0, 4):
+				return 0, errB
+			case TrialSeed(0, 2):
+				return 0, errA
+			}
+			return 0, nil
+		})
+		if err != errA {
+			t.Errorf("got error %v, want the lowest-indexed error %v", err, errA)
+		}
+	})
+}
+
+// TestParallelTrialsDeterministic is the acceptance check for the parallel
+// harness: a parallel run and a forced-sequential run of the same
+// configuration must produce bit-identical summaries.
+func TestParallelTrialsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fabric trials in -short mode")
+	}
+	opts := DefaultOptions(topology.TwoPodSpec(), ProtoMRMTP, 7)
+	const n = 4
+
+	var seq, par FailureSummary
+	var err error
+	withWorkers(t, 1, func() {
+		seq, err = RunFailureTrials(opts, topology.TC1, n)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withWorkers(t, 4, func() {
+		par, err = RunFailureTrials(opts, topology.TC1, n)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != par {
+		t.Errorf("parallel summary differs from sequential:\nsequential: %+v\nparallel:   %+v", seq, par)
+	}
+
+	var seqLoss, parLoss float64
+	withWorkers(t, 1, func() {
+		seqLoss, err = RunLossTrials(opts, topology.TC2, false, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withWorkers(t, 2, func() {
+		parLoss, err = RunLossTrials(opts, topology.TC2, false, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqLoss != parLoss {
+		t.Errorf("parallel loss %v differs from sequential %v", parLoss, seqLoss)
+	}
+}

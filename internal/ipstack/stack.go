@@ -50,7 +50,7 @@ type Stack struct {
 	localIPs map[netaddr.IPv4]*Iface
 
 	arpTable   map[netaddr.IPv4]arpEntry
-	arpPending map[netaddr.IPv4][][]byte // queued IP packets awaiting resolution
+	arpPending map[netaddr.IPv4][][]byte // queued frames (see routeOut) awaiting resolution
 
 	udpHandlers  map[uint16]UDPHandler
 	icmpHandlers []ICMPHandler
@@ -130,10 +130,16 @@ func (s *Stack) SendICMP(src, dst netaddr.IPv4, m icmp.Message) {
 	s.sendIP(src, dst, ipv4.ProtoICMP, m.Marshal())
 }
 
-// SendUDP emits a datagram from a local address.
+// SendUDP emits a datagram from a local address. The Ethernet, IPv4, and
+// UDP layers are composed into a single buffer: per-packet cost is one
+// allocation, which keeps the hot BFD/traffic-generator paths cheap.
 func (s *Stack) SendUDP(src, dst netaddr.IPv4, srcPort, dstPort uint16, payload []byte) {
-	dg := udp.Datagram{SrcPort: srcPort, DstPort: dstPort, Payload: payload}
-	s.sendIP(src, dst, ipv4.ProtoUDP, dg.Marshal(src, dst))
+	h, frame := s.newIPFrame(src, dst, ipv4.ProtoUDP, ipv4.DefaultTTL, udp.HeaderLen+len(payload))
+	dgm := frame[ethernet.HeaderLen+ipv4.HeaderLen:]
+	copy(dgm[udp.HeaderLen:], payload)
+	dg := udp.Datagram{SrcPort: srcPort, DstPort: dstPort}
+	dg.PutHeader(src, dst, dgm)
+	s.routeOut(h, frame)
 }
 
 // Start implements simnet.Handler.
@@ -220,9 +226,11 @@ func (s *Stack) handleIPv4(p *simnet.Port, payload []byte) {
 		s.deliver(pkt)
 		return
 	}
-	// Forward: decrement TTL in place and route on.
-	buf := append([]byte(nil), payload...)
-	if err := ipv4.Forward(buf); err != nil {
+	// Forward: copy into a fresh frame buffer (the received frame belongs
+	// to its own delivery) and decrement the TTL in place.
+	buf := make([]byte, ethernet.HeaderLen+len(payload))
+	copy(buf[ethernet.HeaderLen:], payload)
+	if err := ipv4.Forward(buf[ethernet.HeaderLen:]); err != nil {
 		s.Stats.TTLExpired++
 		// Tell the source, like a router does (traceroute depends on
 		// this); the reply originates from the receiving interface.
@@ -276,20 +284,32 @@ func (s *Stack) SendIP(src, dst netaddr.IPv4, proto byte, payload []byte) {
 // SendIPTTL emits a locally originated IP packet with an explicit TTL
 // (traceroute probes).
 func (s *Stack) SendIPTTL(src, dst netaddr.IPv4, proto, ttl byte, payload []byte) {
-	s.ipID++
-	pkt := ipv4.Packet{
-		Header:  ipv4.Header{ID: s.ipID, TTL: ttl, Protocol: proto, Src: src, Dst: dst},
-		Payload: payload,
-	}
-	s.routeOut(pkt.Header, pkt.Marshal())
+	h, frame := s.newIPFrame(src, dst, proto, ttl, len(payload))
+	copy(frame[ethernet.HeaderLen+ipv4.HeaderLen:], payload)
+	s.routeOut(h, frame)
 }
 
 func (s *Stack) sendIP(src, dst netaddr.IPv4, proto byte, payload []byte) {
 	s.SendIPTTL(src, dst, proto, ipv4.DefaultTTL, payload)
 }
 
-// routeOut forwards a wire-format IP packet (header h describes it).
-func (s *Stack) routeOut(h ipv4.Header, wire []byte) {
+// newIPFrame allocates the single buffer carrying a locally originated
+// packet — Ethernet header room, IPv4 header, transportLen transport bytes —
+// and fills in the IP header. transmit writes the Ethernet header in place
+// once the next hop's MAC is known, so the whole TX path costs this one
+// allocation.
+func (s *Stack) newIPFrame(src, dst netaddr.IPv4, proto, ttl byte, transportLen int) (ipv4.Header, []byte) {
+	s.ipID++
+	h := ipv4.Header{ID: s.ipID, TTL: ttl, Protocol: proto, Src: src, Dst: dst}
+	frame := make([]byte, ethernet.HeaderLen+ipv4.HeaderLen+transportLen)
+	h.PutHeader(frame[ethernet.HeaderLen:], transportLen)
+	return h, frame
+}
+
+// routeOut forwards an outbound frame buffer: the wire-format IP packet
+// described by h starts at frame[ethernet.HeaderLen:], and the Ethernet
+// header room in front is filled by transmit.
+func (s *Stack) routeOut(h ipv4.Header, frame []byte) {
 	r, ok := s.FIB.Lookup(h.Dst)
 	if !ok {
 		s.Stats.NoRoute++
@@ -297,13 +317,13 @@ func (s *Stack) routeOut(h ipv4.Header, wire []byte) {
 	}
 	nh := r.NextHops[0]
 	if len(r.NextHops) > 1 {
-		nh = r.Pick(flowKeyOf(h, wire))
+		nh = r.Pick(flowKeyOf(h, frame[ethernet.HeaderLen:]))
 	}
 	gw := nh.Via
 	if gw.IsZero() {
 		gw = h.Dst // directly connected: resolve the final destination
 	}
-	s.transmit(nh.Iface, gw, wire)
+	s.transmit(nh.Iface, gw, frame)
 }
 
 // flowKeyOf extracts the ECMP 5-tuple. Port numbers live at the same offset
@@ -318,12 +338,12 @@ func flowKeyOf(h ipv4.Header, wire []byte) FlowKey {
 	return k
 }
 
-func (s *Stack) transmit(ifc *Iface, nextHop netaddr.IPv4, wire []byte) {
+func (s *Stack) transmit(ifc *Iface, nextHop netaddr.IPv4, frame []byte) {
 	e, ok := s.arpTable[nextHop]
 	if !ok {
 		// Queue behind an ARP request on every interface whose subnet
 		// covers the target (a rack subnet can span several ports).
-		s.arpPending[nextHop] = append(s.arpPending[nextHop], wire)
+		s.arpPending[nextHop] = append(s.arpPending[nextHop], frame)
 		asked := false
 		for _, cand := range s.ifaces {
 			if cand.Subnet.Contains(nextHop) && cand.Usable() {
@@ -344,8 +364,8 @@ func (s *Stack) transmit(ifc *Iface, nextHop netaddr.IPv4, wire []byte) {
 		s.Stats.BlackholedTx++
 		return
 	}
-	f := ethernet.Frame{Dst: e.mac, Src: out.Port.MAC, EtherType: ethernet.TypeIPv4, Payload: wire}
-	out.Port.Send(f.Marshal())
+	ethernet.PutHeader(frame, e.mac, out.Port.MAC, ethernet.TypeIPv4)
+	out.Port.Send(frame)
 }
 
 func (s *Stack) sendARPRequest(ifc *Iface, target netaddr.IPv4) {
@@ -365,9 +385,9 @@ func (s *Stack) flushARPPending(ip netaddr.IPv4) {
 	if e.ifc == nil || !e.ifc.Usable() {
 		return
 	}
-	for _, wire := range pending {
-		f := ethernet.Frame{Dst: e.mac, Src: e.ifc.Port.MAC, EtherType: ethernet.TypeIPv4, Payload: wire}
-		e.ifc.Port.Send(f.Marshal())
+	for _, frame := range pending {
+		ethernet.PutHeader(frame, e.mac, e.ifc.Port.MAC, ethernet.TypeIPv4)
+		e.ifc.Port.Send(frame)
 	}
 }
 

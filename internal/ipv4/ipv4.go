@@ -75,28 +75,36 @@ func Checksum(b []byte) uint16 {
 // header checksum.
 func (p *Packet) Marshal() []byte {
 	b := make([]byte, HeaderLen+len(p.Payload))
-	h := &p.Header
+	p.Header.PutHeader(b, len(p.Payload))
+	copy(b[HeaderLen:], p.Payload)
+	return b
+}
+
+// PutHeader writes an option-less header for a payload of payloadLen bytes
+// into b[:HeaderLen], computing TotalLen and the checksum. It lets callers
+// compose the packet directly inside a larger frame buffer.
+func (h *Header) PutHeader(b []byte, payloadLen int) {
 	b[0] = 0x45 // version 4, IHL 5
 	b[1] = h.TOS
-	total := uint16(HeaderLen + len(p.Payload))
+	total := uint16(HeaderLen + payloadLen)
 	b[2] = byte(total >> 8)
 	b[3] = byte(total)
 	b[4] = byte(h.ID >> 8)
 	b[5] = byte(h.ID)
 	// flags/fragment offset zero: the simulated fabric never fragments.
+	b[6], b[7] = 0, 0
 	ttl := h.TTL
 	if ttl == 0 {
 		ttl = DefaultTTL
 	}
 	b[8] = ttl
 	b[9] = h.Protocol
+	b[10], b[11] = 0, 0
 	copy(b[12:16], h.Src[:])
 	copy(b[16:20], h.Dst[:])
 	ck := Checksum(b[:HeaderLen])
 	b[10] = byte(ck >> 8)
 	b[11] = byte(ck)
-	copy(b[HeaderLen:], p.Payload)
-	return b
 }
 
 // Unmarshal parses and validates a wire-format packet. The payload aliases b.

@@ -74,8 +74,12 @@ func (r *Router) ingressIP(ipWire []byte) {
 	// time-exceeded from the rack gateway address — which is why a
 	// traceroute across MR-MTP shows a single hop (cf. the per-router
 	// hops of the BGP fabric).
-	buf := append([]byte(nil), ipWire...)
-	if err := ipv4.Forward(buf); err != nil {
+	//
+	// The TTL decrement mutates the received frame in place: ownership of
+	// a delivered frame passes to the handler, Forward leaves the buffer
+	// untouched on the expiry path (TimeExceeded quotes the original
+	// bytes), and MarshalData copies the packet into the encapsulation.
+	if err := ipv4.Forward(ipWire); err != nil {
 		r.Stats.DataDropped++
 		reply := ipv4.Packet{
 			Header: ipv4.Header{
@@ -90,7 +94,7 @@ func (r *Router) ingressIP(ipWire []byte) {
 	// Paper §III.D: derive the destination ToR VID from the destination
 	// IP address with the §III.A algorithm.
 	dstRoot := byte(dst[2])
-	r.forwardData(MarshalData(r.rootVID, dstRoot, DataTTL, buf), dstRoot, flowhash.FromIPPacket(buf))
+	r.forwardData(MarshalData(r.rootVID, dstRoot, DataTTL, ipWire), dstRoot, flowhash.FromIPPacket(ipWire))
 }
 
 // handleData forwards (or delivers) an encapsulated packet arriving on a
@@ -117,9 +121,10 @@ func (r *Router) handleData(p *simnet.Port, payload []byte) {
 		r.Stats.DataDropped++
 		return
 	}
-	fwd := append([]byte(nil), payload...)
-	fwd[1] = h.TTL - 1
-	r.forwardData(fwd, h.DstRoot, flowhash.FromIPPacket(ipWire))
+	// In-place decrement: the delivered frame is ours, and sendOn copies
+	// the payload into a fresh outbound frame.
+	payload[1] = h.TTL - 1
+	r.forwardData(payload, h.DstRoot, flowhash.FromIPPacket(ipWire))
 }
 
 // forwardData routes an encapsulated packet: down the tree when the VID
@@ -138,12 +143,13 @@ func (r *Router) forwardData(payload []byte, dstRoot byte, key flowhash.Key) {
 	// Upward: hash across live uplinks not marked unreachable for the
 	// destination root (§III.C load balancing).
 	ups := r.uplinks()
-	eligible := ups[:0:0]
+	eligible := r.eligScratch[:0]
 	for _, adj := range ups {
 		if !r.unreachable[adj.port.Index][dstRoot] {
 			eligible = append(eligible, adj)
 		}
 	}
+	r.eligScratch = eligible
 	if len(eligible) == 0 || r.downstream[dstRoot] || (r.Cfg.Tier == 1 && dstRoot == r.rootVID) {
 		r.Stats.DataDropped++
 		return

@@ -88,6 +88,8 @@ type adjacency struct {
 	lastTx       time.Duration
 	consecutive  int
 	deadTimer    *simnet.Timer
+	helloTimer   *simnet.Timer
+	advTimer     *simnet.Timer
 
 	// advertised is the latest VID set the neighbor offered to extend.
 	advertised []VID
@@ -130,6 +132,16 @@ type Router struct {
 	entries map[string]vidEntry // VID table, keyed by VID
 	byRoot  map[byte][]string   // root -> VID keys
 	adjs    map[int]*adjacency
+
+	// advWire caches the marshalled ADVERTISE (identical on every port),
+	// invalidated whenever the VID table changes. The periodic
+	// re-ADVERTISE on every adjacency makes this a steady-state hot path.
+	advWire []byte
+
+	// upScratch and eligScratch back uplinks() and forwardData's eligible
+	// set, reused packet to packet so the data plane does not allocate.
+	upScratch   []*adjacency
+	eligScratch []*adjacency
 
 	// unreachable[port][root] records "this port cannot be used for
 	// traffic destined to this root VID" (the paper's §VII.B description
@@ -227,14 +239,14 @@ func (r *Router) scheduleAdvertise(adj *adjacency) {
 	if r.Cfg.AdvertiseInterval <= 0 {
 		return
 	}
-	r.sim().After(r.Cfg.AdvertiseInterval, func() {
+	adj.advTimer = r.sim().After(r.Cfg.AdvertiseInterval, func() {
 		if r.adjs[adj.port.Index] != adj {
 			return
 		}
 		if adj.state == adjUp {
 			r.sendAdvertise(adj)
 		}
-		r.scheduleAdvertise(adj)
+		adj.advTimer.Reset(r.Cfg.AdvertiseInterval)
 	})
 }
 
@@ -246,8 +258,13 @@ func (r *Router) sendOn(adj *adjacency, payload []byte) {
 }
 
 func (r *Router) sendAdvertise(adj *adjacency) {
-	m := Message{Type: TypeAdvertise, Tier: r.Cfg.Tier, VIDs: r.joinableVIDs()}
-	r.sendOn(adj, m.Marshal())
+	if r.advWire == nil {
+		m := Message{Type: TypeAdvertise, Tier: r.Cfg.Tier, VIDs: r.joinableVIDs()}
+		r.advWire = m.Marshal()
+	}
+	// sendOn copies the payload into the frame, so sharing the cached
+	// message across ports and intervals is safe.
+	r.sendOn(adj, r.advWire)
 }
 
 // joinableVIDs lists the VIDs this device extends to upper-tier joiners:
@@ -265,7 +282,7 @@ func (r *Router) joinableVIDs() []VID {
 }
 
 func (r *Router) scheduleHello(adj *adjacency) {
-	r.sim().After(r.Cfg.HelloInterval, func() {
+	adj.helloTimer = r.sim().After(r.Cfg.HelloInterval, func() {
 		if r.adjs[adj.port.Index] != adj {
 			return
 		}
@@ -275,13 +292,14 @@ func (r *Router) scheduleHello(adj *adjacency) {
 			r.Stats.HellosSent++
 			r.sendOn(adj, []byte{TypeHello})
 		}
-		r.scheduleHello(adj)
+		adj.helloTimer.Reset(r.Cfg.HelloInterval)
 	})
 }
 
 func (r *Router) armDead(adj *adjacency) {
 	if adj.deadTimer != nil {
-		adj.deadTimer.Stop()
+		adj.deadTimer.Reset(r.Cfg.DeadInterval)
+		return
 	}
 	adj.deadTimer = r.sim().After(r.Cfg.DeadInterval, func() {
 		if adj.state == adjUp {
@@ -421,6 +439,7 @@ func (r *Router) addEntry(v VID, port int, fromTier int) bool {
 	}
 	r.entries[key] = vidEntry{vid: v.Clone(), port: port}
 	r.byRoot[v.Root()] = append(r.byRoot[v.Root()], key)
+	r.advWire = nil
 	if fromTier < r.Cfg.Tier {
 		r.downstream[v.Root()] = true
 	}
@@ -433,6 +452,7 @@ func (r *Router) removeEntry(key string) {
 		return
 	}
 	delete(r.entries, key)
+	r.advWire = nil
 	// Allow a future re-JOIN of the parent tree through the same port
 	// (recovery after Slow-to-Accept re-admits the neighbor).
 	if adj := r.adjs[e.port]; adj != nil && len(e.vid) > 1 {
@@ -574,7 +594,7 @@ func (r *Router) armJoinRetry(adj *adjacency, want []VID, budget int) {
 		}
 		return
 	}
-	r.sim().After(r.Cfg.JoinRetry, func() {
+	r.sim().Schedule(r.Cfg.JoinRetry, func() {
 		if adj.state != adjUp {
 			return
 		}
@@ -667,12 +687,15 @@ func (r *Router) handleAccept(adj *adjacency, vids []VID) {
 
 // --- reachability ----------------------------------------------------------
 
-// uplinks returns the live upper-tier adjacencies in port order.
+// uplinks returns the live upper-tier adjacencies in port order. The result
+// shares the router's scratch buffer — it is valid until the next call and
+// must not be retained; this keeps the per-packet up-forwarding path
+// allocation-free.
 func (r *Router) uplinks() []*adjacency {
 	if r.topTier() {
 		return nil
 	}
-	var out []*adjacency
+	out := r.upScratch[:0]
 	for _, adj := range r.adjs {
 		if adj.state != adjUp || !adj.port.Up() {
 			continue
@@ -683,7 +706,14 @@ func (r *Router) uplinks() []*adjacency {
 			out = append(out, adj)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].port.Index < out[j].port.Index })
+	// Insertion sort by port index: a router has a handful of uplinks, and
+	// sort.Slice would allocate on every forwarded packet.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].port.Index < out[j-1].port.Index; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	r.upScratch = out
 	return out
 }
 

@@ -1,0 +1,314 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// The scheduling core is an indexed binary min-heap of recycled event
+// records. Three properties keep the hot paths (hello/BFD timer churn, frame
+// delivery) allocation-free and the heap small:
+//
+//   - Every event knows its heap index, so Timer.Stop removes it from the
+//     heap immediately and Timer.Reset re-times it in place (sift-up/down)
+//     instead of abandoning a tombstone that would sit in the queue until
+//     its original deadline.
+//   - Fired and cancelled events go on a freelist and are reused; a
+//     generation counter on each record invalidates stale Timer handles.
+//   - Frame delivery and egress-queue bookkeeping are dedicated event kinds
+//     carrying their operands in the record itself, so Port.Send schedules
+//     no closures.
+//
+// The heap itself stores (at, seq) inline next to the event pointer, so the
+// sift comparisons stay within the contiguous slice instead of dereferencing
+// a pointer per compared element.
+
+type eventKind uint8
+
+const (
+	evFunc      eventKind = iota // run fn
+	evFrame                      // deliver frame from src to dst over link
+	evQueueFree                  // decrement dir.queued (egress serialization)
+)
+
+// event is a scheduled occurrence's payload. Its timing lives in the heap
+// entry; the record only tracks where it sits (idx) and which incarnation it
+// is (gen).
+type event struct {
+	idx int32  // position in Sim.queue, -1 when not scheduled
+	gen uint32 // bumped on release; validates Timer handles
+
+	kind eventKind
+	fn   func() // evFunc
+
+	// evFrame operands; dir doubles as the evQueueFree operand.
+	src, dst *Port
+	link     *Link
+	frame    []byte
+	dir      *dirState
+}
+
+// heapEntry is one slot of the scheduling heap. Events with equal time fire
+// in scheduling order (seq), which keeps runs deterministic.
+type heapEntry struct {
+	at  time.Duration
+	seq uint64
+	ev  *event
+}
+
+func entryLess(a, b *heapEntry) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// alloc takes an event record off the freelist (or makes one).
+func (s *Sim) alloc() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &event{idx: -1}
+}
+
+// release recycles a record that is no longer scheduled. The generation bump
+// invalidates any Timer still holding it.
+func (s *Sim) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.src, ev.dst, ev.link, ev.frame, ev.dir = nil, nil, nil, nil, nil
+	s.free = append(s.free, ev)
+}
+
+// schedule allocates and enqueues an event at absolute time at. Scheduling
+// in the past is a programming error and panics.
+func (s *Sim) schedule(at time.Duration) *event {
+	if at < s.now {
+		panic(fmt.Sprintf("simnet: scheduling event at %v before now %v", at, s.now))
+	}
+	ev := s.alloc()
+	s.seq++
+	s.heapPush(heapEntry{at: at, seq: s.seq, ev: ev})
+	return ev
+}
+
+// --- indexed min-heap -------------------------------------------------------
+
+func (s *Sim) heapPush(e heapEntry) {
+	e.ev.idx = int32(len(s.queue))
+	s.queue = append(s.queue, e)
+	s.siftUp(int(e.ev.idx))
+}
+
+func (s *Sim) siftUp(i int) {
+	q := s.queue
+	e := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryLess(&e, &q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].ev.idx = int32(i)
+		i = parent
+	}
+	q[i] = e
+	e.ev.idx = int32(i)
+}
+
+func (s *Sim) siftDown(i int) {
+	q := s.queue
+	n := len(q)
+	e := q[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && entryLess(&q[r], &q[l]) {
+			c = r
+		}
+		if !entryLess(&q[c], &e) {
+			break
+		}
+		q[i] = q[c]
+		q[i].ev.idx = int32(i)
+		i = c
+	}
+	q[i] = e
+	e.ev.idx = int32(i)
+}
+
+// heapFix restores heap order after the entry at index i was re-timed.
+func (s *Sim) heapFix(i int) {
+	ev := s.queue[i].ev
+	s.siftDown(i)
+	if int(ev.idx) == i {
+		s.siftUp(i)
+	}
+}
+
+// heapPop removes and returns the earliest entry.
+func (s *Sim) heapPop() heapEntry {
+	q := s.queue
+	e := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = heapEntry{}
+	s.queue = q[:last]
+	if last > 0 {
+		s.siftDown(0)
+	}
+	e.ev.idx = -1
+	return e
+}
+
+// heapRemove removes the entry at index i.
+func (s *Sim) heapRemove(i int) {
+	q := s.queue
+	last := len(q) - 1
+	ev := q[i].ev
+	if i != last {
+		moved := q[last].ev
+		q[i] = q[last]
+		moved.idx = int32(i)
+		q[last] = heapEntry{}
+		s.queue = q[:last]
+		s.siftDown(i)
+		if int(moved.idx) == i {
+			s.siftUp(i)
+		}
+	} else {
+		q[last] = heapEntry{}
+		s.queue = q[:last]
+	}
+	ev.idx = -1
+}
+
+// --- public scheduling API --------------------------------------------------
+
+// At schedules fn at absolute virtual time t and returns a cancellable,
+// re-armable handle.
+func (s *Sim) At(t time.Duration, fn func()) *Timer {
+	ev := s.schedule(t)
+	ev.kind = evFunc
+	ev.fn = fn
+	return &Timer{sim: s, ev: ev, gen: ev.gen, fn: fn}
+}
+
+// After schedules fn d from now and returns a cancellable timer.
+func (s *Sim) After(d time.Duration, fn func()) *Timer {
+	return s.At(s.now+d, fn)
+}
+
+// Schedule runs fn d from now. It is the fire-and-forget variant of After
+// for callers that never stop or re-arm the event: no handle is allocated.
+func (s *Sim) Schedule(d time.Duration, fn func()) {
+	ev := s.schedule(s.now + d)
+	ev.kind = evFunc
+	ev.fn = fn
+}
+
+// Timer is a handle to a scheduled event. The callback is retained by the
+// handle, so Reset re-arms correctly whether the event is pending, already
+// fired, or was stopped.
+type Timer struct {
+	sim *Sim
+	ev  *event
+	gen uint32
+	fn  func()
+}
+
+// pending reports whether the timer's event is still scheduled (the record
+// may have been recycled for an unrelated event; the generation check
+// detects that).
+func (t *Timer) pending() bool {
+	return t.ev != nil && t.ev.gen == t.gen && t.ev.idx >= 0
+}
+
+// Stop cancels the timer if it has not fired, removing its event from the
+// queue at once. It reports whether the call prevented the timer from
+// firing.
+func (t *Timer) Stop() bool {
+	if t == nil || !t.pending() {
+		return false
+	}
+	ev := t.ev
+	t.ev = nil
+	t.sim.heapRemove(int(ev.idx))
+	t.sim.release(ev)
+	return true
+}
+
+// Reset re-arms the timer to fire d from now with the original callback. A
+// pending event is re-timed in place (no allocation, no heap garbage); a
+// fired or stopped timer is scheduled afresh.
+func (t *Timer) Reset(d time.Duration) {
+	s := t.sim
+	at := s.now + d
+	if at < s.now {
+		panic(fmt.Sprintf("simnet: resetting timer to %v before now %v", at, s.now))
+	}
+	if t.pending() {
+		i := int(t.ev.idx)
+		s.seq++
+		s.queue[i].at = at
+		s.queue[i].seq = s.seq
+		s.heapFix(i)
+		return
+	}
+	ev := s.schedule(at)
+	ev.kind = evFunc
+	ev.fn = t.fn
+	t.ev = ev
+	t.gen = ev.gen
+}
+
+// --- event loop -------------------------------------------------------------
+
+// Step processes the next event. It reports false when the queue is empty.
+func (s *Sim) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := s.heapPop()
+	ev := e.ev
+	s.now = e.at
+	s.events++
+	switch ev.kind {
+	case evFunc:
+		fn := ev.fn
+		s.release(ev)
+		fn()
+	case evFrame:
+		src, dst, link, frame := ev.src, ev.dst, ev.link, ev.frame
+		s.release(ev)
+		s.deliver(src, dst, link, frame)
+	case evQueueFree:
+		dir := ev.dir
+		s.release(ev)
+		dir.queued--
+	}
+	return true
+}
+
+// RunUntil processes every event scheduled at or before t, then advances the
+// clock to exactly t.
+func (s *Sim) RunUntil(t time.Duration) {
+	for len(s.queue) > 0 && s.queue[0].at <= t {
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// RunFor advances the simulation by d.
+func (s *Sim) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
+
+// RunUntilIdle drains the event queue, but never past the maxTime horizon
+// (protocol keep-alives re-arm forever, so a pure drain would not finish).
+func (s *Sim) RunUntilIdle(maxTime time.Duration) {
+	s.RunUntil(maxTime)
+}

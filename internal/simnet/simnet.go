@@ -16,9 +16,9 @@
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"repro/internal/netaddr"
@@ -44,13 +44,15 @@ type Handler interface {
 // Sim is a single simulation instance. It is not safe for concurrent use;
 // all protocol code runs on the event loop goroutine.
 type Sim struct {
-	now    time.Duration
-	queue  eventQueue
-	seq    uint64
-	rng    *rand.Rand
-	nodes  map[string]*Node
-	links  []*Link
-	macSeq uint32
+	now       time.Duration
+	queue     []heapEntry // indexed min-heap ordered by (at, seq)
+	free      []*event    // recycled event records
+	seq       uint64
+	rng       *rand.Rand
+	nodes     map[string]*Node
+	nodeOrder []*Node // insertion order, for deterministic iteration
+	links     []*Link
+	macSeq    uint32
 
 	// LocalDetectDelay is the time between an interface failure and the
 	// owning node's PortDown callback (carrier-loss interrupt latency).
@@ -92,126 +94,6 @@ func (s *Sim) tracef(format string, args ...any) {
 	}
 }
 
-// event is a scheduled callback. Events with equal time fire in scheduling
-// order (seq), which keeps runs deterministic.
-type event struct {
-	at      time.Duration
-	seq     uint64
-	fn      func()
-	stopped bool
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
-}
-
-// At schedules fn at absolute virtual time t. Scheduling in the past is a
-// programming error and panics.
-func (s *Sim) At(t time.Duration, fn func()) *Timer {
-	if t < s.now {
-		panic(fmt.Sprintf("simnet: scheduling event at %v before now %v", t, s.now))
-	}
-	s.seq++
-	ev := &event{at: t, seq: s.seq, fn: fn}
-	heap.Push(&s.queue, ev)
-	return &Timer{sim: s, ev: ev}
-}
-
-// After schedules fn d from now and returns a cancellable timer.
-func (s *Sim) After(d time.Duration, fn func()) *Timer {
-	return s.At(s.now+d, fn)
-}
-
-// Timer is a handle to a scheduled event.
-type Timer struct {
-	sim *Sim
-	ev  *event
-	fn  func()
-}
-
-// Stop cancels the timer if it has not fired. It reports whether the call
-// prevented the timer from firing.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.stopped || t.ev.fn == nil {
-		return false
-	}
-	t.ev.stopped = true
-	return true
-}
-
-// Reset re-arms the timer to fire d from now with the original callback,
-// cancelling any pending firing.
-func (t *Timer) Reset(d time.Duration) {
-	if t.fn == nil {
-		// Preserve the callback on first reset.
-		t.fn = t.ev.fn
-	}
-	t.Stop()
-	nt := t.sim.After(d, t.fn)
-	t.ev = nt.ev
-}
-
-// Step processes the next event. It reports false when the queue is empty.
-func (s *Sim) Step() bool {
-	for s.queue.Len() > 0 {
-		ev := heap.Pop(&s.queue).(*event)
-		if ev.stopped {
-			continue
-		}
-		s.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		s.events++
-		fn()
-		return true
-	}
-	return false
-}
-
-// RunUntil processes every event scheduled at or before t, then advances the
-// clock to exactly t.
-func (s *Sim) RunUntil(t time.Duration) {
-	for s.queue.Len() > 0 {
-		next := s.queue[0]
-		if next.stopped {
-			heap.Pop(&s.queue)
-			continue
-		}
-		if next.at > t {
-			break
-		}
-		s.Step()
-	}
-	if t > s.now {
-		s.now = t
-	}
-}
-
-// RunFor advances the simulation by d.
-func (s *Sim) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
-
-// RunUntilIdle drains the event queue, but never past the maxTime horizon
-// (protocol keep-alives re-arm forever, so a pure drain would not finish).
-func (s *Sim) RunUntilIdle(maxTime time.Duration) {
-	s.RunUntil(maxTime)
-}
-
 // Node is one device: a router, switch, or server.
 type Node struct {
 	Name    string
@@ -231,19 +113,17 @@ func (s *Sim) AddNode(name string) *Node {
 	}
 	n := &Node{Name: name, Sim: s, Ports: []*Port{nil}, Meta: make(map[string]string)}
 	s.nodes[name] = n
+	s.nodeOrder = append(s.nodeOrder, n)
 	return n
 }
 
 // Node returns a node by name, or nil.
 func (s *Sim) Node(name string) *Node { return s.nodes[name] }
 
-// Nodes returns every node, in no particular order.
+// Nodes returns every node in insertion order, so iteration (trace output,
+// harness sweeps) is reproducible run to run.
 func (s *Sim) Nodes() []*Node {
-	out := make([]*Node, 0, len(s.nodes))
-	for _, n := range s.nodes {
-		out = append(out, n)
-	}
-	return out
+	return append([]*Node(nil), s.nodeOrder...)
 }
 
 // AddPort appends a new port to the node and returns it. Port indices start
@@ -273,29 +153,13 @@ func (n *Node) Port(i int) *Port {
 // Start invokes Start on every attached handler. Call once after wiring.
 func (s *Sim) Start() {
 	// Deterministic order: nodes sorted by name.
-	for _, n := range sortedNodes(s.nodes) {
+	sorted := s.Nodes()
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, n := range sorted {
 		if n.Handler != nil {
 			n.Handler.Start()
 		}
 	}
-}
-
-func sortedNodes(m map[string]*Node) []*Node {
-	names := make([]string, 0, len(m))
-	for name := range m {
-		names = append(names, name)
-	}
-	// Insertion sort: n is small and this avoids importing sort for one call.
-	for i := 1; i < len(names); i++ {
-		for j := i; j > 0 && names[j] < names[j-1]; j-- {
-			names[j], names[j-1] = names[j-1], names[j]
-		}
-	}
-	out := make([]*Node, len(names))
-	for i, name := range names {
-		out[i] = m[name]
-	}
-	return out
 }
 
 // PortCounters tracks per-port frame statistics.
@@ -376,22 +240,31 @@ func (p *Port) Send(frame []byte) {
 		d.busyUntil = start + txTime
 		d.queued++
 		delay = d.busyUntil - sim.now + link.Latency
-		doneAt := d.busyUntil
-		sim.At(doneAt, func() { d.queued-- })
+		free := sim.schedule(d.busyUntil)
+		free.kind = evQueueFree
+		free.dir = d
 	}
-	peer := p.Peer()
-	sim.After(delay, func() {
-		if !peer.up || !p.up || p.Link != link {
-			peer.Counters.RxDropped++
-			sim.tracef("%s: rx drop (port down at arrival), %d bytes", peer.Name(), len(frame))
-			return
-		}
-		peer.Counters.RxFrames++
-		peer.Counters.RxBytes += uint64(len(frame))
-		if peer.Node.Handler != nil {
-			peer.Node.Handler.HandleFrame(peer, frame)
-		}
-	})
+	ev := sim.schedule(sim.now + delay)
+	ev.kind = evFrame
+	ev.src = p
+	ev.dst = p.Peer()
+	ev.link = link
+	ev.frame = frame
+}
+
+// deliver completes a frame's flight: the receiving port's status is checked
+// at arrival time, so frames in flight when a failure hits are lost.
+func (s *Sim) deliver(src, dst *Port, link *Link, frame []byte) {
+	if !dst.up || !src.up || src.Link != link {
+		dst.Counters.RxDropped++
+		s.tracef("%s: rx drop (port down at arrival), %d bytes", dst.Name(), len(frame))
+		return
+	}
+	dst.Counters.RxFrames++
+	dst.Counters.RxBytes += uint64(len(frame))
+	if dst.Node.Handler != nil {
+		dst.Node.Handler.HandleFrame(dst, frame)
+	}
 }
 
 // Fail injects an interface failure on this port, as the paper's bash
@@ -405,7 +278,7 @@ func (p *Port) Fail() {
 	p.up = false
 	sim := p.Node.Sim
 	sim.tracef("%s: interface FAILED", p.Name())
-	sim.After(sim.LocalDetectDelay, func() {
+	sim.Schedule(sim.LocalDetectDelay, func() {
 		if p.Node.Handler != nil && !p.up {
 			p.Node.Handler.PortDown(p)
 		}
@@ -420,7 +293,7 @@ func (p *Port) Restore() {
 	p.up = true
 	sim := p.Node.Sim
 	sim.tracef("%s: interface restored", p.Name())
-	sim.After(sim.LocalDetectDelay, func() {
+	sim.Schedule(sim.LocalDetectDelay, func() {
 		if p.Node.Handler != nil && p.up {
 			p.Node.Handler.PortUp(p)
 		}

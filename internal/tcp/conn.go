@@ -279,7 +279,8 @@ func (c *Conn) armRetransmit() {
 		rto = maxRTO
 	}
 	if c.retransTimer != nil {
-		c.retransTimer.Stop()
+		c.retransTimer.Reset(rto)
+		return
 	}
 	c.retransTimer = c.ep.sim.After(rto, c.retransmit)
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/ipstack"
 	"repro/internal/netaddr"
+	"repro/internal/simnet"
 	"repro/internal/udp"
 )
 
@@ -48,6 +49,7 @@ type Sender struct {
 	seq   uint64
 	sent  uint64
 	stop  bool
+	timer *simnet.Timer
 }
 
 // NewSender binds a sender to a server stack.
@@ -80,7 +82,11 @@ func (s *Sender) tick() {
 	s.seq++
 	s.sent++
 	s.stack.SendUDP(s.cfg.Src, s.cfg.Dst, s.cfg.SrcPort, s.cfg.DstPort, payload)
-	s.stack.Node.Sim.After(s.cfg.Interval, s.tick)
+	if s.timer != nil {
+		s.timer.Reset(s.cfg.Interval)
+	} else {
+		s.timer = s.stack.Node.Sim.After(s.cfg.Interval, s.tick)
+	}
 }
 
 // Receiver analyzes the flow at the destination server.

@@ -35,6 +35,15 @@ var ErrBadChecksum = errors.New("udp: bad checksum")
 // pseudo-header for the given addresses.
 func (d *Datagram) Marshal(src, dst netaddr.IPv4) []byte {
 	b := make([]byte, HeaderLen+len(d.Payload))
+	copy(b[HeaderLen:], d.Payload)
+	d.PutHeader(src, dst, b)
+	return b
+}
+
+// PutHeader writes the UDP header into b[:HeaderLen] and computes the
+// checksum over b, whose tail must already hold the payload. It lets callers
+// compose a datagram directly inside a larger frame buffer.
+func (d *Datagram) PutHeader(src, dst netaddr.IPv4, b []byte) {
 	b[0] = byte(d.SrcPort >> 8)
 	b[1] = byte(d.SrcPort)
 	b[2] = byte(d.DstPort >> 8)
@@ -42,14 +51,13 @@ func (d *Datagram) Marshal(src, dst netaddr.IPv4) []byte {
 	l := uint16(len(b))
 	b[4] = byte(l >> 8)
 	b[5] = byte(l)
-	copy(b[HeaderLen:], d.Payload)
+	b[6], b[7] = 0, 0
 	ck := pseudoChecksum(src, dst, ipv4.ProtoUDP, b)
 	if ck == 0 {
 		ck = 0xffff // RFC 768: transmitted zero means "no checksum"
 	}
 	b[6] = byte(ck >> 8)
 	b[7] = byte(ck)
-	return b
 }
 
 // Unmarshal parses and validates a datagram carried between src and dst.
@@ -75,16 +83,26 @@ func Unmarshal(src, dst netaddr.IPv4, b []byte) (Datagram, error) {
 }
 
 // pseudoChecksum computes the transport checksum including the IPv4
-// pseudo-header. Shared with package tcp via identical construction.
+// pseudo-header. Shared with package tcp via identical construction. The
+// pseudo-header words are summed directly rather than materialized: this
+// runs once per simulated packet, so it must not allocate.
 func pseudoChecksum(src, dst netaddr.IPv4, proto byte, segment []byte) uint16 {
-	pseudo := make([]byte, 12, 12+len(segment)+1)
-	copy(pseudo[0:4], src[:])
-	copy(pseudo[4:8], dst[:])
-	pseudo[9] = proto
-	pseudo[10] = byte(len(segment) >> 8)
-	pseudo[11] = byte(len(segment))
-	pseudo = append(pseudo, segment...)
-	return ipv4.Checksum(pseudo)
+	sum := uint32(src[0])<<8 | uint32(src[1])
+	sum += uint32(src[2])<<8 | uint32(src[3])
+	sum += uint32(dst[0])<<8 | uint32(dst[1])
+	sum += uint32(dst[2])<<8 | uint32(dst[3])
+	sum += uint32(proto)
+	sum += uint32(uint16(len(segment)))
+	for i := 0; i+1 < len(segment); i += 2 {
+		sum += uint32(segment[i])<<8 | uint32(segment[i+1])
+	}
+	if len(segment)%2 == 1 {
+		sum += uint32(segment[len(segment)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
 }
 
 // PseudoChecksum exposes the transport pseudo-header checksum for other
