@@ -11,6 +11,7 @@
 //	closlab -experiment loss-far               # Fig. 8 (packets)
 //	closlab -experiment keepalive              # Figs. 9-10 (capture summary)
 //	closlab -experiment config                 # Listings 1-2 comparison
+//	closlab -experiment workload               # FCT + load balance under load
 //	closlab -experiment all                    # everything
 //
 // Flags -trials and -seed control averaging, -pods restricts the topology,
@@ -34,7 +35,7 @@ import (
 var protocols = []harness.Protocol{harness.ProtoMRMTP, harness.ProtoBGP, harness.ProtoBGPBFD}
 
 func main() {
-	experiment := flag.String("experiment", "all", "convergence|blastradius|overhead|loss-near|loss-far|keepalive|config|nodefail|flap|artifacts|all")
+	experiment := flag.String("experiment", "all", "convergence|blastradius|overhead|loss-near|loss-far|keepalive|config|nodefail|flap|workload|artifacts|all")
 	trials := flag.Int("trials", 3, "trials to average per data point")
 	seed := flag.Int64("seed", 1, "base random seed")
 	pods := flag.Int("pods", 0, "restrict to one topology size (2 or 4); 0 = both")
@@ -73,6 +74,9 @@ func main() {
 	run("config", configComparison)
 	run("nodefail", nodeFailure)
 	run("flap", flapChurn)
+	run("workload", func(s []topology.Spec, n int, seed int64) error {
+		return workloadExperiment(s, n, seed, *out)
+	})
 	if *experiment == "artifacts" {
 		if err := artifacts(specs[0], *seed, *out); err != nil {
 			fatalf("artifacts: %v", err)

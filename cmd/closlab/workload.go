@@ -1,0 +1,214 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/topology"
+)
+
+// workloadProtocols is the comparison the workload experiment draws: the
+// paper's protocol against plain BGP/ECMP. (BGP/BFD converges like MR-MTP
+// here and adds nothing to the FCT story for the extra runtime.)
+var workloadProtocols = []harness.Protocol{harness.ProtoMRMTP, harness.ProtoBGP}
+
+// workloadRun is one (protocol, pods, scenario) cell with its artifacts.
+type workloadRun struct {
+	summary harness.WorkloadSummary
+	trials  []harness.WorkloadResult
+}
+
+// workloadExperiment offers the heavy-tailed flow workload to every
+// protocol/topology cell, steady-state and with the TC2 failure injected
+// mid-run, prints the FCT and load-balance tables and writes CSV/JSON
+// artifacts to dir.
+func workloadExperiment(specs []topology.Spec, trials int, seed int64, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var runs []workloadRun
+	for _, spec := range specs {
+		for _, proto := range workloadProtocols {
+			for _, midFailure := range []bool{false, true} {
+				w := harness.DefaultWorkloadConfig()
+				w.MidFailure = midFailure
+				s, rs, err := harness.RunWorkloadTrials(harness.DefaultOptions(spec, proto, seed), w, trials)
+				if err != nil {
+					return err
+				}
+				fmt.Print(harness.RenderWorkload(s))
+				runs = append(runs, workloadRun{summary: s, trials: rs})
+			}
+		}
+	}
+	fmt.Println()
+
+	if err := writeWorkloadFCTCSV(filepath.Join(dir, "workload-fct.csv"), runs); err != nil {
+		return err
+	}
+	if err := writeWorkloadImbalanceCSV(filepath.Join(dir, "workload-imbalance.csv"), runs); err != nil {
+		return err
+	}
+	if err := writeWorkloadTelemetryCSV(filepath.Join(dir, "workload-telemetry.csv"), runs); err != nil {
+		return err
+	}
+	if err := writeWorkloadJSON(filepath.Join(dir, "workload-summary.json"), runs); err != nil {
+		return err
+	}
+	fmt.Printf("workload: wrote workload-{fct,imbalance,telemetry}.csv and workload-summary.json to %s\n", dir)
+	return nil
+}
+
+func writeWorkloadFCTCSV(path string, runs []workloadRun) error {
+	var b strings.Builder
+	b.WriteString("protocol,pods,scenario,bucket,flows,completed,mean_ms,p50_ms,p95_ms,p99_ms,max_ms\n")
+	for _, r := range runs {
+		s := r.summary
+		for _, bk := range s.Buckets {
+			fmt.Fprintf(&b, "%s,%d,%s,%s,%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+				s.Protocol, s.Pods, s.Scenario, bk.Label, bk.Flows, bk.Completed,
+				bk.FCT.Mean, bk.FCT.P50, bk.FCT.P95, bk.FCT.P99, bk.FCT.Max)
+		}
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func writeWorkloadImbalanceCSV(path string, runs []workloadRun) error {
+	var b strings.Builder
+	b.WriteString("protocol,pods,scenario,trial,group,max_over_mean,jain,uplink_bytes\n")
+	for _, r := range runs {
+		s := r.summary
+		for ti, tr := range r.trials {
+			for _, gl := range tr.GroupLoads {
+				var parts []string
+				for _, n := range gl.Bytes {
+					parts = append(parts, fmt.Sprintf("%d", n))
+				}
+				fmt.Fprintf(&b, "%s,%d,%s,%d,%s,%.4f,%.4f,%s\n",
+					s.Protocol, s.Pods, s.Scenario, ti, gl.Name,
+					gl.MaxOverMean, gl.Jain, strings.Join(parts, ";"))
+			}
+		}
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// writeWorkloadTelemetryCSV exports the sampled link time series of each
+// cell's first trial on the smallest topology — enough to plot utilization,
+// queue depth and drops around the failure without dumping every trial.
+func writeWorkloadTelemetryCSV(path string, runs []workloadRun) error {
+	minPods := 0
+	for _, r := range runs {
+		if minPods == 0 || r.summary.Pods < minPods {
+			minPods = r.summary.Pods
+		}
+	}
+	var b strings.Builder
+	b.WriteString("protocol,pods,scenario,link,t_us,tx_bytes,util,queued,drops\n")
+	for _, r := range runs {
+		if r.summary.Pods != minPods || len(r.trials) == 0 {
+			continue
+		}
+		s := r.summary
+		for _, sr := range r.trials[0].Series {
+			for _, smp := range sr.Samples {
+				fmt.Fprintf(&b, "%s,%d,%s,%s,%d,%d,%.4f,%d,%d\n",
+					s.Protocol, s.Pods, s.Scenario, sr.Name,
+					smp.At/time.Microsecond, smp.TxBytes, smp.Util, smp.Queued, smp.Drops)
+			}
+		}
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// workloadJSONSummary is the machine-readable form of one cell.
+type workloadJSONSummary struct {
+	Protocol       string                `json:"protocol"`
+	Pods           int                   `json:"pods"`
+	Scenario       string                `json:"scenario"`
+	Trials         int                   `json:"trials"`
+	Flows          int                   `json:"flows"`
+	Completed      int                   `json:"completed"`
+	Abandoned      int                   `json:"abandoned"`
+	Incomplete     int                   `json:"incomplete"`
+	CompletionRate float64               `json:"completion_rate"`
+	PacketsSent    uint64                `json:"packets_sent"`
+	Retransmits    uint64                `json:"retransmits"`
+	Buckets        []workloadJSONBucket  `json:"fct_buckets"`
+	Imbalance      workloadJSONImbalance `json:"uplink_imbalance"`
+	Drops          float64               `json:"mean_drops_per_trial"`
+	PeakQueue      int                   `json:"peak_queue"`
+	PeakUtil       float64               `json:"peak_util"`
+}
+
+type workloadJSONBucket struct {
+	Label     string  `json:"label"`
+	Flows     int     `json:"flows"`
+	Completed int     `json:"completed"`
+	MeanMs    float64 `json:"mean_ms"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MaxMs     float64 `json:"max_ms"`
+}
+
+type workloadJSONImbalance struct {
+	MaxOverMeanMean float64 `json:"max_over_mean_mean"`
+	MaxOverMeanP95  float64 `json:"max_over_mean_p95"`
+	MaxOverMeanMax  float64 `json:"max_over_mean_max"`
+	Groups          int     `json:"groups"`
+	JainMean        float64 `json:"jain_mean"`
+}
+
+func writeWorkloadJSON(path string, runs []workloadRun) error {
+	var out []workloadJSONSummary
+	for _, r := range runs {
+		s := r.summary
+		js := workloadJSONSummary{
+			Protocol:       s.Protocol.String(),
+			Pods:           s.Pods,
+			Scenario:       s.Scenario,
+			Trials:         s.Trials,
+			Flows:          s.Flows,
+			Completed:      s.Completed,
+			Abandoned:      s.Abandoned,
+			Incomplete:     s.Incomplete,
+			CompletionRate: s.CompletionRate,
+			PacketsSent:    s.PacketsSent,
+			Retransmits:    s.Retransmits,
+			Imbalance: workloadJSONImbalance{
+				MaxOverMeanMean: s.Imbalance.Mean,
+				MaxOverMeanP95:  s.Imbalance.P95,
+				MaxOverMeanMax:  s.Imbalance.Max,
+				Groups:          s.Imbalance.N,
+				JainMean:        s.JainMean,
+			},
+			Drops:     s.Drops,
+			PeakQueue: s.PeakQueue,
+			PeakUtil:  s.PeakUtil,
+		}
+		for _, bk := range s.Buckets {
+			js.Buckets = append(js.Buckets, workloadJSONBucket{
+				Label:     bk.Label,
+				Flows:     bk.Flows,
+				Completed: bk.Completed,
+				MeanMs:    bk.FCT.Mean,
+				P50Ms:     bk.FCT.P50,
+				P95Ms:     bk.FCT.P95,
+				P99Ms:     bk.FCT.P99,
+				MaxMs:     bk.FCT.Max,
+			})
+		}
+		out = append(out, js)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,330 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// This file runs the flow-level workload experiment: a heavy-tailed traffic
+// mix offered to a rate-limited fabric, measuring flow completion time and
+// per-uplink load balance for MR-MTP's hash versus BGP/ECMP — in steady
+// state and with a failure injected while flows are in flight. It is the
+// stress test the paper's single-probe methodology (§VI.D) does not cover.
+
+// WorkloadConfig parameterizes a workload run on a fabric.
+type WorkloadConfig struct {
+	Flows          int
+	Pattern        workload.Pattern
+	Sizes          workload.SizeDist
+	MeanArrival    time.Duration
+	PacketSize     int
+	PacketInterval time.Duration
+
+	// LinkBps rate-limits every link (0 leaves links ideal); LinkQueue
+	// bounds each egress queue in frames.
+	LinkBps   int64
+	LinkQueue int
+
+	// MidFailure injects FailCase once FailAfter of traffic has run.
+	MidFailure bool
+	FailCase   topology.FailureCase
+	FailAfter  time.Duration
+
+	// MaxRun caps the virtual time spent waiting for flows to finish.
+	MaxRun time.Duration
+	// SampleInterval is the telemetry cadence.
+	SampleInterval time.Duration
+}
+
+// DefaultWorkloadConfig is the published experiment: a websearch mix on the
+// random pattern, links at 200 Mb/s with 64-frame queues, and (mid-failure
+// scenario) the TC2 failure — the case where the paper measures the largest
+// packet-loss gap between the protocols.
+func DefaultWorkloadConfig() WorkloadConfig {
+	return WorkloadConfig{
+		Flows:          160,
+		Pattern:        workload.PatternRandom,
+		Sizes:          workload.WebSearchMix(),
+		MeanArrival:    8 * time.Millisecond,
+		PacketSize:     1000,
+		PacketInterval: 120 * time.Microsecond,
+		LinkBps:        200_000_000,
+		LinkQueue:      64,
+		FailCase:       topology.TC2,
+		FailAfter:      400 * time.Millisecond,
+		MaxRun:         30 * time.Second,
+		SampleInterval: 10 * time.Millisecond,
+	}
+}
+
+// Scenario names the two workload scenarios.
+func (w WorkloadConfig) Scenario() string {
+	if w.MidFailure {
+		return "midfail"
+	}
+	return "steady"
+}
+
+// WorkloadResult is one trial's outcome.
+type WorkloadResult struct {
+	Protocol Protocol
+	Pods     int
+	Scenario string
+
+	Report workload.Report
+	// GroupLoads is the per-uplink byte spread of every router's
+	// equal-cost uplink group over the run.
+	GroupLoads []workload.GroupLoad
+	// Imbalance summarizes max/mean ratios across busy groups; JainMean
+	// averages their Jain fairness indices.
+	Imbalance stats.Summary
+	JainMean  float64
+
+	Drops     uint64 // egress tail-drops across all links
+	PeakQueue int
+	PeakUtil  float64
+	// Series is the sampled per-link-direction telemetry.
+	Series []*workload.LinkSeries
+}
+
+// WorkloadHosts lists every server as a workload endpoint, racks labelled
+// by their ToR, in the topology's deterministic server order.
+func (f *Fabric) WorkloadHosts() []workload.Host {
+	hosts := make([]workload.Host, 0, len(f.Topo.Servers))
+	for _, srv := range f.Topo.Servers {
+		hosts = append(hosts, workload.Host{
+			Stack: f.Stacks[srv.Name],
+			IP:    srv.IP,
+			Name:  srv.Name,
+			Rack:  srv.Ports[1].Peer.Device.Name,
+		})
+	}
+	return hosts
+}
+
+// UplinkGroups returns each router's equal-cost uplink set — the groups a
+// flow hash is supposed to spread load across.
+func (f *Fabric) UplinkGroups() []workload.Group {
+	var groups []workload.Group
+	for _, d := range f.Topo.Routers() {
+		var ports []*simnet.Port
+		for _, p := range d.Ports[1:] {
+			if p.IsUplink() {
+				ports = append(ports, f.Sim.Node(d.Name).Port(p.Index))
+			}
+		}
+		if len(ports) > 1 {
+			groups = append(groups, workload.Group{Name: d.Name, Ports: ports})
+		}
+	}
+	return groups
+}
+
+// RunWorkload drives one workload trial over a warm fabric.
+func RunWorkload(opts Options, w WorkloadConfig) (WorkloadResult, error) {
+	f, err := Build(opts)
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	if err := f.WarmUp(WarmupTime); err != nil {
+		return WorkloadResult{}, err
+	}
+	// Sample timer phase like the other experiments, then shape the links
+	// only after the fabric is converged so warm-up stays cheap.
+	phase := time.Duration(f.Sim.Rand().Int63n(int64(time.Second)))
+	f.Sim.RunFor(phase)
+	if w.LinkBps > 0 {
+		for _, link := range f.Sim.Links() {
+			link.SetBandwidth(w.LinkBps, w.LinkQueue)
+		}
+	}
+
+	engine, err := workload.New(f.WorkloadHosts(), workload.Config{
+		Pattern:        w.Pattern,
+		Sizes:          w.Sizes,
+		Flows:          w.Flows,
+		MeanArrival:    w.MeanArrival,
+		PacketSize:     w.PacketSize,
+		PacketInterval: w.PacketInterval,
+		DstPort:        49000,
+		RTO:            100 * time.Millisecond,
+		MaxRounds:      60,
+		Seed:           opts.Seed,
+	})
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	sampler := workload.NewSampler(f.Sim, w.SampleInterval)
+	for _, link := range f.Sim.Links() {
+		sampler.Watch(link)
+	}
+	meter := workload.NewLoadMeter(f.UplinkGroups())
+
+	engine.Start()
+	sampler.Start()
+	start := f.Sim.Now()
+	if w.MidFailure {
+		f.Sim.RunFor(w.FailAfter)
+		if _, err := f.Fail(w.FailCase); err != nil {
+			return WorkloadResult{}, err
+		}
+	}
+	maxRun := w.MaxRun
+	if maxRun <= 0 {
+		maxRun = 30 * time.Second
+	}
+	for !engine.Done() && f.Sim.Now()-start < maxRun {
+		f.Sim.RunFor(50 * time.Millisecond)
+	}
+	sampler.Stop()
+
+	loads := meter.Read()
+	imb, jain := workload.ImbalanceSummary(loads)
+	res := WorkloadResult{
+		Protocol:   opts.Protocol,
+		Pods:       opts.Spec.Pods,
+		Scenario:   w.Scenario(),
+		Report:     engine.Report(nil),
+		GroupLoads: loads,
+		Imbalance:  imb,
+		JainMean:   jain,
+		Drops:      sampler.TotalDrops(),
+		PeakQueue:  sampler.PeakQueue(),
+		PeakUtil:   sampler.PeakUtil(),
+		Series:     sampler.Series(),
+	}
+	return res, nil
+}
+
+// WorkloadBucket aggregates one flow-size class across trials.
+type WorkloadBucket struct {
+	Label     string
+	Flows     int
+	Completed int
+	// FCT summarizes the pooled per-flow completion times (ms).
+	FCT stats.Summary
+}
+
+// WorkloadSummary aggregates trials of one (protocol, pods, scenario) cell.
+type WorkloadSummary struct {
+	Protocol Protocol
+	Pods     int
+	Scenario string
+	Trials   int
+
+	Flows          int // across all trials
+	Completed      int
+	Abandoned      int
+	Incomplete     int
+	CompletionRate float64
+	PacketsSent    uint64
+	Retransmits    uint64
+
+	Buckets []WorkloadBucket
+	// Imbalance pools every busy uplink group's max/mean ratio from every
+	// trial; JainMean averages the per-trial Jain means.
+	Imbalance stats.Summary
+	JainMean  float64
+	Drops     float64 // mean per trial
+	PeakQueue int     // max across trials
+	PeakUtil  float64 // max across trials
+}
+
+// SummarizeWorkload pools per-trial results (all trials must share the
+// protocol/pods/scenario). Pooling is in trial order, so parallel and
+// sequential runs summarize bit-identically.
+func SummarizeWorkload(rs []WorkloadResult) WorkloadSummary {
+	if len(rs) == 0 {
+		return WorkloadSummary{}
+	}
+	s := WorkloadSummary{
+		Protocol: rs[0].Protocol,
+		Pods:     rs[0].Pods,
+		Scenario: rs[0].Scenario,
+		Trials:   len(rs),
+	}
+	nBuckets := len(rs[0].Report.Buckets)
+	fcts := make([][]float64, nBuckets)
+	var ratios []float64
+	var jain float64
+	var drops float64
+	for _, r := range rs {
+		s.Flows += r.Report.Flows
+		s.Completed += r.Report.Completed
+		s.Abandoned += r.Report.Abandoned
+		s.Incomplete += r.Report.Incomplete
+		s.PacketsSent += r.Report.PacketsSent
+		s.Retransmits += r.Report.Retransmits
+		for i, b := range r.Report.Buckets {
+			fcts[i] = append(fcts[i], b.FCTms...)
+		}
+		for _, gl := range r.GroupLoads {
+			busy := false
+			for _, b := range gl.Bytes {
+				if b > 0 {
+					busy = true
+					break
+				}
+			}
+			if busy {
+				ratios = append(ratios, gl.MaxOverMean)
+			}
+		}
+		jain += r.JainMean
+		drops += float64(r.Drops)
+		if r.PeakQueue > s.PeakQueue {
+			s.PeakQueue = r.PeakQueue
+		}
+		if r.PeakUtil > s.PeakUtil {
+			s.PeakUtil = r.PeakUtil
+		}
+	}
+	for i := 0; i < nBuckets; i++ {
+		b := WorkloadBucket{Label: rs[0].Report.Buckets[i].Label, FCT: stats.Summarize(fcts[i])}
+		for _, r := range rs {
+			b.Flows += r.Report.Buckets[i].Flows
+			b.Completed += r.Report.Buckets[i].Completed
+		}
+		s.Buckets = append(s.Buckets, b)
+	}
+	if s.Flows > 0 {
+		s.CompletionRate = float64(s.Completed) / float64(s.Flows)
+	}
+	s.Imbalance = stats.Summarize(ratios)
+	s.JainMean = jain / float64(len(rs))
+	s.Drops = drops / float64(len(rs))
+	return s
+}
+
+// RunWorkloadTrials fans n seeds of one workload cell over the trial pool
+// and pools the results. The per-trial results are returned too (in trial
+// order) so callers can export telemetry from a representative run.
+func RunWorkloadTrials(opts Options, w WorkloadConfig, n int) (WorkloadSummary, []WorkloadResult, error) {
+	rs, err := runTrials(opts, n, func(o Options) (WorkloadResult, error) {
+		return RunWorkload(o, w)
+	})
+	if err != nil {
+		return WorkloadSummary{}, nil, err
+	}
+	return SummarizeWorkload(rs), rs, nil
+}
+
+// RenderWorkload formats a summary as the experiment's text block.
+func RenderWorkload(s WorkloadSummary) string {
+	out := fmt.Sprintf("%s %dP %s: completed %d/%d (%.1f%%), abandoned %d, incomplete %d, retx %d, drops %.0f, peak queue %d, peak util %.2f\n",
+		s.Protocol, s.Pods, s.Scenario, s.Completed, s.Flows, 100*s.CompletionRate,
+		s.Abandoned, s.Incomplete, s.Retransmits, s.Drops, s.PeakQueue, s.PeakUtil)
+	out += fmt.Sprintf("  %-10s %6s %6s %9s %9s %9s %9s\n", "bucket", "flows", "done", "mean(ms)", "p50", "p95", "p99")
+	for _, b := range s.Buckets {
+		out += fmt.Sprintf("  %-10s %6d %6d %9.2f %9.2f %9.2f %9.2f\n",
+			b.Label, b.Flows, b.Completed, b.FCT.Mean, b.FCT.P50, b.FCT.P95, b.FCT.P99)
+	}
+	out += fmt.Sprintf("  uplink imbalance max/mean: mean=%.3f p95=%.3f worst=%.3f (n=%d groups), jain=%.3f\n",
+		s.Imbalance.Mean, s.Imbalance.P95, s.Imbalance.Max, s.Imbalance.N, s.JainMean)
+	return out
+}

@@ -91,6 +91,49 @@ func TestQueueOverflowTailDrops(t *testing.T) {
 	}
 }
 
+func TestLinkStatsPerDirection(t *testing.T) {
+	// Overflow one direction only; the per-direction stats must attribute
+	// every drop to the congested sender while the reverse direction and
+	// the link-wide total stay consistent.
+	s := New(1)
+	a, b := s.AddNode("a"), s.AddNode("b")
+	a.Handler = &echoHandler{}
+	b.Handler = &echoHandler{}
+	link := s.ConnectLatency(a.AddPort(), b.AddPort(), 0)
+	link.SetBandwidth(8_000_000, 4)
+	for i := 0; i < 10; i++ {
+		a.Port(1).Send(make([]byte, 1000)) // 6 of these tail-drop
+	}
+	b.Port(1).Send(make([]byte, 1000)) // reverse direction, no congestion
+
+	mid := link.Stats(a.Port(1))
+	if mid.Queued == 0 {
+		t.Error("forward direction shows an empty queue while frames are serializing")
+	}
+
+	s.RunFor(time.Second)
+	fwd := link.Stats(a.Port(1))
+	rev := link.Stats(b.Port(1))
+	if fwd.Overflows != 6 {
+		t.Errorf("forward overflows = %d, want 6", fwd.Overflows)
+	}
+	if fwd.OverflowBytes != 6000 {
+		t.Errorf("forward overflow bytes = %d, want 6000", fwd.OverflowBytes)
+	}
+	if rev.Overflows != 0 || rev.OverflowBytes != 0 {
+		t.Errorf("reverse direction counted overflows: %+v", rev)
+	}
+	if fwd.Queued != 0 || rev.Queued != 0 {
+		t.Errorf("queues not drained: fwd=%d rev=%d", fwd.Queued, rev.Queued)
+	}
+	if link.Overflowed != fwd.Overflows+rev.Overflows {
+		t.Errorf("link total %d != sum of directions %d", link.Overflowed, fwd.Overflows+rev.Overflows)
+	}
+	if got := link.Bandwidth(); got != 8_000_000 {
+		t.Errorf("Bandwidth() = %d, want 8000000", got)
+	}
+}
+
 func TestZeroBandwidthIsIdeal(t *testing.T) {
 	// Default links have no serialization delay: delivery at exactly the
 	// propagation latency regardless of frame size.

@@ -229,6 +229,8 @@ func (p *Port) Send(frame []byte) {
 		d := link.dir(p)
 		if link.maxQueue > 0 && d.queued >= link.maxQueue {
 			link.Overflowed++
+			d.overflows++
+			d.overflowBytes += uint64(len(frame))
 			sim.tracef("%s: egress queue overflow (%d bytes)", p.Name(), len(frame))
 			return
 		}
@@ -330,9 +332,36 @@ type Link struct {
 }
 
 type dirState struct {
-	busyUntil time.Duration
-	queued    int
+	busyUntil     time.Duration
+	queued        int
+	overflows     uint64
+	overflowBytes uint64
 }
+
+// LinkStats is a snapshot of one transmit direction of a link: the egress
+// queue owned by the sending port. The workload telemetry samples it over
+// time; the counters are cumulative since the link was created.
+type LinkStats struct {
+	// Queued is the number of frames waiting in (or occupying) the
+	// serializer right now.
+	Queued int
+	// Overflows counts frames tail-dropped because the egress queue was
+	// full, and OverflowBytes their total size.
+	Overflows     uint64
+	OverflowBytes uint64
+}
+
+// Stats returns the egress counters for the direction transmitting from p.
+// Links without a bandwidth cap never queue or drop, so their stats stay
+// zero.
+func (l *Link) Stats(from *Port) LinkStats {
+	d := l.dir(from)
+	return LinkStats{Queued: d.queued, Overflows: d.overflows, OverflowBytes: d.overflowBytes}
+}
+
+// Bandwidth returns the link's per-direction capacity in bits per second
+// (0 for an ideal, unshaped link).
+func (l *Link) Bandwidth() int64 { return l.bandwidth }
 
 // SetLossRate makes the link drop each frame with probability p (0..1).
 func (l *Link) SetLossRate(p float64) { l.lossRate = p }

@@ -19,6 +19,7 @@ type Summary struct {
 	StdDev float64
 	P50    float64
 	P95    float64
+	P99    float64
 }
 
 // Summarize computes a Summary. An empty sample yields the zero Summary.
@@ -47,6 +48,7 @@ func Summarize(xs []float64) Summary {
 	}
 	s.P50 = Percentile(xs, 50)
 	s.P95 = Percentile(xs, 95)
+	s.P99 = Percentile(xs, 99)
 	return s
 }
 
@@ -86,8 +88,8 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
-// String renders "mean=… [min=…, p50=…, p95=…, max=…] n=…".
+// String renders "mean=… [min=…, p50=…, p95=…, p99=…, max=…] n=…".
 func (s Summary) String() string {
-	return fmt.Sprintf("mean=%.2f [min=%.2f p50=%.2f p95=%.2f max=%.2f] n=%d",
-		s.Mean, s.Min, s.P50, s.P95, s.Max, s.N)
+	return fmt.Sprintf("mean=%.2f [min=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f] n=%d",
+		s.Mean, s.Min, s.P50, s.P95, s.P99, s.Max, s.N)
 }

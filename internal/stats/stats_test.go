@@ -43,6 +43,33 @@ func TestPercentileEndpoints(t *testing.T) {
 	}
 }
 
+func TestQuantilesKnownSample(t *testing.T) {
+	// 1..100: linear interpolation between closest ranks gives exact
+	// closed-form values for every quantile the harness reports.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	s := Summarize(xs)
+	for _, tc := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"P50", s.P50, 50.5},
+		{"P95", s.P95, 95.05},
+		{"P99", s.P99, 99.01},
+	} {
+		if math.Abs(tc.got-tc.want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", tc.name, tc.got, tc.want)
+		}
+	}
+	// A single-element sample pins every percentile to that element.
+	one := Summarize([]float64{7})
+	if one.P50 != 7 || one.P95 != 7 || one.P99 != 7 {
+		t.Errorf("single-sample percentiles = %v/%v/%v, want 7", one.P50, one.P95, one.P99)
+	}
+}
+
 func TestPercentileDoesNotMutate(t *testing.T) {
 	xs := []float64{5, 1, 3}
 	Percentile(xs, 50)
@@ -66,7 +93,7 @@ func TestSummaryProperties(t *testing.T) {
 		return s.Min == sorted[0] &&
 			s.Max == sorted[len(sorted)-1] &&
 			s.Min <= s.Mean && s.Mean <= s.Max &&
-			s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.Max &&
+			s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max &&
 			s.StdDev >= 0
 	}
 	if err := quick.Check(f, nil); err != nil {

@@ -1,6 +1,7 @@
 package trafficgen
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 	"time"
@@ -100,6 +101,74 @@ func TestDuplicateDetection(t *testing.T) {
 	}
 	if r.outOfOrder != 1 {
 		t.Errorf("outOfOrder = %d, want 1", r.outOfOrder)
+	}
+}
+
+func TestReorderedDeliveryAccounting(t *testing.T) {
+	// A fixed delivery permutation with duplicates interleaved: every
+	// class of packet must land in exactly one counter. Sequence 1 and 2
+	// are each delivered twice; the late copies arrive after higher
+	// sequences, which must count them as duplicates, not out-of-order.
+	var r Receiver
+	r.seen = make(map[uint64]bool)
+	pkt := func(seq uint64) []byte {
+		b := make([]byte, headerLen)
+		be32(b, Magic)
+		be64(b[4:], seq)
+		return b
+	}
+	for _, seq := range []uint64{0, 2, 1, 1, 4, 3, 5, 2} {
+		r.packet(pkt(seq))
+	}
+	if r.received != 6 {
+		t.Errorf("received = %d, want 6 unique", r.received)
+	}
+	if r.duplicates != 2 {
+		t.Errorf("duplicates = %d, want 2 (late copies of 1 and 2)", r.duplicates)
+	}
+	// First deliveries below the running max: 1 (after 2) and 3 (after 4).
+	if r.outOfOrder != 2 {
+		t.Errorf("outOfOrder = %d, want 2", r.outOfOrder)
+	}
+	s := &Sender{sent: 6}
+	rep := r.Report(s)
+	if rep.Lost != 0 {
+		t.Errorf("Lost = %d, want 0: every sequence was delivered", rep.Lost)
+	}
+}
+
+func TestShuffledDeliveryProperty(t *testing.T) {
+	// Deliver every sequence of a run exactly once in random order: the
+	// analyzer must count each first delivery, report zero duplicates and
+	// loss, and flag exactly the arrivals that undercut the running max.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(200)
+		perm := rng.Perm(n)
+		var r Receiver
+		r.seen = make(map[uint64]bool)
+		wantOOO := uint64(0)
+		max := -1
+		for _, seq := range perm {
+			b := make([]byte, headerLen)
+			be32(b, Magic)
+			be64(b[4:], uint64(seq))
+			r.packet(b)
+			if seq < max {
+				wantOOO++
+			} else {
+				max = seq
+			}
+		}
+		if r.received != uint64(n) || r.duplicates != 0 {
+			t.Fatalf("n=%d: received=%d duplicates=%d", n, r.received, r.duplicates)
+		}
+		if r.outOfOrder != wantOOO {
+			t.Fatalf("n=%d perm=%v: outOfOrder=%d, want %d", n, perm, r.outOfOrder, wantOOO)
+		}
+		if rep := r.Report(&Sender{sent: uint64(n)}); rep.Lost != 0 {
+			t.Fatalf("n=%d: Lost=%d, want 0", n, rep.Lost)
+		}
 	}
 }
 

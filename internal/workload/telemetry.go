@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// LinkSample is one observation of one transmit direction of a link.
+type LinkSample struct {
+	At time.Duration
+	// TxBytes accepted into the serializer in the interval ending at At:
+	// bytes offered by the sender minus egress tail-drops.
+	TxBytes uint64
+	// Util is TxBytes as a fraction of what the direction could carry in
+	// the interval (0 when the link is unshaped, i.e. infinite capacity).
+	Util float64
+	// Queued is the egress-queue depth at sampling time.
+	Queued int
+	// Drops is the cumulative overflow-drop count for this direction.
+	Drops uint64
+}
+
+// LinkSeries is the time series of one link direction.
+type LinkSeries struct {
+	Name    string // "L-1-1:eth1->S-1-1:eth3"
+	Samples []LinkSample
+
+	from      *simnet.Port
+	link      *simnet.Link
+	lastTx    uint64
+	lastDropB uint64
+}
+
+// Sampler polls link counters on a fixed virtual-time cadence: the
+// utilization / queue-depth / drop telemetry a production fabric would
+// scrape from switch ASICs.
+type Sampler struct {
+	sim      *simnet.Sim
+	interval time.Duration
+	series   []*LinkSeries
+	timer    *simnet.Timer
+}
+
+// NewSampler creates a sampler polling every interval once started.
+func NewSampler(sim *simnet.Sim, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	return &Sampler{sim: sim, interval: interval}
+}
+
+// Watch adds both directions of a link to the sample set.
+func (s *Sampler) Watch(l *simnet.Link) {
+	add := func(from, to *simnet.Port) {
+		s.series = append(s.series, &LinkSeries{
+			Name: fmt.Sprintf("%s->%s", from.Name(), to.Name()),
+			from: from,
+			link: l,
+		})
+	}
+	add(l.A, l.B)
+	add(l.B, l.A)
+}
+
+// Start records the baseline and begins sampling. Call after Watch.
+func (s *Sampler) Start() {
+	for _, sr := range s.series {
+		sr.lastTx = sr.from.Counters.TxBytes
+		sr.lastDropB = s.link(sr).OverflowBytes
+	}
+	s.timer = s.sim.After(s.interval, s.sample)
+}
+
+// Stop ends sampling.
+func (s *Sampler) Stop() {
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+}
+
+func (s *Sampler) sample() {
+	now := s.sim.Now()
+	for _, sr := range s.series {
+		tx := sr.from.Counters.TxBytes
+		ls := s.link(sr)
+		smp := LinkSample{
+			At:      now,
+			TxBytes: (tx - sr.lastTx) - (ls.OverflowBytes - sr.lastDropB),
+			Queued:  ls.Queued,
+			Drops:   ls.Overflows,
+		}
+		if bps := sr.link.Bandwidth(); bps > 0 {
+			capacity := float64(bps) / 8 * s.interval.Seconds()
+			smp.Util = float64(smp.TxBytes) / capacity
+		}
+		sr.lastTx = tx
+		sr.lastDropB = ls.OverflowBytes
+		sr.Samples = append(sr.Samples, smp)
+	}
+	s.timer.Reset(s.interval)
+}
+
+func (s *Sampler) link(sr *LinkSeries) simnet.LinkStats {
+	return sr.link.Stats(sr.from)
+}
+
+// Series returns every watched direction's time series.
+func (s *Sampler) Series() []*LinkSeries { return s.series }
+
+// PeakQueue returns the deepest egress queue observed across all series.
+func (s *Sampler) PeakQueue() int {
+	peak := 0
+	for _, sr := range s.series {
+		for _, smp := range sr.Samples {
+			if smp.Queued > peak {
+				peak = smp.Queued
+			}
+		}
+	}
+	return peak
+}
+
+// PeakUtil returns the highest per-interval utilization observed.
+func (s *Sampler) PeakUtil() float64 {
+	peak := 0.0
+	for _, sr := range s.series {
+		for _, smp := range sr.Samples {
+			if smp.Util > peak {
+				peak = smp.Util
+			}
+		}
+	}
+	return peak
+}
+
+// TotalDrops sums the final cumulative overflow drops across all series.
+func (s *Sampler) TotalDrops() uint64 {
+	var total uint64
+	for _, sr := range s.series {
+		if n := len(sr.Samples); n > 0 {
+			total += sr.Samples[n-1].Drops
+		}
+	}
+	return total
+}
+
+// --- uplink load balance ----------------------------------------------------
+
+// Group is one set of equal-cost uplinks (a device's uplink ports): the
+// unit over which hashing is supposed to spread load.
+type Group struct {
+	Name  string
+	Ports []*simnet.Port
+}
+
+// GroupLoad is the measured spread of one group.
+type GroupLoad struct {
+	Name  string
+	Bytes []uint64 // per uplink, since the meter's baseline
+	// MaxOverMean is the classic imbalance index: 1.0 is perfect. Groups
+	// that carried nothing report 1.0.
+	MaxOverMean float64
+	// Jain is Jain's fairness index: 1.0 is perfect, 1/n is worst.
+	Jain float64
+}
+
+// LoadMeter measures per-uplink byte spread between two instants: it
+// snapshots TxBytes baselines at creation and computes indices at Read.
+type LoadMeter struct {
+	groups []Group
+	base   [][]uint64
+}
+
+// NewLoadMeter snapshots the baseline transmit counters of every group.
+func NewLoadMeter(groups []Group) *LoadMeter {
+	m := &LoadMeter{groups: groups}
+	for _, g := range groups {
+		base := make([]uint64, len(g.Ports))
+		for i, p := range g.Ports {
+			base[i] = p.Counters.TxBytes
+		}
+		m.base = append(m.base, base)
+	}
+	return m
+}
+
+// Read computes each group's byte spread since the baseline, in group
+// order.
+func (m *LoadMeter) Read() []GroupLoad {
+	out := make([]GroupLoad, 0, len(m.groups))
+	for gi, g := range m.groups {
+		gl := GroupLoad{Name: g.Name, Bytes: make([]uint64, len(g.Ports))}
+		var total, max uint64
+		var sumSq float64
+		for i, p := range g.Ports {
+			b := p.Counters.TxBytes - m.base[gi][i]
+			gl.Bytes[i] = b
+			total += b
+			if b > max {
+				max = b
+			}
+			sumSq += float64(b) * float64(b)
+		}
+		if total == 0 || len(g.Ports) == 0 {
+			gl.MaxOverMean, gl.Jain = 1, 1
+		} else {
+			mean := float64(total) / float64(len(g.Ports))
+			gl.MaxOverMean = float64(max) / mean
+			gl.Jain = float64(total) * float64(total) / (float64(len(g.Ports)) * sumSq)
+		}
+		out = append(out, gl)
+	}
+	return out
+}
+
+// ImbalanceSummary reduces group imbalance indices to descriptive
+// statistics, ignoring idle groups (they carry no signal).
+func ImbalanceSummary(loads []GroupLoad) (maxOverMean stats.Summary, jainMean float64) {
+	var ratios []float64
+	var jains float64
+	n := 0
+	for _, gl := range loads {
+		idle := true
+		for _, b := range gl.Bytes {
+			if b > 0 {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			continue
+		}
+		ratios = append(ratios, gl.MaxOverMean)
+		jains += gl.Jain
+		n++
+	}
+	if n > 0 {
+		jainMean = jains / float64(n)
+	}
+	return stats.Summarize(ratios), jainMean
+}

@@ -1,0 +1,424 @@
+// Package workload drives a flow-level traffic mix through the simulator
+// and measures what the DCN load-balancing literature (FatPaths and the
+// multipathing surveys in PAPERS.md) judges routing designs by: per-flow
+// completion time and the balance of bytes across equal-cost uplinks.
+//
+// The generator is open-loop: flows arrive by a Poisson process whether or
+// not the fabric keeps up, sized by a heavy-tailed distribution, and each
+// flow's packets are paced independently. Loss repair is a deliberately
+// idealized SACK — the sender re-offers exactly the missing sequences one
+// RTO after its last transmission, with zero feedback traffic — so flow
+// completion times measure the *fabric's* recovery (hashing, reconvergence,
+// queueing), not a transport implementation's.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/ipstack"
+	"repro/internal/netaddr"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/udp"
+)
+
+// Magic identifies workload data packets ("FLOW").
+const Magic uint32 = 0x464c4f57
+
+// wireHeaderLen is the data-packet header: magic + flow ID + sequence +
+// total packet count, all big-endian u32.
+const wireHeaderLen = 16
+
+// Host is one traffic endpoint: a server's stack plus the labels the
+// pairing patterns need.
+type Host struct {
+	Stack *ipstack.Stack
+	IP    netaddr.IPv4
+	Name  string
+	Rack  string // hosts sharing a ToR; cross-rack patterns never pair within one
+}
+
+// Config parameterizes a workload run.
+type Config struct {
+	Pattern Pattern
+	Sizes   SizeDist
+	// Flows is the total number of flows to launch.
+	Flows int
+	// MeanArrival is the mean inter-arrival gap of the Poisson process.
+	MeanArrival time.Duration
+	// PacketSize is the UDP payload carried per data packet.
+	PacketSize int
+	// PacketInterval paces consecutive packets of one flow.
+	PacketInterval time.Duration
+	// DstPort is the well-known workload port every host listens on.
+	DstPort uint16
+	// RTO is the repair-round timer: one RTO after its last transmission
+	// an incomplete flow re-offers its missing sequences.
+	RTO time.Duration
+	// MaxRounds bounds repair rounds before a flow is abandoned.
+	MaxRounds int
+	// Seed drives every random choice (arrivals, sizes, pairing).
+	Seed int64
+}
+
+// DefaultConfig is the mix the harness experiments run: websearch sizes on
+// the random pattern at a load that keeps a 2-PoD fabric busy but stable.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Pattern:        PatternRandom,
+		Sizes:          WebSearchMix(),
+		Flows:          160,
+		MeanArrival:    8 * time.Millisecond,
+		PacketSize:     1000,
+		PacketInterval: 120 * time.Microsecond,
+		DstPort:        49000,
+		RTO:            100 * time.Millisecond,
+		MaxRounds:      60,
+		Seed:           1,
+	}
+}
+
+// Flow is one generated transfer. Schedule fields are fixed at generation;
+// runtime fields fill in as the simulation runs.
+type Flow struct {
+	ID       uint32
+	Src, Dst int // host indices
+	SrcPort  uint16
+	Bytes    int
+	Packets  int
+	Start    time.Duration // offset from Engine.Start
+
+	launchedAt time.Duration
+	pending    []uint32 // sequences queued for (re)transmission
+	rounds     int
+	retx       int
+	received   int
+	gotMask    []uint64
+	timer      *simnet.Timer
+
+	Done      bool
+	Abandoned bool
+	FCT       time.Duration // valid when Done
+}
+
+func (f *Flow) got(seq uint32) bool { return f.gotMask[seq/64]&(1<<(seq%64)) != 0 }
+func (f *Flow) mark(seq uint32)     { f.gotMask[seq/64] |= 1 << (seq % 64) }
+
+// Engine generates, transmits and accounts a workload over one simulation.
+type Engine struct {
+	sim   *simnet.Sim
+	hosts []Host
+	cfg   Config
+	flows []*Flow
+	byID  map[uint32]*Flow
+
+	base      time.Duration // virtual time of Start
+	started   bool
+	completed int
+	abandoned int
+
+	// PacketsSent counts data transmissions including repairs;
+	// Retransmits the repair subset; Duplicates arrivals of sequences
+	// already delivered (a repair raced its original).
+	PacketsSent uint64
+	Retransmits uint64
+	Duplicates  uint64
+}
+
+// New generates the full flow schedule deterministically from cfg.Seed and
+// registers the receive path on every host. Hosts must share one simulator.
+func New(hosts []Host, cfg Config) (*Engine, error) {
+	if len(hosts) < 2 {
+		return nil, fmt.Errorf("workload: need at least 2 hosts, got %d", len(hosts))
+	}
+	if cfg.Flows < 1 || cfg.PacketSize < wireHeaderLen || cfg.Sizes == nil {
+		return nil, fmt.Errorf("workload: bad config: %d flows, %dB packets", cfg.Flows, cfg.PacketSize)
+	}
+	e := &Engine{
+		sim:   hosts[0].Stack.Node.Sim,
+		hosts: hosts,
+		cfg:   cfg,
+		byID:  make(map[uint32]*Flow, cfg.Flows),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pair := e.pairer(rng)
+	var at time.Duration
+	for i := 0; i < cfg.Flows; i++ {
+		at += time.Duration(rng.ExpFloat64() * float64(cfg.MeanArrival))
+		src, dst := pair(i)
+		bytes := cfg.Sizes.Sample(rng.Float64())
+		if bytes < 1 {
+			bytes = 1
+		}
+		pkts := (bytes + cfg.PacketSize - 1) / cfg.PacketSize
+		f := &Flow{
+			ID:      uint32(i + 1),
+			Src:     src,
+			Dst:     dst,
+			SrcPort: uint16(20000 + i%40000),
+			Bytes:   bytes,
+			Packets: pkts,
+			Start:   at,
+			gotMask: make([]uint64, (pkts+63)/64),
+		}
+		e.flows = append(e.flows, f)
+		e.byID[f.ID] = f
+	}
+	seen := make(map[*ipstack.Stack]bool)
+	for _, h := range hosts {
+		if seen[h.Stack] {
+			continue
+		}
+		seen[h.Stack] = true
+		h.Stack.ListenUDP(cfg.DstPort, e.onDatagram)
+	}
+	return e, nil
+}
+
+// pairer returns the pattern's (src, dst) chooser. All random draws happen
+// through rng in flow order, keeping the schedule a pure function of the
+// seed.
+func (e *Engine) pairer(rng *rand.Rand) func(i int) (int, int) {
+	n := len(e.hosts)
+	switch e.cfg.Pattern {
+	case PatternPermutation:
+		// Shift far enough to leave the source's rack: with hosts
+		// grouped by rack, the first index in a different rack is the
+		// rack size.
+		shift := 1
+		for shift < n && e.hosts[shift].Rack == e.hosts[0].Rack {
+			shift++
+		}
+		if shift == n {
+			shift = 1
+		}
+		return func(i int) (int, int) { return i % n, (i%n + shift) % n }
+	case PatternIncast:
+		return func(i int) (int, int) { return 1 + i%(n-1), 0 }
+	default: // PatternRandom
+		return func(int) (int, int) {
+			src := rng.Intn(n)
+			for attempt := 0; attempt < 8*n; attempt++ {
+				dst := rng.Intn(n)
+				if dst != src && e.hosts[dst].Rack != e.hosts[src].Rack {
+					return src, dst
+				}
+			}
+			return src, (src + 1) % n // single-rack fallback
+		}
+	}
+}
+
+// Start schedules every flow launch. Call once, before running the
+// simulation forward.
+func (e *Engine) Start() {
+	if e.started {
+		panic("workload: Engine started twice")
+	}
+	e.started = true
+	e.base = e.sim.Now()
+	for _, f := range e.flows {
+		f := f
+		e.sim.At(e.base+f.Start, func() { e.launch(f) })
+	}
+}
+
+func (e *Engine) launch(f *Flow) {
+	f.launchedAt = e.sim.Now()
+	f.pending = f.pending[:0]
+	for seq := 0; seq < f.Packets; seq++ {
+		f.pending = append(f.pending, uint32(seq))
+	}
+	e.tick(f)
+}
+
+// tick is the per-flow sender: while sequences are pending it transmits one
+// per PacketInterval; once drained it waits an RTO and re-offers whatever
+// the receiver is still missing, up to MaxRounds.
+func (e *Engine) tick(f *Flow) {
+	if f.Done || f.Abandoned {
+		return
+	}
+	if len(f.pending) == 0 {
+		missing := f.missing()
+		if len(missing) == 0 {
+			return // completion races the check; the receive path recorded it
+		}
+		if f.rounds >= e.cfg.MaxRounds {
+			f.Abandoned = true
+			e.abandoned++
+			return
+		}
+		f.rounds++
+		f.retx += len(missing)
+		e.Retransmits += uint64(len(missing))
+		f.pending = missing
+	}
+	seq := f.pending[0]
+	f.pending = f.pending[1:]
+	e.sendData(f, seq)
+	wait := e.cfg.PacketInterval
+	if len(f.pending) == 0 {
+		wait = e.cfg.RTO
+	}
+	if f.timer != nil {
+		f.timer.Reset(wait)
+	} else {
+		f.timer = e.sim.After(wait, func() { e.tick(f) })
+	}
+}
+
+// missing lists the sequences the receiver has not delivered, in order. The
+// sender reading receiver state directly is the idealized-SACK shortcut
+// documented in the package comment.
+func (f *Flow) missing() []uint32 {
+	var out []uint32
+	for seq := uint32(0); seq < uint32(f.Packets); seq++ {
+		if !f.got(seq) {
+			out = append(out, seq)
+		}
+	}
+	return out
+}
+
+func (e *Engine) sendData(f *Flow, seq uint32) {
+	e.PacketsSent++
+	payload := make([]byte, e.cfg.PacketSize)
+	putU32(payload[0:], Magic)
+	putU32(payload[4:], f.ID)
+	putU32(payload[8:], seq)
+	putU32(payload[12:], uint32(f.Packets))
+	src, dst := e.hosts[f.Src], e.hosts[f.Dst]
+	src.Stack.SendUDP(src.IP, dst.IP, f.SrcPort, e.cfg.DstPort, payload)
+}
+
+func (e *Engine) onDatagram(_, _ netaddr.IPv4, dg udp.Datagram) {
+	p := dg.Payload
+	if len(p) < wireHeaderLen || u32(p) != Magic {
+		return
+	}
+	f := e.byID[u32(p[4:])]
+	seq := u32(p[8:])
+	if f == nil || seq >= uint32(f.Packets) {
+		return
+	}
+	if f.got(seq) {
+		e.Duplicates++
+		return
+	}
+	f.mark(seq)
+	f.received++
+	if f.received == f.Packets && !f.Done {
+		f.Done = true
+		f.FCT = e.sim.Now() - f.launchedAt
+		e.completed++
+	}
+}
+
+// Done reports whether every flow has finished (completed or abandoned).
+func (e *Engine) Done() bool { return e.completed+e.abandoned == len(e.flows) }
+
+// Flows exposes the schedule in generation order (read-only by convention).
+func (e *Engine) Flows() []*Flow { return e.flows }
+
+// --- reporting --------------------------------------------------------------
+
+// Bucket is one flow-size class of the FCT report.
+type Bucket struct {
+	Label    string
+	MaxBytes int // inclusive upper bound; flows above all buckets land in the last
+}
+
+// DefaultBuckets are the size classes of the harness tables: short queries,
+// mid-size responses, heavy-tail bulk.
+func DefaultBuckets() []Bucket {
+	return []Bucket{
+		{"S<=10KB", 10_000},
+		{"M<=100KB", 100_000},
+		{"L>100KB", 1 << 62},
+	}
+}
+
+// BucketReport is the FCT sample of one size class, in milliseconds, in
+// flow-generation order (deterministic run to run).
+type BucketReport struct {
+	Label     string
+	Flows     int // flows of this size class launched
+	Completed int
+	FCTms     []float64
+}
+
+// Report is the engine's final accounting.
+type Report struct {
+	Flows       int
+	Completed   int
+	Abandoned   int
+	Incomplete  int // launched or scheduled but neither completed nor abandoned at report time
+	PacketsSent uint64
+	Retransmits uint64
+	Duplicates  uint64
+	Buckets     []BucketReport
+}
+
+// CompletionRate is the completed fraction of all generated flows.
+func (r Report) CompletionRate() float64 {
+	if r.Flows == 0 {
+		return 0
+	}
+	return float64(r.Completed) / float64(r.Flows)
+}
+
+// Report assembles the final accounting against the given size buckets
+// (DefaultBuckets when nil).
+func (e *Engine) Report(buckets []Bucket) Report {
+	if buckets == nil {
+		buckets = DefaultBuckets()
+	}
+	r := Report{
+		Flows:       len(e.flows),
+		Completed:   e.completed,
+		Abandoned:   e.abandoned,
+		PacketsSent: e.PacketsSent,
+		Retransmits: e.Retransmits,
+		Duplicates:  e.Duplicates,
+	}
+	r.Incomplete = r.Flows - r.Completed - r.Abandoned
+	for _, b := range buckets {
+		r.Buckets = append(r.Buckets, BucketReport{Label: b.Label})
+	}
+	for _, f := range e.flows {
+		idx := len(buckets) - 1
+		for i, b := range buckets {
+			if f.Bytes <= b.MaxBytes {
+				idx = i
+				break
+			}
+		}
+		br := &r.Buckets[idx]
+		br.Flows++
+		if f.Done {
+			br.Completed++
+			br.FCTms = append(br.FCTms, float64(f.FCT)/float64(time.Millisecond))
+		}
+	}
+	return r
+}
+
+// Summaries reduces each bucket's FCT sample to descriptive statistics.
+func (r Report) Summaries() []stats.Summary {
+	out := make([]stats.Summary, len(r.Buckets))
+	for i, b := range r.Buckets {
+		out[i] = stats.Summarize(b.FCTms)
+	}
+	return out
+}
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+}
+
+func u32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
