@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench figures check
+.PHONY: all build test vet lint invariants race bench figures fuzz-smoke check
 
 all: check
 
@@ -16,6 +16,24 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# lint enforces the determinism contract (DESIGN.md §8) with the repo's own
+# analyzers — map iteration order, wall-clock/global-rand use, and panics in
+# packet-processing code. staticcheck runs too when installed; it is not
+# vendored, so a bare container skips it rather than failing.
+lint:
+	$(GO) run ./cmd/simlint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping" ; \
+	fi
+
+# invariants runs the suite with runtime assertions compiled in: event-heap
+# ordering, MR-MTP VID-table consistency, and FIB next-hop validity panic on
+# violation instead of silently corrupting a result.
+invariants:
+	$(GO) test -tags invariants ./...
 
 # race runs the full suite under the race detector. The parallel trial
 # harness (internal/harness/pool.go) is the main concurrency in the repo;
@@ -32,4 +50,14 @@ bench:
 figures:
 	$(GO) run ./cmd/closlab -experiment all
 
-check: build vet test race
+# fuzz-smoke gives each wire-decoder fuzz target a short budget on top of
+# its checked-in seed corpus — a regression tripwire, not a campaign.
+FUZZ_TIME ?= 5s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzUnmarshal -fuzztime $(FUZZ_TIME) ./internal/ethernet
+	$(GO) test -run '^$$' -fuzz FuzzUnmarshal -fuzztime $(FUZZ_TIME) ./internal/ipv4
+	$(GO) test -run '^$$' -fuzz FuzzUnmarshal -fuzztime $(FUZZ_TIME) ./internal/udp
+	$(GO) test -run '^$$' -fuzz FuzzParseMessage -fuzztime $(FUZZ_TIME) ./internal/mrmtp
+	$(GO) test -run '^$$' -fuzz FuzzParseMessage -fuzztime $(FUZZ_TIME) ./internal/bgp
+
+check: build vet lint test race

@@ -1,0 +1,136 @@
+// Command simlint is the repo's determinism lint driver: a multichecker
+// that runs the custom analyzers under tools/analyzers over the module and
+// fails if any site violates the determinism contract (DESIGN.md).
+//
+// Usage:
+//
+//	simlint [packages]
+//
+// With no arguments it checks ./... . Each analyzer applies only to the
+// packages where its rule is a contract rather than a style preference:
+//
+//	maporder   repro/internal/...  (simulation + protocol code)
+//	walltime   repro/internal/...
+//	panicpath  the packet-processing packages (mrmtp, ipstack, ethernet,
+//	           ipv4, udp, tcp)
+//
+// Diagnostics print as file:line:col: message (analyzer); the exit status
+// is 1 if anything was reported, 2 on operational failure.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/tools/analyzers/analysis"
+	"repro/tools/analyzers/load"
+	"repro/tools/analyzers/maporder"
+	"repro/tools/analyzers/panicpath"
+	"repro/tools/analyzers/walltime"
+)
+
+// hotPathPkgs are the packages whose code runs per simulated packet; only
+// these carry the panicpath rule.
+var hotPathPkgs = map[string]bool{
+	"repro/internal/mrmtp":    true,
+	"repro/internal/ipstack":  true,
+	"repro/internal/ethernet": true,
+	"repro/internal/ipv4":     true,
+	"repro/internal/udp":      true,
+	"repro/internal/tcp":      true,
+}
+
+// checks pairs each analyzer with its package scope.
+var checks = []struct {
+	analyzer *analysis.Analyzer
+	applies  func(importPath string) bool
+}{
+	{maporder.Analyzer, isInternal},
+	{walltime.Analyzer, isInternal},
+	{panicpath.Analyzer, func(p string) bool { return hotPathPkgs[p] }},
+}
+
+func isInternal(importPath string) bool {
+	return strings.HasPrefix(importPath, "repro/internal/")
+}
+
+// finding is one printable diagnostic.
+type finding struct {
+	file      string
+	line, col int
+	message   string
+	analyzer  string
+}
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := load.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, c := range checks {
+			if !c.applies(pkg.ImportPath) {
+				continue
+			}
+			pass := &analysis.Pass{
+				Analyzer:  c.analyzer,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			name := c.analyzer.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				file := pos.Filename
+				if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+					file = rel
+				}
+				findings = append(findings, finding{
+					file: file, line: pos.Line, col: pos.Column,
+					message: d.Message, analyzer: name,
+				})
+			}
+			if _, err := c.analyzer.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "simlint: %s on %s: %v\n", name, pkg.ImportPath, err)
+				os.Exit(2)
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.analyzer < b.analyzer
+	})
+	for _, f := range findings {
+		fmt.Printf("%s:%d:%d: %s (%s)\n", f.file, f.line, f.col, f.message, f.analyzer)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

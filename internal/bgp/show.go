@@ -21,6 +21,7 @@ func (s *Speaker) RenderSummary() string {
 	})
 	for _, p := range peers {
 		pfx := 0
+		//simlint:deterministic pure counter; the total is independent of iteration order
 		for _, entries := range s.adjIn {
 			if _, ok := entries[p.Neighbor]; ok {
 				pfx++
@@ -48,6 +49,7 @@ func (s *Speaker) RenderRIB() string {
 			plen int
 		}
 		var rows []row
+		//simlint:deterministic rows are fully sorted by (path length, next hop) before rendering
 		for _, e := range entries {
 			parts := make([]string, len(e.asPath))
 			for i, as := range e.asPath {

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/invariant"
 	"repro/internal/ipstack"
 	"repro/internal/metrics"
 	"repro/internal/netaddr"
@@ -190,6 +191,7 @@ func (s *Speaker) decide(prefix netaddr.Prefix) {
 	// Best-path: shortest AS path, then lowest neighbor address.
 	var best []pathEntry
 	bestLen := -1
+	//simlint:deterministic every minimum-length path is collected whatever the encounter order; the set is sorted by neighbor below
 	for _, e := range entries {
 		if bestLen < 0 || len(e.asPath) < bestLen {
 			best = best[:0]
@@ -235,6 +237,9 @@ func (s *Speaker) decide(prefix netaddr.Prefix) {
 		s.withdraw(prefix)
 	} else {
 		s.advertise(prefix, best[0].asPath)
+	}
+	if invariant.Enabled {
+		s.checkFIB(prefix)
 	}
 }
 
@@ -346,17 +351,37 @@ func (s *Speaker) currentExport(prefix netaddr.Prefix) ([]uint16, bool) {
 	return nil, false
 }
 
-// syncPeer pushes the full table to a newly established peer.
+// syncPeer pushes the full table to a newly established peer, in prefix
+// order: the advertisement sequence lands on the wire, so it must not
+// inherit map iteration order.
 func (s *Speaker) syncPeer(p *Peer) {
 	for _, n := range s.Cfg.Networks {
 		p.queueAdvertise(n)
 	}
-	for prefix, st := range s.adv {
+	prefixes := make([]netaddr.Prefix, 0, len(s.adv))
+	//simlint:deterministic key collection only; sortPrefixes orders the slice before any advertisement is queued
+	for prefix := range s.adv {
+		prefixes = append(prefixes, prefix)
+	}
+	sortPrefixes(prefixes)
+	for _, prefix := range prefixes {
+		st := s.adv[prefix]
 		if s.exportAllowed(p, st.path) {
 			p.queueAdvertise(prefix)
 			st.sentTo[p.Neighbor] = true
 		}
 	}
+}
+
+// sortPrefixes orders prefixes by address, then mask length — the canonical
+// iteration order wherever a per-prefix action emits protocol messages.
+func sortPrefixes(prefixes []netaddr.Prefix) {
+	sort.Slice(prefixes, func(i, j int) bool {
+		if prefixes[i].IP != prefixes[j].IP {
+			return prefixes[i].IP.Uint32() < prefixes[j].IP.Uint32()
+		}
+		return prefixes[i].Bits < prefixes[j].Bits
+	})
 }
 
 // handleUpdate processes a received UPDATE from peer p.
@@ -382,7 +407,15 @@ func (s *Speaker) handleUpdate(p *Peer, u Update) {
 			dirty[prefix] = true
 		}
 	}
+	// Decide in prefix order: decisions can queue UPDATEs, and their wire
+	// order must be a function of the input, not of map iteration.
+	changed := make([]netaddr.Prefix, 0, len(dirty))
+	//simlint:deterministic key collection only; sortPrefixes orders the slice before decisions run
 	for prefix := range dirty {
+		changed = append(changed, prefix)
+	}
+	sortPrefixes(changed)
+	for _, prefix := range changed {
 		s.decide(prefix)
 	}
 }
@@ -399,6 +432,7 @@ func asPathContains(path []uint16, as uint16) bool {
 // peerDown clears a dead peer's routes and reconverges.
 func (s *Speaker) peerDown(p *Peer) {
 	var dirty []netaddr.Prefix
+	//simlint:deterministic per-prefix deletions are independent; the dirty list is sorted before any decision runs
 	for prefix, entries := range s.adjIn {
 		if _, had := entries[p.Neighbor]; had {
 			delete(entries, p.Neighbor)
@@ -406,10 +440,11 @@ func (s *Speaker) peerDown(p *Peer) {
 		}
 	}
 	// Forget what we sent them; a future session gets a full re-sync.
+	//simlint:deterministic clears one per-peer flag per entry; no ordering escapes
 	for _, st := range s.adv {
 		st.sentTo[p.Neighbor] = false
 	}
-	sort.Slice(dirty, func(i, j int) bool { return dirty[i].IP.Uint32() < dirty[j].IP.Uint32() })
+	sortPrefixes(dirty)
 	for _, prefix := range dirty {
 		s.decide(prefix)
 	}

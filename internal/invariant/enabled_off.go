@@ -1,0 +1,8 @@
+//go:build !invariants
+
+package invariant
+
+// Enabled reports whether invariant checking is compiled in. This is the
+// default build: checks are disabled and guarded call sites compile to
+// nothing. Build with -tags invariants to enable them.
+const Enabled = false

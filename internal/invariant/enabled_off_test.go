@@ -1,0 +1,11 @@
+//go:build !invariants
+
+package invariant
+
+import "testing"
+
+func TestEnabledOffByDefault(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled = true without the invariants build tag")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build invariants
+
+package invariant
+
+// Enabled reports whether invariant checking is compiled in. This build
+// (-tags invariants) runs every guarded check and panics on violation.
+const Enabled = true

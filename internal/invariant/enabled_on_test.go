@@ -1,0 +1,11 @@
+//go:build invariants
+
+package invariant
+
+import "testing"
+
+func TestEnabledOnUnderTag(t *testing.T) {
+	if !Enabled {
+		t.Fatal("Enabled = false under -tags invariants")
+	}
+}

@@ -1,0 +1,34 @@
+// Package invariant provides build-tag-gated runtime assertions for the
+// simulation's core data structures (DESIGN.md, "Determinism contract").
+//
+// Normal builds define Enabled = false and every check compiles away: call
+// sites guard with
+//
+//	if invariant.Enabled {
+//	    invariant.Assert(cond, "what broke")
+//	}
+//
+// so the condition itself is dead code the compiler eliminates. Building
+// with -tags invariants flips Enabled to true and a violated assertion
+// panics with the message — the debugging build the paper's own authors
+// would run before trusting a convergence number.
+package invariant
+
+import "fmt"
+
+// Assert panics with msg if cond is false. Guard the call with
+// invariant.Enabled so the check costs nothing in normal builds.
+func Assert(cond bool, msg string) {
+	if !cond {
+		panic("invariant violated: " + msg)
+	}
+}
+
+// Assertf is Assert with a formatted message. The format arguments are
+// evaluated even when cond holds, so keep them cheap or pre-guard with
+// Enabled (which call sites do anyway).
+func Assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic(fmt.Sprintf("invariant violated: "+format, args...))
+	}
+}

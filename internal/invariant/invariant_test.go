@@ -1,0 +1,32 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic = %v, want message containing %q", r, want)
+		}
+	}()
+	fn()
+}
+
+func TestAssert(t *testing.T) {
+	Assert(true, "unused")
+	mustPanic(t, "heap out of order", func() { Assert(false, "heap out of order") })
+}
+
+func TestAssertf(t *testing.T) {
+	Assertf(true, "unused %d", 1)
+	mustPanic(t, "index 7", func() { Assertf(false, "index %d", 7) })
+	mustPanic(t, "invariant violated", func() { Assertf(false, "anything") })
+}

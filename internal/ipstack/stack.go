@@ -2,6 +2,7 @@ package ipstack
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/arp"
 	"repro/internal/ethernet"
@@ -46,8 +47,12 @@ type Stack struct {
 	FIB  FIB
 	TCP  *tcp.Endpoint
 
-	ifaces   map[int]*Iface // by port index
-	localIPs map[netaddr.IPv4]*Iface
+	ifaces map[int]*Iface // by port index
+	// ifaceList holds the same interfaces in ascending port order. Sweeps
+	// that emit frames (the ARP fan-out in transmit) iterate this slice so
+	// wire order never depends on map iteration order.
+	ifaceList []*Iface
+	localIPs  map[netaddr.IPv4]*Iface
 
 	arpTable   map[netaddr.IPv4]arpEntry
 	arpPending map[netaddr.IPv4][][]byte // queued frames (see routeOut) awaiting resolution
@@ -94,6 +99,12 @@ func New(node *simnet.Node) *Stack {
 func (s *Stack) AddIface(port *simnet.Port, ip netaddr.IPv4, subnet netaddr.Prefix) *Iface {
 	ifc := &Iface{Port: port, IP: ip, Subnet: subnet}
 	s.ifaces[port.Index] = ifc
+	i := sort.Search(len(s.ifaceList), func(i int) bool {
+		return s.ifaceList[i].Port.Index >= port.Index
+	})
+	s.ifaceList = append(s.ifaceList, nil)
+	copy(s.ifaceList[i+1:], s.ifaceList[i:])
+	s.ifaceList[i] = ifc
 	s.localIPs[ip] = ifc
 	// Connected route, like the kernel installs on address assignment.
 	s.FIB.Replace(Route{Prefix: subnet, NextHops: []NextHop{{Iface: ifc}}, Proto: ProtoKernel})
@@ -103,8 +114,9 @@ func (s *Stack) AddIface(port *simnet.Port, ip netaddr.IPv4, subnet netaddr.Pref
 // Iface returns the interface on a port index, or nil.
 func (s *Stack) Iface(index int) *Iface { return s.ifaces[index] }
 
-// Ifaces returns all interfaces keyed by port index.
-func (s *Stack) Ifaces() map[int]*Iface { return s.ifaces }
+// Ifaces returns all interfaces in ascending port order. Callers must not
+// mutate the returned slice.
+func (s *Stack) Ifaces() []*Iface { return s.ifaceList }
 
 // IsLocal reports whether ip is one of the stack's addresses.
 func (s *Stack) IsLocal(ip netaddr.IPv4) bool { return s.localIPs[ip] != nil }
@@ -345,7 +357,7 @@ func (s *Stack) transmit(ifc *Iface, nextHop netaddr.IPv4, frame []byte) {
 		// covers the target (a rack subnet can span several ports).
 		s.arpPending[nextHop] = append(s.arpPending[nextHop], frame)
 		asked := false
-		for _, cand := range s.ifaces {
+		for _, cand := range s.ifaceList {
 			if cand.Subnet.Contains(nextHop) && cand.Usable() {
 				s.sendARPRequest(cand, nextHop)
 				asked = true

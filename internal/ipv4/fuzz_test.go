@@ -1,10 +1,26 @@
 package ipv4
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/netaddr"
+)
 
 func FuzzUnmarshal(f *testing.F) {
 	p := Packet{Header: Header{TTL: 64, Protocol: ProtoUDP}, Payload: []byte("payload")}
 	f.Add(p.Marshal())
+	valid := Packet{
+		Header: Header{
+			ID: 7, TTL: 17, Protocol: ProtoICMP,
+			Src: netaddr.MakeIPv4(10, 0, 0, 1),
+			Dst: netaddr.MakeIPv4(10, 0, 1, 1),
+		},
+		Payload: []byte{0xde, 0xad},
+	}
+	f.Add(valid.Marshal())
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderLen-1))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		pkt, err := Unmarshal(data)
 		if err != nil {
@@ -18,6 +34,24 @@ func FuzzUnmarshal(f *testing.F) {
 				t.Fatalf("Forward broke the checksum: %v", err)
 			}
 		}
-		_ = pkt
+		// Marshal emits the canonical option-less form, so compare parsed
+		// fields after a re-parse instead of raw bytes (the input may have
+		// carried IP options, and a zero TTL remarshals as DefaultTTL).
+		q, err := Unmarshal(pkt.Marshal())
+		if err != nil {
+			t.Fatalf("re-parse of remarshalled packet failed: %v", err)
+		}
+		wantTTL := pkt.Header.TTL
+		if wantTTL == 0 {
+			wantTTL = DefaultTTL
+		}
+		if q.Header.TOS != pkt.Header.TOS || q.Header.ID != pkt.Header.ID ||
+			q.Header.TTL != wantTTL || q.Header.Protocol != pkt.Header.Protocol ||
+			q.Header.Src != pkt.Header.Src || q.Header.Dst != pkt.Header.Dst {
+			t.Fatalf("round trip changed the header: %+v -> %+v", pkt.Header, q.Header)
+		}
+		if !bytes.Equal(q.Payload, pkt.Payload) {
+			t.Fatal("round trip corrupted the payload")
+		}
 	})
 }

@@ -17,13 +17,13 @@ func BenchmarkMessageMarshalUpdate(b *testing.B) {
 	m := Message{Type: TypeUpdate, Sub: UpdateLost, Roots: []byte{11, 12}}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_ = m.Marshal()
+		_, _ = m.Marshal()
 	}
 }
 
 func BenchmarkMessageParseAdvertise(b *testing.B) {
 	m := Message{Type: TypeAdvertise, Tier: 2, VIDs: []VID{{11, 1}, {12, 1}}}
-	wire := m.Marshal()
+	wire := mustWire(b, m)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := ParseMessage(wire); err != nil {

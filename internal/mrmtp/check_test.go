@@ -1,0 +1,55 @@
+//go:build invariants
+
+package mrmtp
+
+import (
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+func tableRouter() *Router {
+	r := &Router{
+		Node:    &simnet.Node{Name: "test"},
+		entries: make(map[string]vidEntry),
+		byRoot:  make(map[byte][]string),
+		adjs:    make(map[int]*adjacency),
+	}
+	r.adjs[1] = &adjacency{state: adjUp}
+	v := VID{11, 1}
+	r.entries[v.Key()] = vidEntry{vid: v, port: 1}
+	r.byRoot[v.Root()] = []string{v.Key()}
+	return r
+}
+
+func wantTablePanic(t *testing.T, r *Router) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inconsistent VID table passed the invariant check")
+		}
+	}()
+	r.checkVIDTable()
+}
+
+// TestVIDTableCheckDetectsCorruption breaks each guarded property in turn.
+func TestVIDTableCheckDetectsCorruption(t *testing.T) {
+	tableRouter().checkVIDTable() // sanity: a consistent table passes
+
+	r := tableRouter()
+	delete(r.entries, VID{11, 1}.Key()) // byRoot lists a key the table lost
+	wantTablePanic(t, r)
+
+	r = tableRouter()
+	keys := r.byRoot[11]
+	r.byRoot[11] = append(keys, keys[0]) // duplicate index entry
+	wantTablePanic(t, r)
+
+	r = tableRouter()
+	r.adjs[1].state = adjFailed // entry held via a dead port
+	wantTablePanic(t, r)
+
+	r = tableRouter()
+	delete(r.byRoot, 11) // table entry the index no longer covers
+	wantTablePanic(t, r)
+}

@@ -12,8 +12,12 @@ import (
 // the device at the far end of the given port.
 func sendControl(c *column, from *Router, port int, m Message) {
 	p := from.Node.Port(port)
+	payload, err := m.Marshal()
+	if err != nil {
+		panic(err)
+	}
 	f := ethernet.Frame{Dst: netaddr.Broadcast, Src: p.MAC,
-		EtherType: ethernet.TypeMRMTP, Payload: m.Marshal()}
+		EtherType: ethernet.TypeMRMTP, Payload: payload}
 	p.Send(f.Marshal())
 }
 

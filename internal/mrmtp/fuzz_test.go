@@ -7,9 +7,9 @@ import (
 
 func FuzzParseMessage(f *testing.F) {
 	f.Add([]byte{TypeHello})
-	f.Add((&Message{Type: TypeAdvertise, Tier: 2, VIDs: []VID{{11}, {12, 1}}}).Marshal())
-	f.Add((&Message{Type: TypeJoin, VIDs: []VID{{11}}}).Marshal())
-	f.Add((&Message{Type: TypeUpdate, Sub: UpdateLost, Roots: []byte{11, 12}}).Marshal())
+	f.Add(mustWire(f, Message{Type: TypeAdvertise, Tier: 2, VIDs: []VID{{11}, {12, 1}}}))
+	f.Add(mustWire(f, Message{Type: TypeJoin, VIDs: []VID{{11}}}))
+	f.Add(mustWire(f, Message{Type: TypeUpdate, Sub: UpdateLost, Roots: []byte{11, 12}}))
 	f.Add([]byte{TypeJoin, 255, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := ParseMessage(data)
@@ -18,7 +18,10 @@ func FuzzParseMessage(f *testing.F) {
 		}
 		// Anything that parses must re-marshal and re-parse to the same
 		// message (canonical wire form).
-		out := m.Marshal()
+		out, err := m.Marshal()
+		if err != nil {
+			t.Fatalf("re-marshal of parsed message failed: %v", err)
+		}
 		m2, err := ParseMessage(out)
 		if err != nil {
 			t.Fatalf("re-parse failed: %v", err)

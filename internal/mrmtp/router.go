@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/ethernet"
+	"repro/internal/invariant"
 	"repro/internal/metrics"
 	"repro/internal/netaddr"
 	"repro/internal/simnet"
@@ -132,6 +133,11 @@ type Router struct {
 	entries map[string]vidEntry // VID table, keyed by VID
 	byRoot  map[byte][]string   // root -> VID keys
 	adjs    map[int]*adjacency
+	// adjList holds the same adjacencies in ascending port order. Every
+	// sweep over the neighbor set (uplink selection, re-advertise fan-out,
+	// update propagation) iterates this slice, never the map: frame send
+	// order must not depend on map iteration order.
+	adjList []*adjacency
 
 	// advWire caches the marshalled ADVERTISE (identical on every port),
 	// invalidated whenever the VID table changes. The periodic
@@ -226,6 +232,7 @@ func (r *Router) Start() {
 			accepted:  make(map[string]bool),
 		}
 		r.adjs[p.Index] = adj
+		r.adjList = append(r.adjList, adj) // Ports is index-ascending
 		r.sendAdvertise(adj)
 		r.scheduleHello(adj)
 		r.scheduleAdvertise(adj)
@@ -257,10 +264,27 @@ func (r *Router) sendOn(adj *adjacency, payload []byte) {
 	adj.port.Send(frame(adj.port.MAC, payload))
 }
 
+// sendMsg marshals and transmits a control message, dropping it if it
+// cannot be encoded (impossible for the fixed-type messages the router
+// builds, but dropping beats crashing the simulation). It returns the
+// encoded payload for callers that record telemetry, or nil on a drop.
+func (r *Router) sendMsg(adj *adjacency, m *Message) []byte {
+	wire, err := m.Marshal()
+	if err != nil {
+		return nil
+	}
+	r.sendOn(adj, wire)
+	return wire
+}
+
 func (r *Router) sendAdvertise(adj *adjacency) {
 	if r.advWire == nil {
 		m := Message{Type: TypeAdvertise, Tier: r.Cfg.Tier, VIDs: r.joinableVIDs()}
-		r.advWire = m.Marshal()
+		wire, err := m.Marshal()
+		if err != nil {
+			return
+		}
+		r.advWire = wire
 	}
 	// sendOn copies the payload into the frame, so sharing the cached
 	// message across ports and intervals is safe.
@@ -415,19 +439,28 @@ func (r *Router) neighborDown(adj *adjacency) {
 
 	port := adj.port.Index
 	affected := make(map[byte]bool)
+	var doomed []string
 	for key, e := range r.entries {
 		if e.port == port {
-			affected[e.vid.Root()] = true
-			r.removeEntry(key)
+			doomed = append(doomed, key)
 		}
 	}
+	sort.Strings(doomed)
+	for _, key := range doomed {
+		affected[r.entries[key].vid.Root()] = true
+		r.removeEntry(key)
+	}
 	// Marks recorded against the dead port are stale either way.
+	//simlint:deterministic accumulates into the affected set; per-root outputs are sorted in applyReachability
 	for root := range r.unreachable[port] {
 		affected[root] = true
 	}
 	delete(r.unreachable, port)
 
 	r.processReachability(affected, port, true)
+	if invariant.Enabled {
+		r.checkVIDTable()
+	}
 }
 
 // --- VID table ------------------------------------------------------------
@@ -496,6 +529,7 @@ func (r *Router) EntryPort(vid string) int {
 // per port with the VIDs acquired on it.
 func (r *Router) RenderVIDTable() string {
 	byPort := make(map[int][]string)
+	//simlint:deterministic groups entries by port; every per-port list is sorted before rendering
 	for _, e := range r.entries {
 		byPort[e.port] = append(byPort[e.port], e.vid.String())
 	}
@@ -564,7 +598,7 @@ func (r *Router) maybeJoin(adj *adjacency) {
 	}
 	r.Stats.JoinsSent++
 	m := Message{Type: TypeJoin, VIDs: want}
-	r.sendOn(adj, m.Marshal())
+	r.sendMsg(adj, &m)
 	r.armJoinRetry(adj, want, maxJoinRetries)
 }
 
@@ -610,7 +644,7 @@ func (r *Router) armJoinRetry(adj *adjacency, want []VID, budget int) {
 		}
 		r.Stats.JoinsSent++
 		m := Message{Type: TypeJoin, VIDs: missing}
-		r.sendOn(adj, m.Marshal())
+		r.sendMsg(adj, &m)
 		r.armJoinRetry(adj, missing, budget-1)
 	})
 }
@@ -632,7 +666,7 @@ func (r *Router) handleJoin(adj *adjacency, parents []VID) {
 	}
 	r.Stats.OffersSent++
 	m := Message{Type: TypeOffer, VIDs: offers}
-	r.sendOn(adj, m.Marshal())
+	r.sendMsg(adj, &m)
 }
 
 // holds reports whether this device owns the VID (its root identity or an
@@ -660,10 +694,10 @@ func (r *Router) handleOffer(adj *adjacency, vids []VID) {
 		delete(adj.requested, v[:len(v)-1].Key())
 	}
 	m := Message{Type: TypeAccept, VIDs: vids}
-	r.sendOn(adj, m.Marshal())
+	r.sendMsg(adj, &m)
 	if added {
 		// Our joinable set grew: tell upper tiers.
-		for _, other := range r.adjs {
+		for _, other := range r.adjList {
 			if other != adj && other.state == adjUp {
 				r.sendAdvertise(other)
 			}
@@ -671,6 +705,9 @@ func (r *Router) handleOffer(adj *adjacency, vids []VID) {
 	}
 	if len(recovered) > 0 {
 		r.processReachability(recovered, adj.port.Index, false)
+	}
+	if invariant.Enabled {
+		r.checkVIDTable()
 	}
 }
 
@@ -682,7 +719,7 @@ func (r *Router) handleAccept(adj *adjacency, vids []VID) {
 		}
 	}
 	m := Message{Type: TypeAck, VIDs: vids}
-	r.sendOn(adj, m.Marshal())
+	r.sendMsg(adj, &m)
 }
 
 // --- reachability ----------------------------------------------------------
@@ -695,8 +732,10 @@ func (r *Router) uplinks() []*adjacency {
 	if r.topTier() {
 		return nil
 	}
+	// adjList is port-ascending, so the result needs no sorting — the
+	// per-packet up-forwarding path stays allocation- and sort-free.
 	out := r.upScratch[:0]
-	for _, adj := range r.adjs {
+	for _, adj := range r.adjList {
 		if adj.state != adjUp || !adj.port.Up() {
 			continue
 		}
@@ -704,13 +743,6 @@ func (r *Router) uplinks() []*adjacency {
 		// traffic still flows during fabric bring-up.
 		if adj.neighborTier > r.Cfg.Tier || adj.neighborTier == 0 {
 			out = append(out, adj)
-		}
-	}
-	// Insertion sort by port index: a router has a handful of uplinks, and
-	// sort.Slice would allocate on every forwarded packet.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].port.Index < out[j-1].port.Index; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
 	r.upScratch = out
@@ -788,6 +820,9 @@ func (r *Router) processStaged() {
 		}
 	}
 	r.applyReachability(affected, fromPorts)
+	if invariant.Enabled {
+		r.checkVIDTable()
+	}
 }
 
 // processReachability handles locally detected changes (neighbor loss or
@@ -797,6 +832,7 @@ func (r *Router) processReachability(affected map[byte]bool, sourcePort int, los
 		return
 	}
 	fromPorts := make(map[byte]map[int]bool)
+	//simlint:deterministic independent per-root map fill; no ordering escapes
 	for root := range affected {
 		fromPorts[root] = map[int]bool{sourcePort: true}
 	}
@@ -810,6 +846,7 @@ func (r *Router) processReachability(affected map[byte]bool, sourcePort int, los
 func (r *Router) applyReachability(affected map[byte]bool, fromPorts map[byte]map[int]bool) {
 	var lostRoots, foundRoots []byte
 	absorbed := false
+	//simlint:deterministic per-root decisions are independent; the lost/found slices are sorted before any message is sent
 	for root := range affected {
 		nowReachable := r.reachable(root)
 		wasLost := r.lostSent[root]
@@ -841,7 +878,7 @@ func (r *Router) applyReachability(affected map[byte]bool, fromPorts map[byte]ma
 // propagate sends an UPDATE on every live adjacency that did not itself
 // report the change.
 func (r *Router) propagate(sub byte, roots []byte, fromPorts map[byte]map[int]bool) {
-	for _, adj := range r.adjs {
+	for _, adj := range r.adjList {
 		if adj.state != adjUp || !adj.port.Up() {
 			continue
 		}
@@ -856,9 +893,11 @@ func (r *Router) propagate(sub byte, roots []byte, fromPorts map[byte]map[int]bo
 			continue
 		}
 		m := Message{Type: TypeUpdate, Sub: sub, Roots: send}
-		payload := m.Marshal()
+		payload := r.sendMsg(adj, &m)
+		if payload == nil {
+			continue
+		}
 		r.Stats.UpdatesSent++
-		r.sendOn(adj, payload)
 		r.rec.ControlMessage(r.sim().Now(), r.Node.Name, ethernet.HeaderLen+len(payload))
 	}
 }
@@ -867,6 +906,7 @@ func (r *Router) propagate(sub byte, roots []byte, fromPorts map[byte]map[int]bo
 // written-off roots are reachable again and announces the recovery.
 func (r *Router) reevaluateLostRoots() {
 	recovered := make(map[byte]bool)
+	//simlint:deterministic accumulates into the recovered set; processReachability sorts before sending
 	for root := range r.lostSent {
 		if r.reachable(root) {
 			recovered[root] = true

@@ -62,8 +62,8 @@ func (r *Router) RenderUnreachable() string {
 // Summary returns a one-line state digest for dashboards and tests.
 func (r *Router) Summary() string {
 	up := 0
-	for p := range r.adjs {
-		if r.NeighborState(p) == "up" {
+	for _, adj := range r.adjList {
+		if adj.state == adjUp {
 			up++
 		}
 	}

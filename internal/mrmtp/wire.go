@@ -81,21 +81,24 @@ func parseVIDs(b []byte) ([]VID, []byte, error) {
 	return vids, b, nil
 }
 
-// Marshal renders a control message body (the Ethernet payload).
-func (m *Message) Marshal() []byte {
+// Marshal renders a control message body (the Ethernet payload). An
+// unknown message type is an error, not a panic: the type byte can come
+// from a parsed frame, and a router must drop what it cannot encode rather
+// than take the simulation down.
+func (m *Message) Marshal() ([]byte, error) {
 	switch m.Type {
 	case TypeHello:
-		return []byte{TypeHello}
+		return []byte{TypeHello}, nil
 	case TypeAdvertise:
 		b := []byte{TypeAdvertise, byte(m.Tier)}
-		return marshalVIDs(b, m.VIDs)
+		return marshalVIDs(b, m.VIDs), nil
 	case TypeJoin, TypeOffer, TypeAccept, TypeAck:
-		return marshalVIDs([]byte{m.Type}, m.VIDs)
+		return marshalVIDs([]byte{m.Type}, m.VIDs), nil
 	case TypeUpdate:
 		b := []byte{TypeUpdate, m.Sub, byte(len(m.Roots))}
-		return append(b, m.Roots...)
+		return append(b, m.Roots...), nil
 	}
-	panic(fmt.Sprintf("mrmtp: cannot marshal message type %#02x", m.Type))
+	return nil, fmt.Errorf("mrmtp: cannot marshal message type %#02x: %w", m.Type, ErrMalformed)
 }
 
 // ParseMessage decodes a control message body. Data frames (TypeData) are

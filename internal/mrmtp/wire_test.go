@@ -2,15 +2,26 @@ package mrmtp
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/netaddr"
 )
 
+// mustWire marshals a message the test knows is well-formed.
+func mustWire(tb testing.TB, m Message) []byte {
+	tb.Helper()
+	b, err := m.Marshal()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return b
+}
+
 func TestHelloIsOneByte(t *testing.T) {
 	m := Message{Type: TypeHello}
-	b := m.Marshal()
+	b := mustWire(t, m)
 	if len(b) != 1 || b[0] != 0x06 {
 		t.Fatalf("hello = % x, want the single byte 06 of Fig. 10", b)
 	}
@@ -40,7 +51,7 @@ func TestControlRoundTrips(t *testing.T) {
 		{Type: TypeHello},
 	}
 	for _, in := range msgs {
-		out, err := ParseMessage(in.Marshal())
+		out, err := ParseMessage(mustWire(t, in))
 		if err != nil {
 			t.Fatalf("%#02x: %v", in.Type, err)
 		}
@@ -74,7 +85,11 @@ func TestAdvertiseRoundTripProperty(t *testing.T) {
 			vids = append(vids, VID(b))
 		}
 		in := Message{Type: TypeAdvertise, Tier: int(tier), VIDs: vids}
-		out, err := ParseMessage(in.Marshal())
+		wire, err := in.Marshal()
+		if err != nil {
+			return false
+		}
+		out, err := ParseMessage(wire)
 		if err != nil || out.Tier != int(tier) || len(out.VIDs) != len(vids) {
 			return false
 		}
@@ -105,6 +120,22 @@ func TestParseErrors(t *testing.T) {
 	for _, b := range bad {
 		if _, err := ParseMessage(b); err == nil {
 			t.Errorf("ParseMessage(% x) succeeded, want error", b)
+		}
+	}
+}
+
+func TestMarshalUnknownType(t *testing.T) {
+	// A type byte can arrive off the wire; encoding must reject what it
+	// does not know instead of panicking (see panicpath in tools/analyzers).
+	for _, typ := range []byte{0x00, 0x99, 0xff, TypeData} {
+		m := Message{Type: typ}
+		b, err := m.Marshal()
+		if err == nil {
+			t.Errorf("Marshal type %#02x = % x, want error", typ, b)
+			continue
+		}
+		if !errors.Is(err, ErrMalformed) {
+			t.Errorf("Marshal type %#02x error = %v, want ErrMalformed", typ, err)
 		}
 	}
 }

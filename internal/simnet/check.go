@@ -1,0 +1,68 @@
+package simnet
+
+import "repro/internal/invariant"
+
+// smallHeapScan is the queue size up to which a heap check verifies every
+// entry. Larger queues get a bounded check (the touched index's ancestor
+// chain and children) so -tags invariants builds stay usable on the big
+// fabric scenarios.
+const smallHeapScan = 64
+
+// checkHeap validates the scheduling heap after a mutation that settled
+// around index i. Callers guard with invariant.Enabled; the checks are:
+//
+//   - parent ≤ child under entryLess for every inspected pair,
+//   - every inspected entry's event back-pointer (ev.idx) matches its slot.
+func (s *Sim) checkHeap(i int) {
+	q := s.queue
+	n := len(q)
+	if n == 0 {
+		return
+	}
+	if n <= smallHeapScan {
+		for j := 0; j < n; j++ {
+			s.checkEntry(j)
+		}
+		return
+	}
+	if i >= n {
+		// The mutation shrank the queue past i (heapPop of the last
+		// element); fall back to the root.
+		i = 0
+	}
+	// Ancestor chain: O(log n) pairs ending at the root.
+	for j := i; j > 0; {
+		parent := (j - 1) / 2
+		s.checkEntry(j)
+		j = parent
+	}
+	s.checkEntry(0)
+	// And one level below the touched slot.
+	if l := 2*i + 1; l < n {
+		s.checkEntry(l)
+	}
+	if r := 2*i + 2; r < n {
+		s.checkEntry(r)
+	}
+}
+
+// checkEntry validates slot j's back-pointer and its ordering against its
+// parent. The failure paths are split out so the hot success path does not
+// allocate (Assertf boxes its variadic arguments unconditionally, which
+// would break the allocation-bound forwarding tests under -tags invariants).
+func (s *Sim) checkEntry(j int) {
+	q := s.queue
+	if int(q[j].ev.idx) != j {
+		invariant.Assertf(false,
+			"simnet: heap entry %d back-pointer is %d (at=%v seq=%d)",
+			j, q[j].ev.idx, q[j].at, q[j].seq)
+	}
+	if j > 0 {
+		parent := (j - 1) / 2
+		if entryLess(&q[j], &q[parent]) {
+			invariant.Assertf(false,
+				"simnet: heap order broken: entry %d (at=%v seq=%d) < parent %d (at=%v seq=%d)",
+				j, q[j].at, q[j].seq, parent, q[parent].at, q[parent].seq)
+		}
+	}
+}

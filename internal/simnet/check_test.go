@@ -1,0 +1,40 @@
+//go:build invariants
+
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("corrupted heap passed the invariant check")
+		}
+	}()
+	fn()
+}
+
+// TestHeapCheckDetectsCorruption breaks the two properties checkHeap
+// guards — ordering and back-pointers — and expects a panic for each.
+func TestHeapCheckDetectsCorruption(t *testing.T) {
+	build := func() *Sim {
+		s := New(1)
+		for i := 0; i < 8; i++ {
+			s.After(time.Duration(i)*time.Millisecond, func() {})
+		}
+		return s
+	}
+
+	s := build()
+	s.checkHeap(0) // sanity: a fresh heap passes
+
+	s.queue[0].at = time.Hour // root now later than its children
+	mustPanic(t, func() { s.checkHeap(0) })
+
+	s = build()
+	s.queue[3].ev.idx = 0 // stale back-pointer
+	mustPanic(t, func() { s.checkHeap(3) })
+}

@@ -3,6 +3,8 @@ package simnet
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/invariant"
 )
 
 // The scheduling core is an indexed binary min-heap of recycled event
@@ -98,6 +100,9 @@ func (s *Sim) heapPush(e heapEntry) {
 	e.ev.idx = int32(len(s.queue))
 	s.queue = append(s.queue, e)
 	s.siftUp(int(e.ev.idx))
+	if invariant.Enabled {
+		s.checkHeap(int(e.ev.idx))
+	}
 }
 
 func (s *Sim) siftUp(i int) {
@@ -147,6 +152,9 @@ func (s *Sim) heapFix(i int) {
 	if int(ev.idx) == i {
 		s.siftUp(i)
 	}
+	if invariant.Enabled {
+		s.checkHeap(int(ev.idx))
+	}
 }
 
 // heapPop removes and returns the earliest entry.
@@ -161,6 +169,9 @@ func (s *Sim) heapPop() heapEntry {
 		s.siftDown(0)
 	}
 	e.ev.idx = -1
+	if invariant.Enabled {
+		s.checkHeap(0)
+	}
 	return e
 }
 
@@ -184,6 +195,9 @@ func (s *Sim) heapRemove(i int) {
 		s.queue = q[:last]
 	}
 	ev.idx = -1
+	if invariant.Enabled {
+		s.checkHeap(i)
+	}
 }
 
 // --- public scheduling API --------------------------------------------------

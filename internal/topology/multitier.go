@@ -196,7 +196,7 @@ func (t *Topology) verifyMultiTier(spec MultiTierSpec) error {
 	if got, want := len(t.Leaves), spec.Zones*spec.PodsPerZone*spec.LeavesPerPod; got != want {
 		return fmt.Errorf("topology: %d leaves, want %d", got, want)
 	}
-	for _, d := range t.Devices {
+	for _, d := range t.sortedDevices() {
 		for _, p := range d.Ports[1:] {
 			switch {
 			case p.Peer == nil:

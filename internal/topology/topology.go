@@ -22,6 +22,7 @@ package topology
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/netaddr"
 )
@@ -176,6 +177,21 @@ func (t *Topology) Routers() []*Device {
 
 // Device returns a device by name, or nil.
 func (t *Topology) Device(name string) *Device { return t.Devices[name] }
+
+// sortedDevices returns every device in name order, so full-fabric sweeps
+// (wiring verification, for one) behave identically run to run.
+func (t *Topology) sortedDevices() []*Device {
+	names := make([]string, 0, len(t.Devices))
+	for name := range t.Devices {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*Device, len(names))
+	for i, name := range names {
+		out[i] = t.Devices[name]
+	}
+	return out
+}
 
 // LeafByVID returns the ToR with the given VID, or nil.
 func (t *Topology) LeafByVID(vid int) *Device {

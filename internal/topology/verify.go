@@ -24,7 +24,7 @@ func (t *Topology) Verify() error {
 	}
 
 	// Every port wired exactly once, both directions agreeing.
-	for _, d := range t.Devices {
+	for _, d := range t.sortedDevices() {
 		for _, p := range d.Ports[1:] {
 			if p.Peer == nil {
 				return fmt.Errorf("topology: unwired port %s", p.Name())

@@ -1,0 +1,89 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis driver contract, shaped so that the repo's
+// custom analyzers could be ported to the real framework by changing one
+// import path. The container this repo builds in has no module proxy access,
+// so the framework rides on the standard library only: packages are loaded
+// with `go list -deps -export` and type-checked against compiler export data
+// (see tools/analyzers/load).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer rejects.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one package's worth of parsed and type-checked input to an
+// analyzer, mirroring x/tools' analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// SuppressionComment is the in-source justification marker. A site carrying
+// this comment (on its own line immediately above the statement, or trailing
+// on the statement's first line) is exempt from the determinism analyzers;
+// the text after the marker should say why the site is safe.
+const SuppressionComment = "//simlint:deterministic"
+
+// Suppressed reports whether the node beginning at pos carries a
+// SuppressionComment in file: either trailing on the same line or on the
+// line directly above.
+func Suppressed(fset *token.FileSet, file *ast.File, pos token.Pos) bool {
+	line := fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, SuppressionComment) {
+				continue
+			}
+			cl := fset.Position(c.Pos()).Line
+			if cl == line || cl == line-1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FileFor returns the *ast.File in the pass containing pos, or nil.
+func (p *Pass) FileFor(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// SuppressedAt reports whether pos carries a suppression comment in its file.
+func (p *Pass) SuppressedAt(pos token.Pos) bool {
+	f := p.FileFor(pos)
+	return f != nil && Suppressed(p.Fset, f, pos)
+}

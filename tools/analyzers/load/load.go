@@ -1,0 +1,240 @@
+// Package load turns Go packages into type-checked syntax trees for the
+// analyzers, using only the standard library and the go command.
+//
+// The usual driver for this job, golang.org/x/tools/go/packages, is not
+// available in the build environment (no module proxy), so the loader does
+// the same two steps by hand:
+//
+//  1. `go list -deps -export -json` enumerates the target packages and
+//     compiles their dependency closure, yielding a compiler export-data
+//     file per dependency.
+//  2. Each target package is parsed with go/parser and checked with
+//     go/types, resolving imports through the export data from step 1 via
+//     go/importer's gc lookup mode — no source type-checking of
+//     dependencies, which keeps a full-repo lint run fast.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs the go command and decodes its JSON package stream.
+func goList(dir string, args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %v: %v\n%s", args, err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup resolves import paths to export-data readers for the gc
+// importer.
+type exportLookup map[string]string
+
+func (m exportLookup) open(path string) (io.ReadCloser, error) {
+	f, ok := m[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// Load lists patterns from moduleDir, compiles their dependency closure for
+// export data, and returns the matched (non-dependency, non-standard)
+// packages parsed and type-checked, sorted by import path.
+func Load(moduleDir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Name,GoFiles,Standard,DepOnly,Export,Incomplete,Error"}, patterns...)
+	pkgs, err := goList(moduleDir, args...)
+	if err != nil {
+		return nil, err
+	}
+	exports := exportLookup{}
+	var targets []listPkg
+	for _, p := range pkgs {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exports.open)
+	out := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		pkg, err := check(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks the non-test Go files of a single
+// directory that is not a listable package (analysistest fixtures live in
+// testdata, which the go tool ignores). Imports are resolved by compiling
+// them with `go list -export`, so fixtures may import anything the module
+// can.
+func LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) == ".go" && !e.IsDir() {
+			goFiles = append(goFiles, name)
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+	sort.Strings(goFiles)
+
+	// A first parse pass discovers the fixture's imports.
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(goFiles))
+	importSet := map[string]bool{}
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			if path != "unsafe" {
+				importSet[path] = true
+			}
+		}
+	}
+	exports := exportLookup{}
+	if len(importSet) > 0 {
+		args := []string{"list", "-deps", "-export", "-json=ImportPath,Export,Incomplete,Error"}
+		for path := range importSet { //simlint:deterministic command-line argument order does not affect the result
+			args = append(args, path)
+		}
+		pkgs, err := goList(dir, args...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pkgs {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := importer.ForCompiler(fset, "gc", exports.open)
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(filepath.Base(dir), fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", dir, err)
+	}
+	return &Package{
+		ImportPath: filepath.Base(dir),
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// check parses and type-checks one package from source.
+func check(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*Package, error) {
+	files := make([]*ast.File, 0, len(goFiles))
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

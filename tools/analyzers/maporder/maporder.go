@@ -1,0 +1,172 @@
+// Package maporder rejects `for … range` statements over map types in
+// simulation code: Go randomizes map iteration order per run, so any map
+// iteration on a path that schedules events, sends frames, or emits output
+// silently breaks the repo's bit-identical determinism contract.
+//
+// Two escapes are recognized:
+//
+//   - The sorted-sink idiom: a loop whose body only accumulates keys or
+//     values into slices with append, where a later statement in the same
+//     block sorts one of those slices. This is the standard
+//     collect-then-sort pattern and is deterministic by construction.
+//   - An explicit `//simlint:deterministic <why>` comment on the range
+//     statement (same line or the line above), for loops whose result is
+//     genuinely independent of iteration order (e.g. accumulating into a
+//     set or counter).
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/analyzers/analysis"
+)
+
+// Analyzer is the maporder determinism check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flags range statements over maps whose iteration order can leak into simulation results",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		checkStmtLists(pass, f)
+	}
+	return nil, nil
+}
+
+// checkStmtLists visits every statement list in the file so that a range
+// statement can be inspected together with the statements that follow it
+// (the sorted-sink idiom needs the trailing sort call).
+func checkStmtLists(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for i, stmt := range list {
+			rs, ok := unwrapLabels(stmt).(*ast.RangeStmt)
+			if !ok {
+				continue
+			}
+			checkRange(pass, rs, list[i+1:])
+		}
+		return true
+	})
+}
+
+func unwrapLabels(s ast.Stmt) ast.Stmt {
+	for {
+		ls, ok := s.(*ast.LabeledStmt)
+		if !ok {
+			return s
+		}
+		s = ls.Stmt
+	}
+}
+
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if pass.SuppressedAt(rs.Pos()) {
+		return
+	}
+	if sortedSink(rs.Body, rest) {
+		return
+	}
+	pass.Reportf(rs.Pos(),
+		"range over map %s has nondeterministic iteration order; iterate a sorted copy of the keys or justify the site with a %s comment",
+		types.ExprString(rs.X), analysis.SuppressionComment)
+}
+
+// sortedSink reports whether the loop body only accumulates into slices via
+// append (possibly under if guards) and a following statement in the same
+// block sorts one of the accumulated slices.
+func sortedSink(body *ast.BlockStmt, rest []ast.Stmt) bool {
+	targets := map[string]bool{}
+	if !collectAppendTargets(body.List, targets) || len(targets) == 0 {
+		return false
+	}
+	for _, stmt := range rest {
+		if sortsOneOf(stmt, targets) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAppendTargets records the rendered LHS of every `x = append(x, …)`
+// in list, reporting false if the body contains anything else.
+func collectAppendTargets(list []ast.Stmt, targets map[string]bool) bool {
+	for _, stmt := range list {
+		switch s := unwrapLabels(stmt).(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return false
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "append" {
+				return false
+			}
+			targets[types.ExprString(s.Lhs[0])] = true
+		case *ast.IfStmt:
+			if s.Else != nil {
+				return false
+			}
+			if !collectAppendTargets(s.Body.List, targets) {
+				return false
+			}
+		case *ast.EmptyStmt:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// sortsOneOf reports whether stmt (or a statement nested in it) is a
+// sort.Xxx or slices.SortXxx call whose first argument renders to one of
+// the accumulation targets.
+func sortsOneOf(stmt ast.Stmt, targets map[string]bool) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		isSort := pkg.Name == "sort" || (pkg.Name == "slices" && len(sel.Sel.Name) >= 4 && sel.Sel.Name[:4] == "Sort")
+		if !isSort {
+			return true
+		}
+		if targets[types.ExprString(call.Args[0])] {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,96 @@
+// Fixture for the maporder analyzer: known-bad map ranges, the sorted-sink
+// idiom, the suppression comment, and non-map ranges that must not fire.
+package a
+
+import (
+	"sort"
+)
+
+// bad iterates a map directly: flagged.
+func bad(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map m has nondeterministic iteration order`
+		total += v
+	}
+	return total
+}
+
+// badKeyOnly is flagged even without loop variables.
+func badKeyOnly(m map[string]int) int {
+	n := 0
+	for range m { // want `range over map m`
+		n++
+	}
+	return n
+}
+
+// collectNoSort accumulates but never sorts: still flagged.
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map m`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortedSink is the collect-then-sort idiom: accepted.
+func sortedSink(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedSinkGuarded accumulates under an if guard and sorts later in the
+// block, with unrelated statements in between: accepted.
+func sortedSinkGuarded(m map[string]int) []string {
+	var keys []string
+	for k, v := range m {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// justified carries the suppression comment: accepted.
+func justified(m map[string]int) int {
+	n := 0
+	//simlint:deterministic counting map entries is order-independent
+	for range m {
+		n++
+	}
+	return n
+}
+
+// justifiedTrailing carries a same-line suppression comment: accepted.
+func justifiedTrailing(m map[string]int) int {
+	n := 0
+	for range m { //simlint:deterministic counting map entries is order-independent
+		n++
+	}
+	return n
+}
+
+// sliceRange must not fire: slices iterate in index order.
+func sliceRange(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+// namedMap ensures named map types are still caught.
+type table map[int]string
+
+func namedMap(t table) {
+	for range t { // want `range over map t`
+	}
+}

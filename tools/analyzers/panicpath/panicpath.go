@@ -1,0 +1,48 @@
+// Package panicpath forbids panic calls in packet-processing hot paths.
+// Wire marshal/unmarshal and forwarding code runs on every simulated frame,
+// often on attacker-shaped (fuzzed) input; a reachable panic there takes
+// down the whole simulation instead of dropping one malformed packet.
+// Hot-path code must return errors and let the caller count a drop.
+//
+// The driver applies this analyzer only to the wire-handling packages
+// (mrmtp, ipstack, ethernet, ipv4, udp, tcp); constructors and test
+// harnesses elsewhere may still panic on programmer error. There is
+// deliberately no suppression comment: if a condition truly cannot happen,
+// returning an error is still cheaper than proving the panic is safe.
+package panicpath
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/analyzers/analysis"
+)
+
+// Analyzer is the panicpath check.
+var Analyzer = &analysis.Analyzer{
+	Name: "panicpath",
+	Doc:  "flags panic calls in packet-processing hot paths; return an error instead",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := call.Fun.(*ast.Ident)
+			if !ok || ident.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := pass.TypesInfo.Uses[ident].(*types.Builtin); !isBuiltin {
+				return true // a local function shadowing the builtin
+			}
+			pass.Reportf(call.Pos(),
+				"panic in packet-processing code can take down the simulation on malformed input; return an error and let the caller drop the packet")
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package panicpath_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysistest"
+	"repro/tools/analyzers/panicpath"
+)
+
+func TestPanicPath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), panicpath.Analyzer, "a")
+}

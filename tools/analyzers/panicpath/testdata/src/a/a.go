@@ -1,0 +1,32 @@
+// Fixture for the panicpath analyzer: panic in wire-handling code is
+// flagged; error returns are the accepted shape; shadowing the builtin is
+// not confused with it.
+package a
+
+import "errors"
+
+var errTruncated = errors.New("truncated")
+
+// badMarshal panics on an unknown input: flagged.
+func badMarshal(kind byte, b []byte) []byte {
+	switch kind {
+	case 1:
+		return append(b, 1)
+	}
+	panic("unknown kind") // want `panic in packet-processing code`
+}
+
+// goodMarshal returns an error instead: accepted.
+func goodMarshal(kind byte, b []byte) ([]byte, error) {
+	switch kind {
+	case 1:
+		return append(b, 1), nil
+	}
+	return nil, errTruncated
+}
+
+// shadowed calls a local function named panic: not the builtin, accepted.
+func shadowed() {
+	panic := func(string) {}
+	panic("fine")
+}

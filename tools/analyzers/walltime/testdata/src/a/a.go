@@ -1,0 +1,33 @@
+// Fixture for the walltime analyzer: wall-clock reads and global math/rand
+// draws are flagged; Duration arithmetic, seeded generators, and justified
+// sites are not.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	_ = time.Now()                     // want `time\.Now reads the host wall clock`
+	time.Sleep(time.Second)            // want `time\.Sleep reads the host wall clock`
+	_ = time.Since(time.Time{})        // want `time\.Since reads the host wall clock`
+	_ = rand.Intn(4)                   // want `rand\.Intn draws from the shared global generator`
+	_ = rand.Float64()                 // want `rand\.Float64 draws from the shared global generator`
+	rand.Shuffle(2, func(i, j int) {}) // want `rand\.Shuffle draws from the shared global generator`
+}
+
+func good(rng *rand.Rand, d time.Duration) time.Duration {
+	_ = rng.Intn(4)
+	_ = rng.ExpFloat64()
+	_ = rand.New(rand.NewSource(7))
+	_ = time.Millisecond
+	var t time.Time
+	_ = t
+	return d * 2
+}
+
+func justified() {
+	//simlint:deterministic wall clock only decorates operator log lines
+	_ = time.Now()
+}

@@ -1,0 +1,90 @@
+// Package walltime forbids wall-clock and global-randomness APIs in
+// simulation code. The simulator's virtual clock (simnet.Sim.Now) and the
+// per-trial seeded *rand.Rand are the only legal sources of time and
+// randomness: reading time.Now or the shared math/rand generator makes a
+// run depend on the host machine and on whatever else touched the global
+// source, destroying bit-identical reproducibility.
+//
+// Constructors that wrap an explicit seed (rand.New, rand.NewSource,
+// rand.NewZipf and the v2 equivalents) are allowed, as are time.Duration
+// arithmetic and constants — only the wall-clock entry points and the
+// seed-less package-level generator functions are rejected. A site can opt
+// out with a `//simlint:deterministic <why>` comment.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/analyzers/analysis"
+)
+
+// Analyzer is the walltime determinism check.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "flags wall-clock time and global math/rand use in simulation packages",
+	Run:  run,
+}
+
+// deniedTime are the time package entry points that read or wait on the
+// host's wall clock.
+var deniedTime = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// allowedRand are the math/rand package-level functions that take an
+// explicit source or seed and therefore stay deterministic.
+var allowedRand = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "time":
+				if deniedTime[sel.Sel.Name] && !pass.SuppressedAt(sel.Pos()) {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the host wall clock; use the simulation clock (simnet.Sim.Now / After / Schedule) or justify with a %s comment",
+						sel.Sel.Name, analysis.SuppressionComment)
+				}
+			case "math/rand", "math/rand/v2":
+				if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); !isFunc {
+					return true // types and constants are fine
+				}
+				if allowedRand[sel.Sel.Name] || pass.SuppressedAt(sel.Pos()) {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"rand.%s draws from the shared global generator; use an injected seeded *rand.Rand or justify with a %s comment",
+					sel.Sel.Name, analysis.SuppressionComment)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysistest"
+	"repro/tools/analyzers/walltime"
+)
+
+func TestWallTime(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), walltime.Analyzer, "a")
+}
