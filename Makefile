@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint invariants race bench figures fuzz-smoke check
+.PHONY: all build test vet lint analyzers invariants race bench figures fuzz-smoke check
 
 all: check
 
@@ -17,10 +17,12 @@ test:
 vet:
 	$(GO) vet ./...
 
-# lint enforces the determinism contract (DESIGN.md §8) with the repo's own
-# analyzers — map iteration order, wall-clock/global-rand use, and panics in
-# packet-processing code. staticcheck runs too when installed; it is not
-# vendored, so a bare container skips it rather than failing.
+# lint enforces the determinism contract (DESIGN.md §8) and the hot-path
+# contract (DESIGN.md §9) with the repo's own analyzers — map iteration
+# order, wall-clock/global-rand use, panics in packet-processing code,
+# hot-path allocation discipline, frame ownership, and trial purity.
+# staticcheck runs too when installed; it is not vendored, so a bare
+# container skips it rather than failing.
 lint:
 	$(GO) run ./cmd/simlint ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
@@ -28,6 +30,11 @@ lint:
 	else \
 		echo "staticcheck not installed; skipping" ; \
 	fi
+
+# analyzers runs the lint passes' own golden-fixture suites (also covered
+# by `make test`; this target is the fast inner loop when writing a pass).
+analyzers:
+	$(GO) test ./tools/analyzers/...
 
 # invariants runs the suite with runtime assertions compiled in: event-heap
 # ordering, MR-MTP VID-table consistency, and FIB next-hop validity panic on

@@ -124,21 +124,30 @@ func artifacts(spec topology.Spec, seed int64, dir string) error {
 			return err
 		}
 		if err := rec.WritePCAP(w); err != nil {
-			w.Close()
+			_ = w.Close() // the WritePCAP failure is the error worth returning
 			return err
 		}
 		if err := w.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("%s: wrote %s (%d log lines) and %s (%d frames)\n",
+		emitf("%s: wrote %s (%d log lines) and %s (%d frames)\n",
 			proto, logPath, len(journal.Lines), pcapPath, rec.Count())
 	}
 	return nil
 }
 
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "closlab: "+format+"\n", args...)
+	_, _ = fmt.Fprintf(os.Stderr, "closlab: "+format+"\n", args...) // best effort: exiting anyway
 	os.Exit(1)
+}
+
+// emitf writes experiment output to stdout and dies if the write fails: the
+// printed grids and summaries ARE the artifacts (typically redirected to a
+// file), so a short write must not masquerade as a successful run.
+func emitf(format string, args ...any) {
+	if _, err := fmt.Printf(format, args...); err != nil {
+		fatalf("writing output: %v", err)
+	}
 }
 
 func columns(specs []topology.Spec) []string {
@@ -166,7 +175,7 @@ func failureGrid(title string, specs []topology.Spec, trials int, seed int64,
 			}
 		}
 	}
-	fmt.Println(grid.Render())
+	emitf("%s\n", grid.Render())
 	return nil
 }
 
@@ -205,7 +214,7 @@ func loss(specs []topology.Spec, trials int, seed int64, reverse bool) error {
 			}
 		}
 	}
-	fmt.Println(grid.Render())
+	emitf("%s\n", grid.Render())
 	return nil
 }
 
@@ -216,40 +225,40 @@ func keepAlive(specs []topology.Spec, _ int, seed int64) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("Figs. 9-10 — idle-link capture, %s, %v on L-1-1<->S-1-1:\n", proto, window)
-		fmt.Println(capture.Render(r.Summary))
-		fmt.Printf("liveness bytes total: %d\n\n", r.TotalKeepAliveBytes())
+		emitf("Figs. 9-10 — idle-link capture, %s, %v on L-1-1<->S-1-1:\n", proto, window)
+		emitf("%s\n", capture.Render(r.Summary))
+		emitf("liveness bytes total: %d\n\n", r.TotalKeepAliveBytes())
 	}
 	return nil
 }
 
 func nodeFailure(specs []topology.Spec, _ int, seed int64) error {
-	fmt.Println("Extended failure cases (paper §IX) — whole-router crash of S-1-1:")
-	fmt.Printf("%-14s %6s %14s %8s %12s\n", "protocol", "pods", "convergence", "blast", "ctl bytes")
+	emitf("Extended failure cases (paper §IX) — whole-router crash of S-1-1:\n")
+	emitf("%-14s %6s %14s %8s %12s\n", "protocol", "pods", "convergence", "blast", "ctl bytes")
 	for _, spec := range specs {
 		for _, proto := range protocols {
 			r, err := harness.RunNodeFailure(harness.DefaultOptions(spec, proto, seed), "S-1-1")
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%-14s %6d %14v %8d %12d\n", proto, spec.Pods, r.Convergence.Round(100*time.Microsecond), r.BlastRadius, r.ControlBytes)
+			emitf("%-14s %6d %14v %8d %12d\n", proto, spec.Pods, r.Convergence.Round(100*time.Microsecond), r.BlastRadius, r.ControlBytes)
 		}
 	}
-	fmt.Println()
+	emitf("\n")
 	return nil
 }
 
 func flapChurn(specs []topology.Spec, trials int, seed int64) error {
-	fmt.Println("Extended failure cases (paper §IX) — TC1 interface flapping 5x (down 500ms, up 4s):")
-	fmt.Printf("%-14s %10s %12s %12s %10s\n", "protocol", "msgs", "ctl bytes", "route evts", "recovered")
+	emitf("Extended failure cases (paper §IX) — TC1 interface flapping 5x (down 500ms, up 4s):\n")
+	emitf("%-14s %10s %12s %12s %10s\n", "protocol", "msgs", "ctl bytes", "route evts", "recovered")
 	for _, proto := range protocols {
 		s, err := harness.RunFlapTrials(harness.DefaultOptions(specs[0], proto, seed), 5, 500*time.Millisecond, 4*time.Second, trials)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-14s %10.0f %12.0f %12.0f %10v\n", proto, s.ControlMsgs, s.ControlBytes, s.RouteEvents, s.Recovered)
+		emitf("%-14s %10.0f %12.0f %12.0f %10v\n", proto, s.ControlMsgs, s.ControlBytes, s.RouteEvents, s.Recovered)
 	}
-	fmt.Println()
+	emitf("\n")
 	return nil
 }
 
@@ -263,9 +272,9 @@ func configComparison(specs []topology.Spec, _ int, _ int64) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("Listings 1-2 — configuration burden, %d-PoD (%d routers):\n", spec.Pods, cs.Routers)
-		fmt.Printf("  BGP/BFD per-router configs: %6d bytes, %4d lines total\n", cs.BGPBytes, cs.BGPLines)
-		fmt.Printf("  MR-MTP fabric-wide JSON:    %6d bytes, %4d lines\n\n", cs.MRMTPBytes, cs.MRMTPLines)
+		emitf("Listings 1-2 — configuration burden, %d-PoD (%d routers):\n", spec.Pods, cs.Routers)
+		emitf("  BGP/BFD per-router configs: %6d bytes, %4d lines total\n", cs.BGPBytes, cs.BGPLines)
+		emitf("  MR-MTP fabric-wide JSON:    %6d bytes, %4d lines\n\n", cs.MRMTPBytes, cs.MRMTPLines)
 	}
 	return nil
 }

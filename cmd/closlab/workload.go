@@ -41,12 +41,12 @@ func workloadExperiment(specs []topology.Spec, trials int, seed int64, dir strin
 				if err != nil {
 					return err
 				}
-				fmt.Print(harness.RenderWorkload(s))
+				emitf("%s", harness.RenderWorkload(s))
 				runs = append(runs, workloadRun{summary: s, trials: rs})
 			}
 		}
 	}
-	fmt.Println()
+	emitf("\n")
 
 	if err := writeWorkloadFCTCSV(filepath.Join(dir, "workload-fct.csv"), runs); err != nil {
 		return err
@@ -60,17 +60,19 @@ func workloadExperiment(specs []topology.Spec, trials int, seed int64, dir strin
 	if err := writeWorkloadJSON(filepath.Join(dir, "workload-summary.json"), runs); err != nil {
 		return err
 	}
-	fmt.Printf("workload: wrote workload-{fct,imbalance,telemetry}.csv and workload-summary.json to %s\n", dir)
+	emitf("workload: wrote workload-{fct,imbalance,telemetry}.csv and workload-summary.json to %s\n", dir)
 	return nil
 }
 
 func writeWorkloadFCTCSV(path string, runs []workloadRun) error {
 	var b strings.Builder
-	b.WriteString("protocol,pods,scenario,bucket,flows,completed,mean_ms,p50_ms,p95_ms,p99_ms,max_ms\n")
+	// strings.Builder writes cannot fail; the blank assignments make the
+	// discarded results explicit rather than accidental.
+	_, _ = b.WriteString("protocol,pods,scenario,bucket,flows,completed,mean_ms,p50_ms,p95_ms,p99_ms,max_ms\n")
 	for _, r := range runs {
 		s := r.summary
 		for _, bk := range s.Buckets {
-			fmt.Fprintf(&b, "%s,%d,%s,%s,%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+			_, _ = fmt.Fprintf(&b, "%s,%d,%s,%s,%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f\n",
 				s.Protocol, s.Pods, s.Scenario, bk.Label, bk.Flows, bk.Completed,
 				bk.FCT.Mean, bk.FCT.P50, bk.FCT.P95, bk.FCT.P99, bk.FCT.Max)
 		}
@@ -80,7 +82,7 @@ func writeWorkloadFCTCSV(path string, runs []workloadRun) error {
 
 func writeWorkloadImbalanceCSV(path string, runs []workloadRun) error {
 	var b strings.Builder
-	b.WriteString("protocol,pods,scenario,trial,group,max_over_mean,jain,uplink_bytes\n")
+	_, _ = b.WriteString("protocol,pods,scenario,trial,group,max_over_mean,jain,uplink_bytes\n")
 	for _, r := range runs {
 		s := r.summary
 		for ti, tr := range r.trials {
@@ -89,7 +91,7 @@ func writeWorkloadImbalanceCSV(path string, runs []workloadRun) error {
 				for _, n := range gl.Bytes {
 					parts = append(parts, fmt.Sprintf("%d", n))
 				}
-				fmt.Fprintf(&b, "%s,%d,%s,%d,%s,%.4f,%.4f,%s\n",
+				_, _ = fmt.Fprintf(&b, "%s,%d,%s,%d,%s,%.4f,%.4f,%s\n",
 					s.Protocol, s.Pods, s.Scenario, ti, gl.Name,
 					gl.MaxOverMean, gl.Jain, strings.Join(parts, ";"))
 			}
@@ -109,7 +111,7 @@ func writeWorkloadTelemetryCSV(path string, runs []workloadRun) error {
 		}
 	}
 	var b strings.Builder
-	b.WriteString("protocol,pods,scenario,link,t_us,tx_bytes,util,queued,drops\n")
+	_, _ = b.WriteString("protocol,pods,scenario,link,t_us,tx_bytes,util,queued,drops\n")
 	for _, r := range runs {
 		if r.summary.Pods != minPods || len(r.trials) == 0 {
 			continue
@@ -117,7 +119,7 @@ func writeWorkloadTelemetryCSV(path string, runs []workloadRun) error {
 		s := r.summary
 		for _, sr := range r.trials[0].Series {
 			for _, smp := range sr.Samples {
-				fmt.Fprintf(&b, "%s,%d,%s,%s,%d,%d,%.4f,%d,%d\n",
+				_, _ = fmt.Fprintf(&b, "%s,%d,%s,%s,%d,%d,%.4f,%d,%d\n",
 					s.Protocol, s.Pods, s.Scenario, sr.Name,
 					smp.At/time.Microsecond, smp.TxBytes, smp.Util, smp.Queued, smp.Drops)
 			}

@@ -1,46 +1,70 @@
-// Command simlint is the repo's determinism lint driver: a multichecker
-// that runs the custom analyzers under tools/analyzers over the module and
-// fails if any site violates the determinism contract (DESIGN.md).
+// Command simlint is the repo's lint driver: a multichecker that runs the
+// custom analyzers under tools/analyzers over the module and fails if any
+// site violates the determinism contract (DESIGN.md §8) or the hot-path
+// contract (DESIGN.md §9).
 //
 // Usage:
 //
-//	simlint [packages]
+//	simlint [-json] [packages]
 //
 // With no arguments it checks ./... . Each analyzer applies only to the
 // packages where its rule is a contract rather than a style preference:
 //
-//	maporder   repro/internal/...  (simulation + protocol code)
-//	walltime   repro/internal/...
-//	panicpath  the packet-processing packages (mrmtp, ipstack, ethernet,
-//	           ipv4, udp, tcp)
+//	maporder     repro/internal/...  (simulation + protocol code)
+//	walltime     repro/internal/...
+//	sharedstate  repro/internal/...  (everything a trial worker can reach)
+//	panicpath    the packet-processing packages (mrmtp, ipstack, ethernet,
+//	             ipv4, udp, tcp); cmd/ stays out of scope — its writers
+//	             return errors, which the errcheck sweep makes them handle
+//	allocfree    the packet-processing packages plus simnet (hot-path
+//	             roots are the //simlint:hotpath annotations)
+//	framealias   the packet-processing packages plus simnet (frame
+//	             ownership at the Port.Send boundary)
 //
-// Diagnostics print as file:line:col: message (analyzer); the exit status
-// is 1 if anything was reported, 2 on operational failure.
+// Diagnostics print as file:line:col: message (analyzer); with -json they
+// are emitted instead as a JSON array of {file,line,col,analyzer,message}
+// objects on stdout. The exit status is 1 if anything was reported, 2 on
+// operational failure.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
+	"repro/tools/analyzers/allocfree"
 	"repro/tools/analyzers/analysis"
+	"repro/tools/analyzers/framealias"
 	"repro/tools/analyzers/load"
 	"repro/tools/analyzers/maporder"
 	"repro/tools/analyzers/panicpath"
+	"repro/tools/analyzers/sharedstate"
 	"repro/tools/analyzers/walltime"
 )
 
-// hotPathPkgs are the packages whose code runs per simulated packet; only
-// these carry the panicpath rule.
-var hotPathPkgs = map[string]bool{
+// packetPkgs are the packages whose code runs per simulated packet; they
+// carry the panicpath rule and, together with simnet, the hot-path rules.
+var packetPkgs = map[string]bool{
 	"repro/internal/mrmtp":    true,
 	"repro/internal/ipstack":  true,
 	"repro/internal/ethernet": true,
 	"repro/internal/ipv4":     true,
 	"repro/internal/udp":      true,
 	"repro/internal/tcp":      true,
+}
+
+func isPacketPkg(p string) bool { return packetPkgs[p] }
+
+// isHotPkg additionally covers the simulator core: Port.Send and frame
+// delivery are the innermost loop of every experiment.
+func isHotPkg(p string) bool { return packetPkgs[p] || p == "repro/internal/simnet" }
+
+func isInternal(importPath string) bool {
+	return strings.HasPrefix(importPath, "repro/internal/")
 }
 
 // checks pairs each analyzer with its package scope.
@@ -50,23 +74,25 @@ var checks = []struct {
 }{
 	{maporder.Analyzer, isInternal},
 	{walltime.Analyzer, isInternal},
-	{panicpath.Analyzer, func(p string) bool { return hotPathPkgs[p] }},
-}
-
-func isInternal(importPath string) bool {
-	return strings.HasPrefix(importPath, "repro/internal/")
+	{sharedstate.Analyzer, isInternal},
+	{panicpath.Analyzer, isPacketPkg},
+	{allocfree.Analyzer, isHotPkg},
+	{framealias.Analyzer, isHotPkg},
 }
 
 // finding is one printable diagnostic.
 type finding struct {
-	file      string
-	line, col int
-	message   string
-	analyzer  string
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
-	patterns := os.Args[1:]
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	flag.Parse()
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -102,8 +128,8 @@ func main() {
 					file = rel
 				}
 				findings = append(findings, finding{
-					file: file, line: pos.Line, col: pos.Column,
-					message: d.Message, analyzer: name,
+					File: file, Line: pos.Line, Col: pos.Column,
+					Message: d.Message, Analyzer: name,
 				})
 			}
 			if _, err := c.analyzer.Run(pass); err != nil {
@@ -115,19 +141,31 @@ func main() {
 
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
-		if a.file != b.file {
-			return a.file < b.file
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		if a.line != b.line {
-			return a.line < b.line
+		if a.Line != b.Line {
+			return a.Line < b.Line
 		}
-		if a.col != b.col {
-			return a.col < b.col
+		if a.Col != b.Col {
+			return a.Col < b.Col
 		}
-		return a.analyzer < b.analyzer
+		return a.Analyzer < b.Analyzer
 	})
-	for _, f := range findings {
-		fmt.Printf("%s:%d:%d: %s (%s)\n", f.file, f.line, f.col, f.message, f.analyzer)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(findings))

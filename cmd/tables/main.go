@@ -49,7 +49,7 @@ func main() {
 			if err != nil {
 				fatalf("%v", err)
 			}
-			fmt.Println(string(blob))
+			emitf("%s\n", string(blob))
 			return
 		}
 		devs := []string{*device}
@@ -64,7 +64,7 @@ func main() {
 			if err != nil {
 				fatalf("%v", err)
 			}
-			fmt.Printf("=== %s ===\n%s\n", name, cfg)
+			emitf("=== %s ===\n%s\n", name, cfg)
 		}
 		return
 	}
@@ -86,12 +86,12 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		fmt.Printf("traceroute VID %d -> VID %d over %s:\n%s", srcVID, dstVID, p, harness.RenderHops(hops))
+		emitf("traceroute VID %d -> VID %d over %s:\n%s", srcVID, dstVID, p, harness.RenderHops(hops))
 		return
 	}
 
 	if *sizes {
-		fmt.Printf("%-8s %s\n", "router", "table entries")
+		emitf("%-8s %s\n", "router", "table entries")
 		for _, d := range f.Topo.Routers() {
 			n := 0
 			if p == harness.ProtoMRMTP {
@@ -99,7 +99,7 @@ func main() {
 			} else {
 				n = f.Stacks[d.Name].FIB.Len()
 			}
-			fmt.Printf("%-8s %d\n", d.Name, n)
+			emitf("%-8s %d\n", d.Name, n)
 		}
 		return
 	}
@@ -115,24 +115,33 @@ func main() {
 		if f.Topo.Device(name) == nil {
 			fatalf("no device %q", name)
 		}
-		fmt.Printf("=== %s ===\n", name)
+		emitf("=== %s ===\n", name)
 		switch {
 		case *neighbors && p == harness.ProtoMRMTP:
-			fmt.Println(f.Routers[name].Summary())
-			fmt.Print(f.Routers[name].RenderNeighbors())
-			fmt.Print(f.Routers[name].RenderUnreachable())
+			emitf("%s\n", f.Routers[name].Summary())
+			emitf("%s", f.Routers[name].RenderNeighbors())
+			emitf("%s", f.Routers[name].RenderUnreachable())
 		case *neighbors:
-			fmt.Print(f.Speakers[name].RenderSummary())
+			emitf("%s", f.Speakers[name].RenderSummary())
 		case p == harness.ProtoMRMTP:
-			fmt.Print(f.Routers[name].RenderVIDTable())
+			emitf("%s", f.Routers[name].RenderVIDTable())
 		default:
-			fmt.Print(f.Stacks[name].FIB.Render())
+			emitf("%s", f.Stacks[name].FIB.Render())
 		}
-		fmt.Println()
+		emitf("\n")
 	}
 }
 
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "tables: "+format+"\n", args...)
+	_, _ = fmt.Fprintf(os.Stderr, "tables: "+format+"\n", args...) // best effort: exiting anyway
 	os.Exit(1)
+}
+
+// emitf writes listing output to stdout and dies if the write fails: the
+// dumped tables and configs are the command's artifact (usually redirected
+// to a file), so a short write must not look like success.
+func emitf(format string, args ...any) {
+	if _, err := fmt.Printf(format, args...); err != nil {
+		fatalf("writing output: %v", err)
+	}
 }

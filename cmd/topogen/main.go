@@ -37,7 +37,7 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		fmt.Printf("%s: valid MR-MTP configuration (%d leaves, %d top spines, %d pods)\n",
+		emitf("%s: valid MR-MTP configuration (%d leaves, %d top spines, %d pods)\n",
 			*validate, len(cfg.Topology.Leaves), len(cfg.Topology.TopSpines), len(cfg.Topology.Pods))
 		return
 	}
@@ -54,11 +54,11 @@ func main() {
 		fatalf("%v", err)
 	}
 	if *summary {
-		fmt.Printf("fabric: %d PoDs, %d routers (%d leaves, %d pod spines, %d top spines), %d servers, %d links\n",
+		emitf("fabric: %d PoDs, %d routers (%d leaves, %d pod spines, %d top spines), %d servers, %d links\n",
 			spec.Pods, len(topo.Routers()), len(topo.Leaves), len(topo.Spines), len(topo.Tops),
 			len(topo.Servers), len(topo.Links))
 		for _, leaf := range topo.Leaves {
-			fmt.Printf("  %s: VID %d, subnet %s, ASN %d\n", leaf.Name, leaf.VID, leaf.ServerSubnet, leaf.ASN)
+			emitf("  %s: VID %d, subnet %s, ASN %d\n", leaf.Name, leaf.VID, leaf.ServerSubnet, leaf.ASN)
 		}
 		return
 	}
@@ -66,10 +66,19 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Println(string(blob))
+	emitf("%s\n", string(blob))
 }
 
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "topogen: "+format+"\n", args...)
+	_, _ = fmt.Fprintf(os.Stderr, "topogen: "+format+"\n", args...) // best effort: exiting anyway
 	os.Exit(1)
+}
+
+// emitf writes the generated artifact to stdout and dies if the write fails:
+// topogen's JSON is meant to be redirected to a config file, so a short
+// write must not exit zero.
+func emitf(format string, args ...any) {
+	if _, err := fmt.Printf(format, args...); err != nil {
+		fatalf("writing output: %v", err)
+	}
 }

@@ -143,3 +143,24 @@ func TestLocalFailureAlsoDetected(t *testing.T) {
 		t.Error("a's own session did not time out")
 	}
 }
+
+// TestTransmitAllocs pins the keep-alive TX budget. Each control packet
+// costs the 24-byte marshal buffer plus the stack's single TX-path frame
+// allocation; event bookkeeping amortizes to zero once the simulator
+// freelists warm up (DESIGN.md §9). The 100ms-interval BFD churn dominates
+// the BGP/BFD configuration's event count, so a regression here slows every
+// figure run.
+func TestTransmitAllocs(t *testing.T) {
+	pn := newPair(t)
+	pn.sim.RunFor(2 * time.Second) // sessions Up, ARP resolved, freelists warm
+	avg := testing.AllocsPerRun(200, func() {
+		pn.sa.transmit()
+		// Run past the link latency so the delivery fires and its event
+		// record recycles instead of queueing. (A full drain would never
+		// return: the periodic timers re-arm forever.)
+		pn.sim.RunFor(300 * time.Microsecond)
+	})
+	if avg > 3 {
+		t.Errorf("BFD transmit allocates %.1f/op, want <= 3 (control packet + frame + delivery slack)", avg)
+	}
+}

@@ -99,7 +99,16 @@ type Fabric struct {
 	Routers  map[string]*mrmtp.Router  // MR-MTP mode
 	Stacks   map[string]*ipstack.Stack // servers always; routers in BGP modes
 
-	started bool
+	started  bool
+	probeSeq uint16 // last ICMP probe ID handed out (Ping/Traceroute)
+}
+
+// nextProbeID issues a fresh ICMP echo ID. The counter lives on the fabric
+// rather than at package level so concurrent trials — each with its own
+// Fabric — never share state (the sharedstate lint rule, DESIGN.md §9).
+func (f *Fabric) nextProbeID() uint16 {
+	f.probeSeq++
+	return f.probeSeq
 }
 
 // Build realizes the fabric. Call Start (or WarmUp) before experiments.
@@ -123,6 +132,7 @@ func Build(opts Options) (*Fabric, error) {
 		BFDs:     make(map[string]*bfd.Manager),
 		Routers:  make(map[string]*mrmtp.Router),
 		Stacks:   make(map[string]*ipstack.Stack),
+		probeSeq: 0x4d54, // "MT": probe IDs stay recognizable in captures
 	}
 
 	// Nodes and ports, in sorted-name order: Devices is a map, and letting

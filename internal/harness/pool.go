@@ -11,7 +11,7 @@ import (
 // identical either way: each trial's seed is a pure function of its index
 // (TrialSeed) and results are collected by index, so a parallel run and a
 // sequential run of the same configuration summarize bit-identically.
-var Workers = runtime.GOMAXPROCS(0)
+var Workers = runtime.GOMAXPROCS(0) //simlint:shared parallelism knob set by main before trials start, read-only inside runTrials
 
 // TrialSeed derives trial i's seed from the base seed. The stride is a
 // prime, so that trials sample distinct timer phases instead of clustering,

@@ -22,8 +22,6 @@ type PingResult struct {
 	RTT time.Duration
 }
 
-var probeID uint16 = 0x4d54 // "MT"
-
 // Ping sends one ICMP echo from the server behind srcVID to the server
 // behind dstVID, running the simulation up to timeout.
 func Ping(f *Fabric, srcVID, dstVID int, timeout time.Duration) (PingResult, error) {
@@ -35,8 +33,7 @@ func Ping(f *Fabric, srcVID, dstVID int, timeout time.Duration) (PingResult, err
 	if err != nil {
 		return PingResult{}, err
 	}
-	probeID++
-	id := probeID
+	id := f.nextProbeID()
 	var res PingResult
 	start := f.Sim.Now()
 	src.ListenICMP(func(from netaddr.IPv4, m icmp.Message) {
@@ -68,8 +65,7 @@ func Traceroute(f *Fabric, srcVID, dstVID int, maxTTL int) ([]Hop, error) {
 	if err != nil {
 		return nil, err
 	}
-	probeID++
-	id := probeID
+	id := f.nextProbeID()
 	type answer struct {
 		from    netaddr.IPv4
 		seq     uint16

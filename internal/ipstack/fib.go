@@ -41,6 +41,7 @@ type Route struct {
 // FIB is a longest-prefix-match forwarding table.
 type FIB struct {
 	routes []Route
+	live   []NextHop // Lookup's scratch: reused so per-packet lookups do not allocate
 }
 
 // Replace installs a route, replacing any same-prefix route from the same
@@ -85,6 +86,12 @@ func (f *FIB) Len() int { return len(f.routes) }
 // prefixes, then lower metrics. Next hops whose interface is down are
 // filtered out (kernel dead-nexthop behaviour); a route with no usable next
 // hops is skipped entirely.
+//
+// The returned route's NextHops slice is scratch space owned by the FIB: it
+// is valid until the next Lookup call. Per-packet callers (routeOut) consume
+// it immediately; anyone who needs to keep it must copy.
+//
+//simlint:hotpath
 func (f *FIB) Lookup(dst netaddr.IPv4) (Route, bool) {
 	best := -1
 	for i, r := range f.routes {
@@ -104,12 +111,13 @@ func (f *FIB) Lookup(dst netaddr.IPv4) (Route, bool) {
 		return Route{}, false
 	}
 	r := f.routes[best]
-	live := make([]NextHop, 0, len(r.NextHops))
+	live := f.live[:0]
 	for _, nh := range r.NextHops {
 		if nh.Iface.Usable() {
 			live = append(live, nh)
 		}
 	}
+	f.live = live
 	r.NextHops = live
 	return r, true
 }

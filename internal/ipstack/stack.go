@@ -145,6 +145,8 @@ func (s *Stack) SendICMP(src, dst netaddr.IPv4, m icmp.Message) {
 // SendUDP emits a datagram from a local address. The Ethernet, IPv4, and
 // UDP layers are composed into a single buffer: per-packet cost is one
 // allocation, which keeps the hot BFD/traffic-generator paths cheap.
+//
+//simlint:hotpath
 func (s *Stack) SendUDP(src, dst netaddr.IPv4, srcPort, dstPort uint16, payload []byte) {
 	h, frame := s.newIPFrame(src, dst, ipv4.ProtoUDP, ipv4.DefaultTTL, udp.HeaderLen+len(payload))
 	dgm := frame[ethernet.HeaderLen+ipv4.HeaderLen:]
@@ -176,6 +178,8 @@ func (s *Stack) PortUp(p *simnet.Port) {
 }
 
 // HandleFrame implements simnet.Handler.
+//
+//simlint:hotpath
 func (s *Stack) HandleFrame(p *simnet.Port, frame []byte) {
 	f, err := ethernet.Unmarshal(frame)
 	if err != nil {
@@ -240,7 +244,7 @@ func (s *Stack) handleIPv4(p *simnet.Port, payload []byte) {
 	}
 	// Forward: copy into a fresh frame buffer (the received frame belongs
 	// to its own delivery) and decrement the TTL in place.
-	buf := make([]byte, ethernet.HeaderLen+len(payload))
+	buf := make([]byte, ethernet.HeaderLen+len(payload)) //simlint:alloc forward copy: the fresh frame buffer handed to Port.Send
 	copy(buf[ethernet.HeaderLen:], payload)
 	if err := ipv4.Forward(buf[ethernet.HeaderLen:]); err != nil {
 		s.Stats.TTLExpired++
@@ -284,6 +288,8 @@ func (s *Stack) deliver(pkt ipv4.Packet) {
 }
 
 // sendTCPSegment is the TCP endpoint's output path.
+//
+//simlint:hotpath
 func (s *Stack) sendTCPSegment(src, dst netaddr.IPv4, segment []byte) {
 	s.sendIP(src, dst, ipv4.ProtoTCP, segment)
 }
@@ -295,6 +301,8 @@ func (s *Stack) SendIP(src, dst netaddr.IPv4, proto byte, payload []byte) {
 
 // SendIPTTL emits a locally originated IP packet with an explicit TTL
 // (traceroute probes).
+//
+//simlint:hotpath
 func (s *Stack) SendIPTTL(src, dst netaddr.IPv4, proto, ttl byte, payload []byte) {
 	h, frame := s.newIPFrame(src, dst, proto, ttl, len(payload))
 	copy(frame[ethernet.HeaderLen+ipv4.HeaderLen:], payload)
@@ -313,7 +321,7 @@ func (s *Stack) sendIP(src, dst netaddr.IPv4, proto byte, payload []byte) {
 func (s *Stack) newIPFrame(src, dst netaddr.IPv4, proto, ttl byte, transportLen int) (ipv4.Header, []byte) {
 	s.ipID++
 	h := ipv4.Header{ID: s.ipID, TTL: ttl, Protocol: proto, Src: src, Dst: dst}
-	frame := make([]byte, ethernet.HeaderLen+ipv4.HeaderLen+transportLen)
+	frame := make([]byte, ethernet.HeaderLen+ipv4.HeaderLen+transportLen) //simlint:alloc the one allocation of the TX path (DESIGN.md §7)
 	h.PutHeader(frame[ethernet.HeaderLen:], transportLen)
 	return h, frame
 }
@@ -355,7 +363,8 @@ func (s *Stack) transmit(ifc *Iface, nextHop netaddr.IPv4, frame []byte) {
 	if !ok {
 		// Queue behind an ARP request on every interface whose subnet
 		// covers the target (a rack subnet can span several ports).
-		s.arpPending[nextHop] = append(s.arpPending[nextHop], frame)
+		//simlint:frameown ARP miss returns before the Send below; ownership moves to arpPending until flushARPPending hands it off
+		s.arpPending[nextHop] = append(s.arpPending[nextHop], frame) //simlint:alloc ARP-miss slow path; the queue drains at resolution
 		asked := false
 		for _, cand := range s.ifaceList {
 			if cand.Subnet.Contains(nextHop) && cand.Usable() {

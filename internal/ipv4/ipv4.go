@@ -57,6 +57,8 @@ var (
 )
 
 // Checksum computes the RFC 1071 internet checksum over b.
+//
+//simlint:hotpath
 func Checksum(b []byte) uint16 {
 	var sum uint32
 	for i := 0; i+1 < len(b); i += 2 {
@@ -73,8 +75,10 @@ func Checksum(b []byte) uint16 {
 
 // Marshal renders the packet to wire format, computing TotalLen and the
 // header checksum.
+//
+//simlint:hotpath
 func (p *Packet) Marshal() []byte {
-	b := make([]byte, HeaderLen+len(p.Payload))
+	b := make([]byte, HeaderLen+len(p.Payload)) //simlint:alloc standalone packet buffer; the TX fast path composes via PutHeader instead
 	p.Header.PutHeader(b, len(p.Payload))
 	copy(b[HeaderLen:], p.Payload)
 	return b
@@ -83,6 +87,8 @@ func (p *Packet) Marshal() []byte {
 // PutHeader writes an option-less header for a payload of payloadLen bytes
 // into b[:HeaderLen], computing TotalLen and the checksum. It lets callers
 // compose the packet directly inside a larger frame buffer.
+//
+//simlint:hotpath
 func (h *Header) PutHeader(b []byte, payloadLen int) {
 	b[0] = 0x45 // version 4, IHL 5
 	b[1] = h.TOS
@@ -108,6 +114,8 @@ func (h *Header) PutHeader(b []byte, payloadLen int) {
 }
 
 // Unmarshal parses and validates a wire-format packet. The payload aliases b.
+//
+//simlint:hotpath
 func Unmarshal(b []byte) (Packet, error) {
 	if len(b) < HeaderLen {
 		return Packet{}, ErrTruncated
@@ -141,6 +149,8 @@ func Unmarshal(b []byte) (Packet, error) {
 // Forward decrements the TTL in a wire-format packet in place, fixing up the
 // checksum incrementally (RFC 1141). It returns ErrTTLExceeded when the
 // packet must be dropped.
+//
+//simlint:hotpath
 func Forward(b []byte) error {
 	if len(b) < HeaderLen {
 		return ErrTruncated

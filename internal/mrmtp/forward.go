@@ -20,6 +20,8 @@ import (
 func (r *Router) GatewayIP() netaddr.IPv4 { return r.Cfg.RackSubnet.Host(254) }
 
 // handleRackFrame processes server-side traffic at a ToR.
+//
+//simlint:hotpath
 func (r *Router) handleRackFrame(p *simnet.Port, f ethernet.Frame) {
 	switch f.EtherType {
 	case ethernet.TypeARP:
@@ -57,6 +59,8 @@ func (r *Router) handleRackARP(p *simnet.Port, f ethernet.Frame) {
 }
 
 // ingressIP handles an IP packet entering the fabric from a server.
+//
+//simlint:hotpath
 func (r *Router) ingressIP(ipWire []byte) {
 	pkt, err := ipv4.Unmarshal(ipWire)
 	if err != nil {
@@ -99,6 +103,8 @@ func (r *Router) ingressIP(ipWire []byte) {
 
 // handleData forwards (or delivers) an encapsulated packet arriving on a
 // fabric port.
+//
+//simlint:hotpath
 func (r *Router) handleData(p *simnet.Port, payload []byte) {
 	h, ipWire, err := ParseData(payload)
 	if err != nil {
@@ -129,6 +135,8 @@ func (r *Router) handleData(p *simnet.Port, payload []byte) {
 
 // forwardData routes an encapsulated packet: down the tree when the VID
 // table knows the root, otherwise up by load-balanced default.
+//
+//simlint:hotpath
 func (r *Router) forwardData(payload []byte, dstRoot byte, key flowhash.Key) {
 	// Downward: a VID entry's acquisition port points at the root.
 	for _, vidKey := range r.byRoot[dstRoot] {
@@ -168,7 +176,7 @@ func (r *Router) deliverToRack(ipWire []byte, dst netaddr.IPv4) {
 		port.Send(f.Marshal())
 		return
 	}
-	r.arpPending[dst] = append(r.arpPending[dst], append([]byte(nil), ipWire...))
+	r.arpPending[dst] = append(r.arpPending[dst], append([]byte(nil), ipWire...)) //simlint:alloc ARP-miss slow path; the copy detaches the queued packet from the delivered frame
 	for _, p := range r.Node.Ports[1:] {
 		if !r.isServerPort(p.Index) {
 			continue

@@ -259,6 +259,10 @@ func (r *Router) scheduleAdvertise(adj *adjacency) {
 
 // --- transmission helpers -------------------------------------------------
 
+// sendOn transmits an MR-MTP payload on an adjacency, stamping lastTx so the
+// hello timer can suppress redundant keep-alives.
+//
+//simlint:hotpath
 func (r *Router) sendOn(adj *adjacency, payload []byte) {
 	adj.lastTx = r.sim().Now()
 	adj.port.Send(frame(adj.port.MAC, payload))

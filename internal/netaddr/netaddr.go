@@ -16,7 +16,7 @@ type MAC [6]byte
 
 // Broadcast is the all-ones MAC address. MR-MTP uses it as the destination
 // of every frame (links are point-to-point, so no ARP is needed).
-var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff} //simlint:shared effectively const; a [6]byte value nothing writes
 
 // String renders the address in the canonical aa:bb:cc:dd:ee:ff form.
 func (m MAC) String() string {
@@ -47,7 +47,7 @@ func ParseMAC(s string) (MAC, error) {
 type IPv4 [4]byte
 
 // IPv4Zero is the unspecified address 0.0.0.0.
-var IPv4Zero IPv4
+var IPv4Zero IPv4 //simlint:shared effectively const; the zero [4]byte value nothing writes
 
 // MakeIPv4 assembles an address from its four dotted-quad octets.
 func MakeIPv4(a, b, c, d byte) IPv4 { return IPv4{a, b, c, d} }

@@ -53,6 +53,7 @@ func (s *Sim) checkHeap(i int) {
 func (s *Sim) checkEntry(j int) {
 	q := s.queue
 	if int(q[j].ev.idx) != j {
+		//simlint:alloc invariant failure path; boxes only when the heap is already corrupt
 		invariant.Assertf(false,
 			"simnet: heap entry %d back-pointer is %d (at=%v seq=%d)",
 			j, q[j].ev.idx, q[j].at, q[j].seq)
@@ -60,6 +61,7 @@ func (s *Sim) checkEntry(j int) {
 	if j > 0 {
 		parent := (j - 1) / 2
 		if entryLess(&q[j], &q[parent]) {
+			//simlint:alloc invariant failure path; boxes only when the heap is already corrupt
 			invariant.Assertf(false,
 				"simnet: heap order broken: entry %d (at=%v seq=%d) < parent %d (at=%v seq=%d)",
 				j, q[j].at, q[j].seq, parent, q[parent].at, q[parent].seq)

@@ -204,11 +204,21 @@ func (p *Port) Peer() *Port {
 // or unwired port are counted and dropped; otherwise delivery is scheduled
 // after the link latency and checked against the receiving port's status at
 // arrival time (frames in flight when a failure hits are lost).
+//
+// Send takes ownership of frame: the slice rides in the scheduled delivery
+// event, so the caller must neither retain nor modify it afterwards (the
+// framealias lint rule).
+//
+//simlint:hotpath
 func (p *Port) Send(frame []byte) {
 	sim := p.Node.Sim
 	if !p.up || p.Link == nil {
 		p.Counters.TxDropped++
-		sim.tracef("%s: tx drop (port down), %d bytes", p.Name(), len(frame))
+		// The Trace-nil guard sits out here so the disabled-tracing fast
+		// path neither renders the port name nor boxes the arguments.
+		if sim.Trace != nil {
+			sim.tracef("%s: tx drop (port down), %d bytes", p.Name(), len(frame)) //simlint:alloc trace-only, guarded by Trace != nil
+		}
 		return
 	}
 	p.Counters.TxFrames++
@@ -219,7 +229,9 @@ func (p *Port) Send(frame []byte) {
 	}
 	if link.lossRate > 0 && sim.rng.Float64() < link.lossRate {
 		link.Lost++
-		sim.tracef("%s: frame lost in transit (%d bytes)", p.Name(), len(frame))
+		if sim.Trace != nil {
+			sim.tracef("%s: frame lost in transit (%d bytes)", p.Name(), len(frame)) //simlint:alloc trace-only, guarded by Trace != nil
+		}
 		return
 	}
 	// Serialization and queueing: with finite bandwidth the frame waits
@@ -231,7 +243,9 @@ func (p *Port) Send(frame []byte) {
 			link.Overflowed++
 			d.overflows++
 			d.overflowBytes += uint64(len(frame))
-			sim.tracef("%s: egress queue overflow (%d bytes)", p.Name(), len(frame))
+			if sim.Trace != nil {
+				sim.tracef("%s: egress queue overflow (%d bytes)", p.Name(), len(frame)) //simlint:alloc trace-only, guarded by Trace != nil
+			}
 			return
 		}
 		txTime := time.Duration(int64(len(frame)) * 8 * int64(time.Second) / link.bandwidth)
@@ -256,10 +270,14 @@ func (p *Port) Send(frame []byte) {
 
 // deliver completes a frame's flight: the receiving port's status is checked
 // at arrival time, so frames in flight when a failure hits are lost.
+//
+//simlint:hotpath
 func (s *Sim) deliver(src, dst *Port, link *Link, frame []byte) {
 	if !dst.up || !src.up || src.Link != link {
 		dst.Counters.RxDropped++
-		s.tracef("%s: rx drop (port down at arrival), %d bytes", dst.Name(), len(frame))
+		if s.Trace != nil {
+			s.tracef("%s: rx drop (port down at arrival), %d bytes", dst.Name(), len(frame)) //simlint:alloc trace-only, guarded by Trace != nil
+		}
 		return
 	}
 	dst.Counters.RxFrames++

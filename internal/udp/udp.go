@@ -33,8 +33,10 @@ var ErrBadChecksum = errors.New("udp: bad checksum")
 
 // Marshal renders the datagram, computing the checksum over the IPv4
 // pseudo-header for the given addresses.
+//
+//simlint:hotpath
 func (d *Datagram) Marshal(src, dst netaddr.IPv4) []byte {
-	b := make([]byte, HeaderLen+len(d.Payload))
+	b := make([]byte, HeaderLen+len(d.Payload)) //simlint:alloc standalone datagram buffer; the TX fast path composes via PutHeader instead
 	copy(b[HeaderLen:], d.Payload)
 	d.PutHeader(src, dst, b)
 	return b
@@ -43,6 +45,8 @@ func (d *Datagram) Marshal(src, dst netaddr.IPv4) []byte {
 // PutHeader writes the UDP header into b[:HeaderLen] and computes the
 // checksum over b, whose tail must already hold the payload. It lets callers
 // compose a datagram directly inside a larger frame buffer.
+//
+//simlint:hotpath
 func (d *Datagram) PutHeader(src, dst netaddr.IPv4, b []byte) {
 	b[0] = byte(d.SrcPort >> 8)
 	b[1] = byte(d.SrcPort)
@@ -61,6 +65,8 @@ func (d *Datagram) PutHeader(src, dst netaddr.IPv4, b []byte) {
 }
 
 // Unmarshal parses and validates a datagram carried between src and dst.
+//
+//simlint:hotpath
 func Unmarshal(src, dst netaddr.IPv4, b []byte) (Datagram, error) {
 	if len(b) < HeaderLen {
 		return Datagram{}, ErrTruncated
@@ -86,6 +92,8 @@ func Unmarshal(src, dst netaddr.IPv4, b []byte) (Datagram, error) {
 // pseudo-header. Shared with package tcp via identical construction. The
 // pseudo-header words are summed directly rather than materialized: this
 // runs once per simulated packet, so it must not allocate.
+//
+//simlint:hotpath
 func pseudoChecksum(src, dst netaddr.IPv4, proto byte, segment []byte) uint16 {
 	sum := uint32(src[0])<<8 | uint32(src[1])
 	sum += uint32(src[2])<<8 | uint32(src[3])

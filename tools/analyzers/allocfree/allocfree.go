@@ -1,0 +1,316 @@
+// Package allocfree enforces the allocation discipline of the simulator's
+// per-packet hot paths (DESIGN.md §9). A function whose doc comment carries
+// the `//simlint:hotpath` directive is a hot-path root; the analyzer walks
+// the static call graph from every root — within the package under analysis
+// — and rejects heap-allocating constructs in any function it reaches:
+//
+//   - make, new, &T{…}, and slice/map composite literals
+//   - append whose destination shows no preallocation evidence (the
+//     destination must descend from a reslice such as `buf[:0]` or from a
+//     make in the same function — the scratch-buffer idiom)
+//   - string↔[]byte/[]rune conversions and string concatenation
+//   - calls to the fmt package
+//   - arguments boxed into a variadic ...any parameter
+//   - function literals (closure captures escape)
+//
+// The escape hatch is a `//simlint:alloc <why>` comment on the offending
+// line (or the line above). The justification text is mandatory: a bare
+// marker is reported. A suppressed *call* additionally prunes the call graph
+// — the justification is taken to cover the callee's subtree, which is how
+// trace-only helpers stay out of the hot closure.
+//
+// Cross-package edges are not followed (the loader type-checks dependencies
+// from export data only, without syntax); hot callees in other packages must
+// carry their own //simlint:hotpath annotation, which the sweep in this repo
+// does for the ethernet/ipv4/udp marshal layer.
+package allocfree
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/tools/analyzers/analysis"
+)
+
+// Analyzer is the hot-path allocation check.
+var Analyzer = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc:  "flags heap-allocating constructs in //simlint:hotpath functions and their intra-package callees",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var roots []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+				decls[obj] = fn
+			}
+			if _, marked := analysis.FuncMarked(fn, analysis.HotPathComment); marked {
+				roots = append(roots, fn)
+			}
+		}
+	}
+
+	// Breadth-first closure over intra-package static calls. hot maps each
+	// reached function to the root it was first reached from, for
+	// diagnostics.
+	hot := map[*ast.FuncDecl]string{}
+	var queue []*ast.FuncDecl
+	for _, r := range roots {
+		if _, seen := hot[r]; !seen {
+			hot[r] = r.Name.Name
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		root := hot[fn]
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// A justified call site covers its callee's subtree.
+			if _, sup := pass.MarkedAt(call.Pos(), analysis.AllocComment); sup {
+				return true
+			}
+			callee := calleeDecl(pass, call, decls)
+			if callee == nil {
+				return true
+			}
+			if _, seen := hot[callee]; !seen {
+				hot[callee] = root
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+
+	for fn, root := range hot {
+		checkFunc(pass, fn, root)
+	}
+	return nil, nil
+}
+
+// calleeDecl resolves a call expression to a function declared in the
+// package under analysis, or nil (builtin, other package, interface method,
+// or function value).
+func calleeDecl(pass *analysis.Pass, call *ast.CallExpr, decls map[*types.Func]*ast.FuncDecl) *ast.FuncDecl {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return decls[obj]
+}
+
+// checkFunc flags allocating constructs in one hot function.
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, root string) {
+	prealloc := preallocatedVars(pass, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, fn, n, prealloc, root)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(pass, n.Pos(), root, "&composite literal escapes to the heap")
+					return false // the literal itself would double-report
+				}
+			}
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				report(pass, n.Pos(), root, "slice literal allocates")
+			case *types.Map:
+				report(pass, n.Pos(), root, "map literal allocates")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t, ok := pass.TypesInfo.TypeOf(n).Underlying().(*types.Basic); ok && t.Info()&types.IsString != 0 {
+					report(pass, n.Pos(), root, "string concatenation allocates")
+				}
+			}
+		case *ast.FuncLit:
+			report(pass, n.Pos(), root, "function literal allocates (closure capture)")
+			return false // do not descend; one report per literal
+		}
+		return true
+	})
+}
+
+// checkCall flags allocating call forms: make/new, unevidenced append,
+// string↔bytes conversions, fmt calls, and ...any boxing.
+func checkCall(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr, prealloc map[types.Object]bool, root string) {
+	fun := ast.Unparen(call.Fun)
+
+	if id, ok := fun.(*ast.Ident); ok {
+		switch pass.TypesInfo.Uses[id] {
+		case types.Universe.Lookup("make"):
+			report(pass, call.Pos(), root, "make allocates")
+			return
+		case types.Universe.Lookup("new"):
+			report(pass, call.Pos(), root, "new allocates")
+			return
+		case types.Universe.Lookup("append"):
+			if !appendEvidence(pass, call, prealloc) {
+				report(pass, call.Pos(), root, "append without preallocated-capacity evidence may grow the backing array")
+			}
+			return
+		}
+	}
+
+	// Type conversions: string <-> []byte / []rune copy their operand.
+	if tv, ok := pass.TypesInfo.Types[fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && stringBytesConv(pass.TypesInfo.TypeOf(call.Args[0]), tv.Type) {
+			report(pass, call.Pos(), root, "string/byte-slice conversion copies its operand")
+		}
+		return
+	}
+
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if x, ok := sel.X.(*ast.Ident); ok {
+			if pkg, ok := pass.TypesInfo.Uses[x].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+				report(pass, call.Pos(), root, "fmt.%s allocates", sel.Sel.Name)
+				return
+			}
+		}
+	}
+
+	// Boxing into a variadic ...any parameter allocates the slice and an
+	// interface per argument.
+	if sig, ok := pass.TypesInfo.TypeOf(fun).(*types.Signature); ok && sig.Variadic() {
+		last := sig.Params().At(sig.Params().Len() - 1)
+		if slice, ok := last.Type().(*types.Slice); ok {
+			if iface, ok := slice.Elem().Underlying().(*types.Interface); ok && iface.Empty() {
+				if len(call.Args) >= sig.Params().Len() && call.Ellipsis == 0 {
+					report(pass, call.Pos(), root, "arguments boxed into ...any allocate")
+				}
+			}
+		}
+	}
+}
+
+// stringBytesConv reports whether a conversion between from and to copies
+// string contents: string↔[]byte or string↔[]rune in either direction.
+func stringBytesConv(from, to types.Type) bool {
+	if from == nil || to == nil {
+		return false
+	}
+	return (isString(from) && isCharSlice(to)) || (isCharSlice(from) && isString(to))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isCharSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// preallocatedVars collects local variables whose backing array shows
+// preallocation evidence: assigned from a reslice expression (`x[:0]`, the
+// scratch-buffer idiom) or from a make call in the same function. append
+// into these reuses capacity in the steady state.
+func preallocatedVars(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for {
+		grew := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil || out[obj] {
+					continue
+				}
+				if preallocExpr(pass, as.Rhs[i], out) {
+					out[obj] = true
+					grew = true
+				}
+			}
+			return true
+		})
+		if !grew {
+			return out
+		}
+	}
+}
+
+// preallocExpr reports whether e evidences preallocated capacity: a reslice,
+// a make, or an append to / reslice of an already-evidenced variable.
+func preallocExpr(pass *analysis.Pass, e ast.Expr, known map[types.Object]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SliceExpr:
+		return true
+	case *ast.Ident:
+		return known[pass.TypesInfo.Uses[e]]
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			switch pass.TypesInfo.Uses[id] {
+			case types.Universe.Lookup("make"):
+				return true
+			case types.Universe.Lookup("append"):
+				if len(e.Args) > 0 {
+					return preallocExpr(pass, e.Args[0], known)
+				}
+			}
+		}
+	}
+	return false
+}
+
+// appendEvidence reports whether the append destination descends from a
+// preallocated variable or is itself a reslice.
+func appendEvidence(pass *analysis.Pass, call *ast.CallExpr, prealloc map[types.Object]bool) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	return preallocExpr(pass, call.Args[0], prealloc)
+}
+
+// report emits one diagnostic unless the site is justified; a marker with an
+// empty justification is reported as such.
+func report(pass *analysis.Pass, pos token.Pos, root string, format string, args ...any) {
+	just, marked := pass.MarkedAt(pos, analysis.AllocComment)
+	if marked {
+		if just == "" {
+			pass.Reportf(pos, "%s requires a written justification", analysis.AllocComment)
+		}
+		return
+	}
+	pass.Reportf(pos, "hot path (via %s): %s; remove the allocation or justify with %s <why>",
+		root, fmt.Sprintf(format, args...), analysis.AllocComment)
+}

@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/allocfree"
+	"repro/tools/analyzers/analysistest"
+)
+
+func TestAllocFree(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), allocfree.Analyzer, "a")
+}

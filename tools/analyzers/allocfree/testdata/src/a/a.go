@@ -1,0 +1,82 @@
+// Fixture for the allocfree analyzer: heap-allocating constructs inside
+// //simlint:hotpath functions (and their intra-package callees) are flagged;
+// the scratch-buffer idiom, justified sites, and cold functions are not.
+package a
+
+import "fmt"
+
+type pkt struct {
+	scratch []byte
+	sink    []byte
+	n       int
+}
+
+// root is the annotated hot entry point; step and logf are reached through
+// the static call graph.
+//
+//simlint:hotpath
+func root(p *pkt, b []byte, s string) {
+	p.step(b)
+	logf("drop", p.n)              // want `arguments boxed into \.\.\.any`
+	_ = make([]byte, 8)            // want `make allocates`
+	_ = new(pkt)                   // want `new allocates`
+	_ = &pkt{}                     // want `&composite literal escapes`
+	_ = []int{1, 2}                // want `slice literal allocates`
+	_ = map[int]int{}              // want `map literal allocates`
+	_ = string(b)                  // want `string/byte-slice conversion copies`
+	_ = []byte(s)                  // want `string/byte-slice conversion copies`
+	_ = s + "!"                    // want `string concatenation allocates`
+	fmt.Println(p.n)               // want `fmt\.Println allocates`
+	defer func() {}()              // want `function literal allocates`
+	p.sink = append(p.sink, b...)  // want `append without preallocated-capacity evidence`
+}
+
+// step has no annotation of its own: it is hot because root calls it.
+func (p *pkt) step(b []byte) {
+	buf := p.scratch[:0]
+	buf = append(buf, b...) // evidence: buf descends from a reslice
+	grown := append(buf, 0) // evidence carries through append chains
+	p.scratch = grown[:len(grown)]
+	p.n = len(p.scratch)
+	p.deeper()
+}
+
+// deeper is two call edges away from root: still hot, still checked.
+func (p *pkt) deeper() {
+	p.sink = append(p.sink, 1) // want `append without preallocated-capacity evidence`
+}
+
+// logf's ...any parameter makes every call site box its arguments.
+func logf(format string, args ...any) {
+	_ = format
+	_ = args
+}
+
+// justified demonstrates the escape hatch: the marker with a reason keeps
+// the site quiet, a bare marker is itself a finding.
+//
+//simlint:hotpath
+func justified(p *pkt) {
+	p.scratch = make([]byte, 64) //simlint:alloc boot-time warm-up, runs once per trial
+	//simlint:alloc
+	_ = make([]byte, 4) // want `requires a written justification`
+}
+
+// pruned demonstrates call-graph pruning: the justified call keeps coldInit
+// out of the hot closure, so its allocations are not reported.
+//
+//simlint:hotpath
+func pruned(p *pkt) {
+	p.coldInit() //simlint:alloc cold slow path, amortized over the trial
+}
+
+func (p *pkt) coldInit() {
+	p.scratch = make([]byte, 1024)
+	p.sink = []byte("cold")
+}
+
+// cold carries no annotation and is called by nobody hot: anything goes.
+func cold() *pkt {
+	m := map[string]int{"x": 1}
+	return &pkt{n: m["x"]}
+}

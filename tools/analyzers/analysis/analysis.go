@@ -53,23 +53,79 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // the text after the marker should say why the site is safe.
 const SuppressionComment = "//simlint:deterministic"
 
-// Suppressed reports whether the node beginning at pos carries a
-// SuppressionComment in file: either trailing on the same line or on the
-// line directly above.
-func Suppressed(fset *token.FileSet, file *ast.File, pos token.Pos) bool {
+// Markers understood by the hot-path contract analyzers (DESIGN.md §9). All
+// follow the directive comment convention: no space after //, optional
+// justification text after the marker word.
+const (
+	// HotPathComment marks a function as a hot-path root for the allocfree
+	// analyzer. It must appear as a line of the function's doc comment.
+	HotPathComment = "//simlint:hotpath"
+	// AllocComment exempts one allocating site inside a hot path. The text
+	// after the marker must justify the allocation; an empty justification
+	// is itself a diagnostic.
+	AllocComment = "//simlint:alloc"
+	// FrameOwnComment exempts one frame retention or post-handoff mutation
+	// site from the framealias analyzer, with a required justification.
+	FrameOwnComment = "//simlint:frameown"
+	// SharedComment exempts one package-level variable from the sharedstate
+	// analyzer, with a required justification.
+	SharedComment = "//simlint:shared"
+)
+
+// markerMatches reports whether comment text is marker, optionally followed
+// by a space-separated justification. `//simlint:alloc` matches AllocComment;
+// `//simlint:allocator` does not.
+func markerMatches(text, marker string) (justification string, ok bool) {
+	if text == marker {
+		return "", true
+	}
+	if rest, found := strings.CutPrefix(text, marker+" "); found {
+		return strings.TrimSpace(rest), true
+	}
+	return "", false
+}
+
+// MarkerAt looks for a marker comment attached to the node beginning at pos:
+// trailing on the same line, or on the line directly above. It returns the
+// justification text following the marker and whether the marker was found.
+func MarkerAt(fset *token.FileSet, file *ast.File, pos token.Pos, marker string) (justification string, ok bool) {
 	line := fset.Position(pos).Line
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			if !strings.HasPrefix(c.Text, SuppressionComment) {
+			just, match := markerMatches(c.Text, marker)
+			if !match {
 				continue
 			}
 			cl := fset.Position(c.Pos()).Line
 			if cl == line || cl == line-1 {
-				return true
+				return just, true
 			}
 		}
 	}
-	return false
+	return "", false
+}
+
+// FuncMarked reports whether fn's doc comment contains marker as one of its
+// lines (the directive must be part of the doc block — a detached comment
+// separated by a blank line does not count), returning any justification.
+func FuncMarked(fn *ast.FuncDecl, marker string) (justification string, ok bool) {
+	if fn.Doc == nil {
+		return "", false
+	}
+	for _, c := range fn.Doc.List {
+		if just, match := markerMatches(c.Text, marker); match {
+			return just, true
+		}
+	}
+	return "", false
+}
+
+// Suppressed reports whether the node beginning at pos carries a
+// SuppressionComment in file: either trailing on the same line or on the
+// line directly above.
+func Suppressed(fset *token.FileSet, file *ast.File, pos token.Pos) bool {
+	_, ok := MarkerAt(fset, file, pos, SuppressionComment)
+	return ok
 }
 
 // FileFor returns the *ast.File in the pass containing pos, or nil.
@@ -86,4 +142,14 @@ func (p *Pass) FileFor(pos token.Pos) *ast.File {
 func (p *Pass) SuppressedAt(pos token.Pos) bool {
 	f := p.FileFor(pos)
 	return f != nil && Suppressed(p.Fset, f, pos)
+}
+
+// MarkedAt looks for marker attached to pos in its file (same line or line
+// above), returning the justification text and whether it was found.
+func (p *Pass) MarkedAt(pos token.Pos, marker string) (justification string, ok bool) {
+	f := p.FileFor(pos)
+	if f == nil {
+		return "", false
+	}
+	return MarkerAt(p.Fset, f, pos, marker)
 }

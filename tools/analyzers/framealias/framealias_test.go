@@ -1,0 +1,12 @@
+package framealias_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysistest"
+	"repro/tools/analyzers/framealias"
+)
+
+func TestFrameAlias(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), framealias.Analyzer, "a")
+}

@@ -1,0 +1,12 @@
+package sharedstate_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysistest"
+	"repro/tools/analyzers/sharedstate"
+)
+
+func TestSharedState(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), sharedstate.Analyzer, "a")
+}

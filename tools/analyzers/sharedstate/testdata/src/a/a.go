@@ -1,0 +1,47 @@
+// Fixture for the sharedstate analyzer: package-level mutable state is
+// flagged; sentinel errors, inert unexported constants-in-spirit, and
+// justified declarations are not.
+package a
+
+import (
+	"errors"
+	"sync"
+)
+
+// Sentinel errors are the one blessed package-level var idiom.
+var ErrBad = errors.New("a: bad")
+
+var counter int // want `package-level var counter is written by this package`
+
+var addrTaken uint16 // want `package-level var addrTaken is written by this package`
+
+var Exported = 3 // want `package-level var Exported is exported`
+
+var table = map[string]int{} // want `package-level var table has a type with mutable indirection`
+
+var once sync.Once // want `package-level var once has a type with mutable indirection`
+
+var scratch []byte // want `package-level var scratch has a type with mutable indirection`
+
+// Inert: unexported, never written, no indirection.
+var limit = 64
+
+var greeting = "hello"
+
+var magic [4]uint16
+
+//simlint:shared parallelism knob, set before any trial starts and never after
+var TunedWorkers = 8
+
+//simlint:shared
+var bare = map[int]int{} // want `simlint:shared requires a written justification`
+
+func bump() int {
+	counter++
+	p := &addrTaken
+	*p = 7
+	once.Do(func() {})
+	return counter + len(table) + len(scratch) + limit + len(greeting) + int(magic[0]) + Exported + TunedWorkers
+}
+
+func ok() error { return ErrBad }
