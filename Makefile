@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint analyzers invariants race bench figures fuzz-smoke check
+.PHONY: all build test vet lint analyzers invariants race bench figures fuzz-smoke chaos-smoke check
 
 all: check
 
@@ -56,6 +56,13 @@ bench:
 # figures prints the full evaluation grids via the CLI driver.
 figures:
 	$(GO) run ./cmd/closlab -experiment all
+
+# chaos-smoke runs one short fault-injection campaign per scenario class
+# under the race detector: the full catalog on the 2-PoD fabric, one trial
+# per cell, artifacts to a scratch directory. A tripwire for the injector
+# and the per-direction impairment plumbing, not a statistics run.
+chaos-smoke:
+	$(GO) run -race ./cmd/closlab -experiment chaos -pods 2 -trials 1 -out /tmp/closlab-chaos-smoke
 
 # fuzz-smoke gives each wire-decoder fuzz target a short budget on top of
 # its checked-in seed corpus — a regression tripwire, not a campaign.

@@ -12,6 +12,7 @@
 //	closlab -experiment keepalive              # Figs. 9-10 (capture summary)
 //	closlab -experiment config                 # Listings 1-2 comparison
 //	closlab -experiment workload               # FCT + load balance under load
+//	closlab -experiment chaos                  # fault-injection campaigns
 //	closlab -experiment all                    # everything
 //
 // Flags -trials and -seed control averaging, -pods restricts the topology,
@@ -24,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
+	"strings"
 	"time"
 
 	"repro/internal/capture"
@@ -35,7 +38,7 @@ import (
 var protocols = []harness.Protocol{harness.ProtoMRMTP, harness.ProtoBGP, harness.ProtoBGPBFD}
 
 func main() {
-	experiment := flag.String("experiment", "all", "convergence|blastradius|overhead|loss-near|loss-far|keepalive|config|nodefail|flap|workload|artifacts|all")
+	experiment := flag.String("experiment", "all", "convergence|blastradius|overhead|loss-near|loss-far|keepalive|config|nodefail|flap|workload|chaos|artifacts|all")
 	trials := flag.Int("trials", 3, "trials to average per data point")
 	seed := flag.Int64("seed", 1, "base random seed")
 	pods := flag.Int("pods", 0, "restrict to one topology size (2 or 4); 0 = both")
@@ -57,26 +60,45 @@ func main() {
 		fatalf("unsupported -pods %d (want 2 or 4)", *pods)
 	}
 
-	run := func(name string, fn func([]topology.Spec, int, int64) error) {
-		if *experiment != "all" && *experiment != name {
-			return
+	experiments := []struct {
+		name string
+		fn   func([]topology.Spec, int, int64) error
+	}{
+		{"convergence", convergence},
+		{"blastradius", blastRadius},
+		{"overhead", overhead},
+		{"loss-near", func(s []topology.Spec, n int, seed int64) error { return loss(s, n, seed, false) }},
+		{"loss-far", func(s []topology.Spec, n int, seed int64) error { return loss(s, n, seed, true) }},
+		{"keepalive", keepAlive},
+		{"config", configComparison},
+		{"nodefail", nodeFailure},
+		{"flap", flapChurn},
+		{"workload", func(s []topology.Spec, n int, seed int64) error {
+			return workloadExperiment(s, n, seed, *out)
+		}},
+		{"chaos", func(s []topology.Spec, n int, seed int64) error {
+			return chaosExperiment(s, n, seed, *out)
+		}},
+	}
+
+	// Reject a bad -experiment before anything runs: a typo must exit
+	// non-zero with usage, not masquerade as a successful empty run.
+	known := []string{"all", "artifacts"}
+	for _, e := range experiments {
+		known = append(known, e.name)
+	}
+	if !slices.Contains(known, *experiment) {
+		fatalf("unknown -experiment %q (want one of: %s)", *experiment, strings.Join(known, "|"))
+	}
+
+	for _, e := range experiments {
+		if *experiment != "all" && *experiment != e.name {
+			continue
 		}
-		if err := fn(specs, *trials, *seed); err != nil {
-			fatalf("%s: %v", name, err)
+		if err := e.fn(specs, *trials, *seed); err != nil {
+			fatalf("%s: %v", e.name, err)
 		}
 	}
-	run("convergence", convergence)
-	run("blastradius", blastRadius)
-	run("overhead", overhead)
-	run("loss-near", func(s []topology.Spec, n int, seed int64) error { return loss(s, n, seed, false) })
-	run("loss-far", func(s []topology.Spec, n int, seed int64) error { return loss(s, n, seed, true) })
-	run("keepalive", keepAlive)
-	run("config", configComparison)
-	run("nodefail", nodeFailure)
-	run("flap", flapChurn)
-	run("workload", func(s []topology.Spec, n int, seed int64) error {
-		return workloadExperiment(s, n, seed, *out)
-	})
 	if *experiment == "artifacts" {
 		if err := artifacts(specs[0], *seed, *out); err != nil {
 			fatalf("artifacts: %v", err)

@@ -111,7 +111,7 @@ func writeWorkloadTelemetryCSV(path string, runs []workloadRun) error {
 		}
 	}
 	var b strings.Builder
-	_, _ = b.WriteString("protocol,pods,scenario,link,t_us,tx_bytes,util,queued,drops\n")
+	_, _ = b.WriteString("protocol,pods,scenario,link,t_us,tx_bytes,util,queued,drops,lost,corrupted\n")
 	for _, r := range runs {
 		if r.summary.Pods != minPods || len(r.trials) == 0 {
 			continue
@@ -119,9 +119,10 @@ func writeWorkloadTelemetryCSV(path string, runs []workloadRun) error {
 		s := r.summary
 		for _, sr := range r.trials[0].Series {
 			for _, smp := range sr.Samples {
-				_, _ = fmt.Fprintf(&b, "%s,%d,%s,%s,%d,%d,%.4f,%d,%d\n",
+				_, _ = fmt.Fprintf(&b, "%s,%d,%s,%s,%d,%d,%.4f,%d,%d,%d,%d\n",
 					s.Protocol, s.Pods, s.Scenario, sr.Name,
-					smp.At/time.Microsecond, smp.TxBytes, smp.Util, smp.Queued, smp.Drops)
+					smp.At/time.Microsecond, smp.TxBytes, smp.Util, smp.Queued, smp.Drops,
+					smp.Lost, smp.Corrupted)
 			}
 		}
 	}

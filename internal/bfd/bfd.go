@@ -131,10 +131,14 @@ type Session struct {
 	// OnUp fires when the session reaches Up.
 	OnUp func()
 
-	// Stats for the keep-alive overhead experiment.
+	// Stats for the keep-alive overhead experiment. UpTransitions and
+	// DownTransitions count entries into/out of the Up state (chaos
+	// campaigns use them to measure per-flap detection churn).
 	Stats struct {
-		Sent uint64
-		Recv uint64
+		Sent            uint64
+		Recv            uint64
+		UpTransitions   uint64
+		DownTransitions uint64
 	}
 }
 
@@ -142,6 +146,9 @@ type Session struct {
 type Manager struct {
 	stack    *ipstack.Stack
 	sessions map[netaddr.IPv4]*Session
+	// order keeps sessions in creation order so sweeps over them (chaos
+	// telemetry sums) are deterministic without sorting map keys.
+	order    []*Session
 	nextDisc uint32
 }
 
@@ -165,6 +172,7 @@ func (m *Manager) Add(local, remote netaddr.IPv4, cfg Config) *Session {
 		myDisc: m.nextDisc,
 	}
 	m.sessions[remote] = s
+	m.order = append(m.order, s)
 	s.scheduleTx()
 	s.armDetect()
 	return s
@@ -172,6 +180,9 @@ func (m *Manager) Add(local, remote netaddr.IPv4, cfg Config) *Session {
 
 // Session returns the session toward remote, or nil.
 func (m *Manager) Session(remote netaddr.IPv4) *Session { return m.sessions[remote] }
+
+// Sessions returns every session in creation order.
+func (m *Manager) Sessions() []*Session { return append([]*Session(nil), m.order...) }
 
 func (m *Manager) input(src, dst netaddr.IPv4, dg udp.Datagram) {
 	s := m.sessions[src]
@@ -233,8 +244,11 @@ func (s *Session) timeout() {
 	was := s.state
 	s.state = StateDown
 	s.yourDisc = 0
-	if was == StateUp && s.OnDown != nil {
-		s.OnDown()
+	if was == StateUp {
+		s.Stats.DownTransitions++
+		if s.OnDown != nil {
+			s.OnDown()
+		}
 	}
 	// Keep polling for liveness; detection re-arms on the next packet.
 }
@@ -258,12 +272,16 @@ func (s *Session) handle(pkt ControlPacket) {
 	case StateUp:
 		if pkt.State == StateDown {
 			s.state = StateDown
+			s.Stats.DownTransitions++
 			if s.OnDown != nil {
 				s.OnDown()
 			}
 		}
 	}
-	if was != StateUp && s.state == StateUp && s.OnUp != nil {
-		s.OnUp()
+	if was != StateUp && s.state == StateUp {
+		s.Stats.UpTransitions++
+		if s.OnUp != nil {
+			s.OnUp()
+		}
 	}
 }

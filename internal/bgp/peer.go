@@ -175,6 +175,7 @@ func (p *Peer) maybeEstablish() {
 	}
 	p.State = StateEstablished
 	p.establishedAt = p.sim().Now()
+	p.sp.Stats.SessionsEstablished++
 	p.startKeepalive()
 	p.touchHold()
 	p.sp.syncPeer(p)

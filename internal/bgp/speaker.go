@@ -82,6 +82,10 @@ type Speaker struct {
 		KeepalivesRecv  uint64
 		WithdrawalsSent uint64
 		SessionResets   uint64
+		// SessionsEstablished counts transitions into Established,
+		// including re-establishments after a reset — with SessionResets
+		// it exposes per-flap session churn under chaos campaigns.
+		SessionsEstablished uint64
 	}
 }
 

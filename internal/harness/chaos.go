@@ -1,0 +1,414 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/trafficgen"
+)
+
+// This file runs fault-injection campaigns: a chaos.Spec is applied to a
+// warm fabric while a probe flow crosses the monitored column, and the
+// result captures what the paper's clean `ip link set down` methodology
+// cannot — blackhole time under gray failures, reconvergence churn under
+// flap storms, and the QDSA accept/reject transitions that show whether
+// Slow-to-Accept actually dampens.
+
+// ChaosSettleTime bounds the post-campaign observation window, matching
+// SettleTime's rationale: plain BGP's 3 s hold timer is the slowest
+// detector, and dissemination needs headroom after the last fault clears.
+const ChaosSettleTime = SettleTime
+
+// reconvergenceGap separates reconvergence waves: route events closer
+// together than this belong to one convergence episode, a larger gap
+// starts a new one. A quarter second sits well above any single episode's
+// internal spacing (update fan-out is sub-millisecond on an idle fabric)
+// and well below the campaign's fault spacing.
+const reconvergenceGap = 250 * time.Millisecond
+
+// ChaosResult is one campaign trial. Counter fields are deltas over the
+// campaign window (injection through settle), not process lifetimes.
+type ChaosResult struct {
+	Protocol Protocol
+	Pods     int
+	Scenario string
+
+	// FaultActions is the number of injector actions executed.
+	FaultActions int
+
+	// Probe-flow loss: the probe sends every ProbeInterval, so missing
+	// packets convert directly to blackhole time; MaxOutage is the
+	// longest consecutive missing run.
+	ProbeSent     uint64
+	ProbeLost     uint64
+	BlackholeTime time.Duration
+	MaxOutage     time.Duration
+
+	// Control-plane churn from the metrics log.
+	RouteUpdates   int
+	Reconvergences int
+	ControlMsgs    int
+	ControlBytes   int
+
+	// QDSA transitions summed over all MR-MTP routers (zero in BGP modes).
+	NeighborsLost     uint64
+	NeighborsAccepted uint64
+	HellosDampened    uint64
+	AcceptResets      uint64
+
+	// BGP session churn summed over all speakers (zero in MR-MTP mode).
+	SessionResets       uint64
+	SessionsEstablished uint64
+	BFDDownTransitions  uint64
+	BFDUpTransitions    uint64
+
+	// Events is the injector log (virtual-time ordered).
+	Events []chaos.Event
+}
+
+// chaosCounters is a snapshot of every cumulative protocol counter the
+// campaign reports as a delta.
+type chaosCounters struct {
+	neighborsLost, neighborsAccepted, hellosDampened, acceptResets uint64
+	sessionResets, sessionsEstablished                             uint64
+	bfdDown, bfdUp                                                 uint64
+}
+
+// snapshotCounters sweeps the fabric's protocol state in the topology's
+// deterministic router order.
+func snapshotCounters(f *Fabric) chaosCounters {
+	var c chaosCounters
+	for _, d := range f.Topo.Routers() {
+		if r := f.Routers[d.Name]; r != nil {
+			c.neighborsLost += r.Stats.NeighborsLost
+			c.neighborsAccepted += r.Stats.NeighborsAccepted
+			c.hellosDampened += r.Stats.HellosDampened
+			c.acceptResets += r.Stats.AcceptResets
+		}
+		if sp := f.Speakers[d.Name]; sp != nil {
+			c.sessionResets += sp.Stats.SessionResets
+			c.sessionsEstablished += sp.Stats.SessionsEstablished
+		}
+		if mgr := f.BFDs[d.Name]; mgr != nil {
+			for _, s := range mgr.Sessions() {
+				c.bfdDown += s.Stats.DownTransitions
+				c.bfdUp += s.Stats.UpTransitions
+			}
+		}
+	}
+	return c
+}
+
+// countReconvergences clusters post-injection route events into waves: a
+// gap longer than reconvergenceGap starts a new episode. The count is the
+// "how many times did the network have to re-decide" number the flap-storm
+// dampening claim is about.
+func countReconvergences(f *Fabric, startAt time.Duration) int {
+	waves := 0
+	var last time.Duration
+	have := false
+	for _, e := range f.Log.Events {
+		if e.Kind != "route" || e.At < startAt {
+			continue
+		}
+		if !have || e.At-last > reconvergenceGap {
+			waves++
+		}
+		last = e.At
+		have = true
+	}
+	return waves
+}
+
+// RunChaos executes one campaign trial: warm up, start the probe flow,
+// apply the spec, run to the horizon plus settle, and report loss, churn
+// and transition deltas. The probe crosses the monitored L-1-1/S-1-1/T-1
+// column (VID 11 → VID 14, port picked by PickFlowPort), the same path the
+// catalog's faults target.
+func RunChaos(opts Options, spec chaos.Spec) (ChaosResult, error) {
+	f, err := Build(opts)
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	srcStack, srcDev, err := f.ServerStack(11, 1)
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	dstStack, dstDev, err := f.ServerStack(14, 1)
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	cfg := trafficgen.DefaultConfig(srcDev.IP, dstDev.IP)
+	cfg.SrcPort = PickFlowPort(f, cfg)
+	sender := trafficgen.NewSender(srcStack, cfg)
+	receiver := trafficgen.NewReceiver(dstStack, cfg.DstPort)
+
+	if err := f.WarmUp(WarmupTime); err != nil {
+		return ChaosResult{}, err
+	}
+	sender.Start()
+	// Lead-in so the flow is established pre-campaign, with a random
+	// phase offset so trials sample timer phase (as in RunLoss).
+	lead := time.Second + time.Duration(f.Sim.Rand().Int63n(int64(time.Second)))
+	f.Sim.RunFor(lead)
+	preLoss := sender.Sent() - receiver.Report(sender).Received
+	if preLoss > 2 { // ARP warm-up may cost a packet at the margins
+		return ChaosResult{}, fmt.Errorf("harness: probe lossy before campaign (%d lost)", preLoss)
+	}
+
+	before := snapshotCounters(f)
+	f.Log.Reset()
+	startAt := f.Sim.Now()
+	startSeq := sender.Seq()
+	inj, err := chaos.Apply(f.Sim, spec)
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	f.Sim.RunFor(spec.Horizon() + ChaosSettleTime)
+	endSeq := sender.Seq()
+	sender.Stop()
+	f.Sim.RunFor(time.Second) // drain in-flight packets
+
+	after := snapshotCounters(f)
+	a := f.Log.Analyze(startAt)
+	missing, longest := receiver.Missing(startSeq, endSeq)
+	res := ChaosResult{
+		Protocol:            opts.Protocol,
+		Pods:                opts.Spec.Pods,
+		Scenario:            spec.Name,
+		FaultActions:        len(inj.Events()),
+		ProbeSent:           endSeq - startSeq,
+		ProbeLost:           missing,
+		BlackholeTime:       time.Duration(missing) * cfg.Interval,
+		MaxOutage:           time.Duration(longest) * cfg.Interval,
+		RouteUpdates:        countRouteUpdates(f, startAt),
+		Reconvergences:      countReconvergences(f, startAt),
+		ControlMsgs:         a.ControlMessages,
+		ControlBytes:        a.ControlBytes,
+		NeighborsLost:       after.neighborsLost - before.neighborsLost,
+		NeighborsAccepted:   after.neighborsAccepted - before.neighborsAccepted,
+		HellosDampened:      after.hellosDampened - before.hellosDampened,
+		AcceptResets:        after.acceptResets - before.acceptResets,
+		SessionResets:       after.sessionResets - before.sessionResets,
+		SessionsEstablished: after.sessionsEstablished - before.sessionsEstablished,
+		BFDDownTransitions:  after.bfdDown - before.bfdDown,
+		BFDUpTransitions:    after.bfdUp - before.bfdUp,
+		Events:              inj.Events(),
+	}
+	return res, nil
+}
+
+func countRouteUpdates(f *Fabric, startAt time.Duration) int {
+	n := 0
+	for _, e := range f.Log.Events {
+		if e.Kind == "route" && e.At >= startAt {
+			n++
+		}
+	}
+	return n
+}
+
+// ChaosSummary aggregates trials of one (protocol, pods, scenario) cell.
+// It is a flat comparable struct on purpose: the parallel-vs-sequential
+// determinism test compares summaries with ==.
+type ChaosSummary struct {
+	Protocol Protocol
+	Pods     int
+	Scenario string
+	Trials   int
+
+	FaultActions int // per trial (identical across trials by construction)
+
+	ProbeLossRateMean float64
+	BlackholeMsMean   float64
+	BlackholeMsMax    float64
+	MaxOutageMsMean   float64
+	MaxOutageMsMax    float64
+
+	RouteUpdatesMean   float64
+	ReconvergencesMean float64
+	ReconvergencesMax  int
+	ControlMsgsMean    float64
+	ControlBytesMean   float64
+
+	NeighborsLostMean     float64
+	NeighborsAcceptedMean float64
+	HellosDampenedMean    float64
+	AcceptResetsMean      float64
+
+	SessionResetsMean       float64
+	SessionsEstablishedMean float64
+	BFDDownMean             float64
+	BFDUpMean               float64
+
+	// ReconvPerUp is the dampening headline: reconvergence episodes per
+	// accepted up-transition (MR-MTP neighbors accepted, or BGP sessions
+	// re-established). ≤1 means each readmission cost at most one
+	// convergence episode; flap-chasing protocols exceed it.
+	ReconvPerUp float64
+}
+
+// upTransitions is the protocol-appropriate "accepted an adjacency back"
+// count for one trial.
+func (r ChaosResult) upTransitions() uint64 {
+	if r.NeighborsAccepted > 0 {
+		return r.NeighborsAccepted
+	}
+	return r.SessionsEstablished
+}
+
+// SummarizeChaos pools per-trial results in trial order, so parallel and
+// sequential runs summarize bit-identically.
+func SummarizeChaos(rs []ChaosResult) ChaosSummary {
+	if len(rs) == 0 {
+		return ChaosSummary{}
+	}
+	s := ChaosSummary{
+		Protocol:     rs[0].Protocol,
+		Pods:         rs[0].Pods,
+		Scenario:     rs[0].Scenario,
+		Trials:       len(rs),
+		FaultActions: rs[0].FaultActions,
+	}
+	n := float64(len(rs))
+	var ups, reconv float64
+	for _, r := range rs {
+		if r.ProbeSent > 0 {
+			s.ProbeLossRateMean += float64(r.ProbeLost) / float64(r.ProbeSent) / n
+		}
+		bh := float64(r.BlackholeTime) / float64(time.Millisecond)
+		mo := float64(r.MaxOutage) / float64(time.Millisecond)
+		s.BlackholeMsMean += bh / n
+		s.MaxOutageMsMean += mo / n
+		if bh > s.BlackholeMsMax {
+			s.BlackholeMsMax = bh
+		}
+		if mo > s.MaxOutageMsMax {
+			s.MaxOutageMsMax = mo
+		}
+		s.RouteUpdatesMean += float64(r.RouteUpdates) / n
+		s.ReconvergencesMean += float64(r.Reconvergences) / n
+		if r.Reconvergences > s.ReconvergencesMax {
+			s.ReconvergencesMax = r.Reconvergences
+		}
+		s.ControlMsgsMean += float64(r.ControlMsgs) / n
+		s.ControlBytesMean += float64(r.ControlBytes) / n
+		s.NeighborsLostMean += float64(r.NeighborsLost) / n
+		s.NeighborsAcceptedMean += float64(r.NeighborsAccepted) / n
+		s.HellosDampenedMean += float64(r.HellosDampened) / n
+		s.AcceptResetsMean += float64(r.AcceptResets) / n
+		s.SessionResetsMean += float64(r.SessionResets) / n
+		s.SessionsEstablishedMean += float64(r.SessionsEstablished) / n
+		s.BFDDownMean += float64(r.BFDDownTransitions) / n
+		s.BFDUpMean += float64(r.BFDUpTransitions) / n
+		ups += float64(r.upTransitions())
+		reconv += float64(r.Reconvergences)
+	}
+	if ups > 0 {
+		s.ReconvPerUp = reconv / ups
+	}
+	return s
+}
+
+// RunChaosTrials fans n seeds of one campaign cell over the trial pool and
+// pools the results. Per-trial results are returned in trial order so
+// callers can export a representative injector timeline.
+func RunChaosTrials(opts Options, spec chaos.Spec, n int) (ChaosSummary, []ChaosResult, error) {
+	rs, err := runTrials(opts, n, func(o Options) (ChaosResult, error) {
+		return RunChaos(o, spec)
+	})
+	if err != nil {
+		return ChaosSummary{}, nil, err
+	}
+	return SummarizeChaos(rs), rs, nil
+}
+
+// ChaosCatalog returns the named scenario campaigns, one per scenario
+// class, all targeting the monitored L-1-1/S-1-1/T-1 column the probe
+// flow crosses (present in every standard spec). Timings are chosen
+// against the paper's timer constants: QDSA hello 50 ms / dead 100 ms /
+// accept 3, BGP hold 3 s, BFD 100 ms × 3.
+func ChaosCatalog() []chaos.Spec {
+	const start = chaos.Duration(500 * time.Millisecond)
+	return []chaos.Spec{
+		{
+			// Slow storm: 200 ms down / 800 ms up. Every down exceeds the
+			// dead interval and every up exceeds the accept window, so
+			// both protocols see (and should survive) six clean cycles.
+			Name: "flap-storm",
+			Faults: []chaos.Fault{{
+				Kind: chaos.FlapStorm, Link: chaos.LinkRef{Device: "L-1-1", Peer: "S-1-1"},
+				Start: start, Flaps: 6, Period: chaos.Duration(time.Second), Duty: 0.8,
+			}},
+		},
+		{
+			// Burst storm: 150 ms down / 100 ms up. The up window is too
+			// short for three consecutive hellos, so Slow-to-Accept keeps
+			// the adjacency out for the whole storm (one loss episode, one
+			// readmission at the end) while interface-tracking BGP chases
+			// every single flap.
+			Name: "flap-burst",
+			Faults: []chaos.Fault{{
+				Kind: chaos.FlapStorm, Link: chaos.LinkRef{Device: "L-1-1", Peer: "S-1-1"},
+				Start: start, Flaps: 8, Period: chaos.Duration(250 * time.Millisecond), Duty: 0.4,
+			}},
+		},
+		{
+			// Gray spine uplink: 30% loss on S-1-1 → T-1 only. Hellos and
+			// keepalives cross a sometimes-silent wire; the reverse
+			// direction stays clean.
+			Name: "gray-spine",
+			Faults: []chaos.Fault{{
+				Kind: chaos.GrayLoss, Link: chaos.LinkRef{Device: "S-1-1", Peer: "T-1"},
+				Start: start, Duration: chaos.Duration(4 * time.Second), LossRate: 0.3,
+			}},
+		},
+		{
+			// Corrupted and delayed hellos on the leaf uplink: a quarter
+			// of frames take a flipped byte, everything rides 30 ms extra
+			// latency with up to 30 ms jitter.
+			Name: "hello-impair",
+			Faults: []chaos.Fault{{
+				Kind: chaos.LinkImpair, Link: chaos.LinkRef{Device: "L-1-1", Peer: "S-1-1"},
+				Start: start, Duration: chaos.Duration(4 * time.Second),
+				CorruptRate: 0.25, ExtraLatency: chaos.Duration(30 * time.Millisecond),
+				Jitter: chaos.Duration(30 * time.Millisecond),
+			}},
+		},
+		{
+			// One-way fiber cut at the top tier: T-1's receiver from
+			// S-1-1 goes dark (T-1 alarms, S-1-1 keeps hearing T-1).
+			Name: "oneway-top",
+			Faults: []chaos.Fault{{
+				Kind: chaos.OneWay, Link: chaos.LinkRef{Device: "T-1", Peer: "S-1-1"},
+				Start: start, Duration: chaos.Duration(3 * time.Second),
+			}},
+		},
+		{
+			// Shared-risk group: both plane uplinks of S-1-1 die 2 ms
+			// apart (S-1-1 reaches T-1 and T-3 in the Fig. 2 wiring).
+			Name: "correlated-uplinks",
+			Faults: []chaos.Fault{{
+				Kind: chaos.Correlated,
+				Links: []chaos.LinkRef{
+					{Device: "S-1-1", Peer: "T-1"},
+					{Device: "S-1-1", Peer: "T-3"},
+				},
+				Start: start, Duration: chaos.Duration(2 * time.Second),
+				Stagger: chaos.Duration(2 * time.Millisecond),
+			}},
+		},
+		{
+			// Rolling maintenance: drain pod 1's spines one at a time,
+			// with enough stagger that the second starts after the first
+			// is back.
+			Name: "rolling-drain",
+			Faults: []chaos.Fault{{
+				Kind: chaos.Drain, Nodes: []string{"S-1-1", "S-1-2"},
+				Start: start, Duration: chaos.Duration(1500 * time.Millisecond),
+				Stagger: chaos.Duration(3 * time.Second),
+			}},
+		},
+	}
+}

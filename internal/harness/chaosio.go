@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// This file renders chaos campaign artifacts. The renderers are exported
+// (rather than living in cmd/closlab) so the byte-identity acceptance test
+// — same seed, byte-identical artifacts — runs against the exact bytes the
+// CLI writes.
+
+// ChaosRun pairs one cell's summary with its per-trial results, the unit
+// the artifact writers consume.
+type ChaosRun struct {
+	Summary ChaosSummary
+	Trials  []ChaosResult
+}
+
+// RenderChaosTimelineCSV renders every trial's injector log as CSV:
+// one row per fault action actually executed, in virtual-time order.
+func RenderChaosTimelineCSV(runs []ChaosRun) []byte {
+	var b strings.Builder
+	// strings.Builder writes cannot fail; blank assignments make the
+	// discarded results explicit rather than accidental.
+	_, _ = b.WriteString("protocol,pods,scenario,trial,t_us,kind,action,target,detail\n")
+	for _, r := range runs {
+		s := r.Summary
+		for ti, tr := range r.Trials {
+			for _, ev := range tr.Events {
+				_, _ = fmt.Fprintf(&b, "%s,%d,%s,%d,%d,%s,%s,%s,%s\n",
+					s.Protocol, s.Pods, s.Scenario, ti,
+					ev.At/time.Microsecond, ev.Kind, ev.Action, ev.Target, ev.Detail)
+			}
+		}
+	}
+	return []byte(b.String())
+}
+
+// chaosJSONSummary is the machine-readable form of one cell.
+type chaosJSONSummary struct {
+	Protocol     string `json:"protocol"`
+	Pods         int    `json:"pods"`
+	Scenario     string `json:"scenario"`
+	Trials       int    `json:"trials"`
+	FaultActions int    `json:"fault_actions"`
+
+	ProbeLossRateMean float64 `json:"probe_loss_rate_mean"`
+	BlackholeMsMean   float64 `json:"blackhole_ms_mean"`
+	BlackholeMsMax    float64 `json:"blackhole_ms_max"`
+	MaxOutageMsMean   float64 `json:"max_outage_ms_mean"`
+	MaxOutageMsMax    float64 `json:"max_outage_ms_max"`
+
+	RouteUpdatesMean   float64 `json:"route_updates_mean"`
+	ReconvergencesMean float64 `json:"reconvergences_mean"`
+	ReconvergencesMax  int     `json:"reconvergences_max"`
+	ControlMsgsMean    float64 `json:"control_msgs_mean"`
+	ControlBytesMean   float64 `json:"control_bytes_mean"`
+
+	NeighborsLostMean     float64 `json:"neighbors_lost_mean"`
+	NeighborsAcceptedMean float64 `json:"neighbors_accepted_mean"`
+	HellosDampenedMean    float64 `json:"hellos_dampened_mean"`
+	AcceptResetsMean      float64 `json:"accept_resets_mean"`
+
+	SessionResetsMean       float64 `json:"session_resets_mean"`
+	SessionsEstablishedMean float64 `json:"sessions_established_mean"`
+	BFDDownMean             float64 `json:"bfd_down_transitions_mean"`
+	BFDUpMean               float64 `json:"bfd_up_transitions_mean"`
+
+	ReconvPerUp float64 `json:"reconvergences_per_up_transition"`
+}
+
+// RenderChaosSummaryJSON renders every cell's summary as indented JSON.
+func RenderChaosSummaryJSON(runs []ChaosRun) ([]byte, error) {
+	var out []chaosJSONSummary
+	for _, r := range runs {
+		s := r.Summary
+		out = append(out, chaosJSONSummary{
+			Protocol:     s.Protocol.String(),
+			Pods:         s.Pods,
+			Scenario:     s.Scenario,
+			Trials:       s.Trials,
+			FaultActions: s.FaultActions,
+
+			ProbeLossRateMean: s.ProbeLossRateMean,
+			BlackholeMsMean:   s.BlackholeMsMean,
+			BlackholeMsMax:    s.BlackholeMsMax,
+			MaxOutageMsMean:   s.MaxOutageMsMean,
+			MaxOutageMsMax:    s.MaxOutageMsMax,
+
+			RouteUpdatesMean:   s.RouteUpdatesMean,
+			ReconvergencesMean: s.ReconvergencesMean,
+			ReconvergencesMax:  s.ReconvergencesMax,
+			ControlMsgsMean:    s.ControlMsgsMean,
+			ControlBytesMean:   s.ControlBytesMean,
+
+			NeighborsLostMean:     s.NeighborsLostMean,
+			NeighborsAcceptedMean: s.NeighborsAcceptedMean,
+			HellosDampenedMean:    s.HellosDampenedMean,
+			AcceptResetsMean:      s.AcceptResetsMean,
+
+			SessionResetsMean:       s.SessionResetsMean,
+			SessionsEstablishedMean: s.SessionsEstablishedMean,
+			BFDDownMean:             s.BFDDownMean,
+			BFDUpMean:               s.BFDUpMean,
+
+			ReconvPerUp: s.ReconvPerUp,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// RenderChaos formats one cell's summary as the experiment's text block.
+func RenderChaos(s ChaosSummary) string {
+	out := fmt.Sprintf("%s %dP %s: %d trials, %d fault actions, blackhole mean %.0fms (max %.0fms), max outage mean %.0fms, probe loss %.2f%%\n",
+		s.Protocol, s.Pods, s.Scenario, s.Trials, s.FaultActions,
+		s.BlackholeMsMean, s.BlackholeMsMax, s.MaxOutageMsMean, 100*s.ProbeLossRateMean)
+	out += fmt.Sprintf("  churn: %.1f reconvergence waves (max %d), %.0f route updates, %.0f control msgs (%.0f B), %.2f waves/up-transition\n",
+		s.ReconvergencesMean, s.ReconvergencesMax, s.RouteUpdatesMean,
+		s.ControlMsgsMean, s.ControlBytesMean, s.ReconvPerUp)
+	if s.Protocol == ProtoMRMTP {
+		out += fmt.Sprintf("  qdsa: %.1f lost, %.1f accepted, %.1f hellos dampened, %.1f accept resets\n",
+			s.NeighborsLostMean, s.NeighborsAcceptedMean, s.HellosDampenedMean, s.AcceptResetsMean)
+	} else {
+		out += fmt.Sprintf("  bgp: %.1f session resets, %.1f established; bfd: %.1f down, %.1f up\n",
+			s.SessionResetsMean, s.SessionsEstablishedMean, s.BFDDownMean, s.BFDUpMean)
+	}
+	return out
+}

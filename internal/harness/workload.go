@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/simnet"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -35,6 +36,12 @@ type WorkloadConfig struct {
 	FailCase   topology.FailureCase
 	FailAfter  time.Duration
 
+	// Chaos, when set, applies a fault-injection campaign FailAfter into
+	// the run instead of the single clean FailCase — flows under flap
+	// storms, gray loss or drains rather than one `ip link set down`.
+	// It takes precedence over MidFailure.
+	Chaos *chaos.Spec
+
 	// MaxRun caps the virtual time spent waiting for flows to finish.
 	MaxRun time.Duration
 	// SampleInterval is the telemetry cadence.
@@ -62,8 +69,12 @@ func DefaultWorkloadConfig() WorkloadConfig {
 	}
 }
 
-// Scenario names the two workload scenarios.
+// Scenario names the workload scenario, e.g. "steady", "midfail" or
+// "chaos:flap-storm".
 func (w WorkloadConfig) Scenario() string {
+	if w.Chaos != nil {
+		return "chaos:" + w.Chaos.Name
+	}
 	if w.MidFailure {
 		return "midfail"
 	}
@@ -168,7 +179,13 @@ func RunWorkload(opts Options, w WorkloadConfig) (WorkloadResult, error) {
 	engine.Start()
 	sampler.Start()
 	start := f.Sim.Now()
-	if w.MidFailure {
+	switch {
+	case w.Chaos != nil:
+		f.Sim.RunFor(w.FailAfter)
+		if _, err := chaos.Apply(f.Sim, *w.Chaos); err != nil {
+			return WorkloadResult{}, err
+		}
+	case w.MidFailure:
 		f.Sim.RunFor(w.FailAfter)
 		if _, err := f.Fail(w.FailCase); err != nil {
 			return WorkloadResult{}, err

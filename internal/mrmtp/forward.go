@@ -149,11 +149,14 @@ func (r *Router) forwardData(payload []byte, dstRoot byte, key flowhash.Key) {
 		}
 	}
 	// Upward: hash across live uplinks not marked unreachable for the
-	// destination root (§III.C load balancing).
+	// destination root (§III.C load balancing). A DefaultRoot mark means
+	// the uplink's device withdrew its entire up-default, so it is out
+	// for every root it cannot name.
 	ups := r.uplinks()
 	eligible := r.eligScratch[:0]
 	for _, adj := range ups {
-		if !r.unreachable[adj.port.Index][dstRoot] {
+		marks := r.unreachable[adj.port.Index]
+		if !marks[dstRoot] && !marks[DefaultRoot] {
 			eligible = append(eligible, adj)
 		}
 	}

@@ -119,6 +119,17 @@ type Stats struct {
 	DataDelivered uint64
 	DataDropped   uint64
 	NeighborsLost uint64
+
+	// QDSA transition counters (chaos telemetry). NeighborsAccepted
+	// counts adjacencies re-admitted through Slow-to-Accept after a
+	// failure; HellosDampened counts frames received from a failed
+	// neighbor that did not yet clear the accept threshold (each is a
+	// reconvergence the dampening suppressed); AcceptResets counts
+	// consecutive-hello streaks abandoned because of a gap longer than
+	// the dead interval.
+	NeighborsAccepted uint64
+	HellosDampened    uint64
+	AcceptResets      uint64
 }
 
 // Router is one MR-MTP device. It implements simnet.Handler directly on
@@ -378,12 +389,16 @@ func (r *Router) HandleFrame(p *simnet.Port, raw []byte) {
 		// Slow-to-Accept: require AcceptHellos consecutive keep-alives
 		// (any MR-MTP message counts; a gap restarts the count).
 		if now-adj.lastRx > r.Cfg.DeadInterval {
+			if adj.consecutive > 0 {
+				r.Stats.AcceptResets++
+			}
 			adj.consecutive = 1
 		} else {
 			adj.consecutive++
 		}
 		adj.lastRx = now
 		if adj.consecutive < r.Cfg.AcceptHellos {
+			r.Stats.HellosDampened++
 			// Not believed yet: act on nothing, but remember the
 			// neighbor's advertisement so the tree re-join can start
 			// the moment the neighbor is accepted (the advertise may
@@ -398,6 +413,7 @@ func (r *Router) HandleFrame(p *simnet.Port, raw []byte) {
 		}
 		// The accepting frame itself is processed normally below — it is
 		// often the neighbor's re-ADVERTISE, which restarts the tree join.
+		r.Stats.NeighborsAccepted++
 		r.adjacencyUp(adj)
 	case adjUp:
 		adj.lastRx = now
@@ -460,6 +476,17 @@ func (r *Router) neighborDown(adj *adjacency) {
 		affected[root] = true
 	}
 	delete(r.unreachable, port)
+
+	// Losing the last live uplink kills default up-forwarding for every
+	// root this device cannot name: spines hold no VID entries for
+	// remote-pod roots (they route up by hashed default), so the entry
+	// sweep above finds nothing to withdraw. DefaultRoot stands in for
+	// that whole class, producing the LOST that tells downstream devices
+	// to stop hashing flows through us.
+	wasUplink := adj.neighborTier > r.Cfg.Tier || adj.neighborTier == 0
+	if wasUplink && !r.topTier() && len(r.uplinks()) == 0 {
+		affected[DefaultRoot] = true
+	}
 
 	r.processReachability(affected, port, true)
 	if invariant.Enabled {
@@ -773,7 +800,8 @@ func (r *Router) reachable(root byte) bool {
 		return false
 	}
 	for _, adj := range r.uplinks() {
-		if !r.unreachable[adj.port.Index][root] {
+		marks := r.unreachable[adj.port.Index]
+		if !marks[root] && !marks[DefaultRoot] {
 			return true
 		}
 	}

@@ -28,6 +28,14 @@ const (
 	UpdateFound byte = 2
 )
 
+// DefaultRoot is the sentinel root carried in UPDATE messages to withdraw
+// (or restore) a device's default up-forwarding path as a whole. Spines
+// keep no VID entries for remote-pod roots — traffic to them rides the
+// hashed up-default — so when the last live uplink dies there is no root
+// name to put in a LOST. Real roots derive from the 192.168.<vid>.0/24
+// rack octet and are never zero, so the value cannot collide.
+const DefaultRoot byte = 0
+
 // DataHeaderLen is the encapsulation header: type, TTL, source root VID,
 // destination root VID (paper §III.D: "an MR-MTP header with the source
 // ToR VID = 11 and destination ToR VID = 14").

@@ -224,21 +224,59 @@ func (p *Port) Send(frame []byte) {
 	p.Counters.TxFrames++
 	p.Counters.TxBytes += uint64(len(frame))
 	link := p.Link
+	d := link.dir(p)
 	for _, tap := range link.taps {
 		tap(sim.now, p, frame)
 	}
 	if link.lossRate > 0 && sim.rng.Float64() < link.lossRate {
 		link.Lost++
+		d.lost++
 		if sim.Trace != nil {
 			sim.tracef("%s: frame lost in transit (%d bytes)", p.Name(), len(frame)) //simlint:alloc trace-only, guarded by Trace != nil
 		}
 		return
 	}
+	// Per-direction impairments (fault injection beyond uniform loss): the
+	// flag check keeps the unimpaired TX path free of extra RNG draws, so
+	// clean runs consume randomness exactly as before.
+	jitter := time.Duration(0)
+	if d.impaired {
+		if d.imp.Down {
+			link.Lost++
+			d.lost++
+			if sim.Trace != nil {
+				sim.tracef("%s: frame lost (one-way carrier down), %d bytes", p.Name(), len(frame)) //simlint:alloc trace-only, guarded by Trace != nil
+			}
+			return
+		}
+		if d.imp.LossRate > 0 && sim.rng.Float64() < d.imp.LossRate {
+			link.Lost++
+			d.lost++
+			if sim.Trace != nil {
+				sim.tracef("%s: frame lost (impairment), %d bytes", p.Name(), len(frame)) //simlint:alloc trace-only, guarded by Trace != nil
+			}
+			return
+		}
+		if d.imp.CorruptRate > 0 && sim.rng.Float64() < d.imp.CorruptRate {
+			// Flip one random byte: the receiver sees a parseable-or-not
+			// frame, exactly as a gray link delivers bit errors past a
+			// checksumless MAC.
+			frame[sim.rng.Intn(len(frame))] ^= 0xFF
+			link.Corrupted++
+			d.corrupted++
+			if sim.Trace != nil {
+				sim.tracef("%s: frame corrupted in transit (%d bytes)", p.Name(), len(frame)) //simlint:alloc trace-only, guarded by Trace != nil
+			}
+		}
+		jitter = d.imp.ExtraLatency
+		if d.imp.Jitter > 0 {
+			jitter += time.Duration(sim.rng.Int63n(int64(d.imp.Jitter)))
+		}
+	}
 	// Serialization and queueing: with finite bandwidth the frame waits
 	// behind earlier frames, then occupies the wire for its bit time.
-	delay := link.Latency
+	delay := link.Latency + jitter
 	if link.bandwidth > 0 {
-		d := link.dir(p)
 		if link.maxQueue > 0 && d.queued >= link.maxQueue {
 			link.Overflowed++
 			d.overflows++
@@ -255,7 +293,7 @@ func (p *Port) Send(frame []byte) {
 		}
 		d.busyUntil = start + txTime
 		d.queued++
-		delay = d.busyUntil - sim.now + link.Latency
+		delay = d.busyUntil - sim.now + link.Latency + jitter
 		free := sim.schedule(d.busyUntil)
 		free.kind = evQueueFree
 		free.dir = d
@@ -320,6 +358,35 @@ func (p *Port) Restore() {
 	})
 }
 
+// CarrierFault reports carrier loss to the owning node's handler WITHOUT
+// administratively downing the port: the node reacts as if the interface
+// died (its receiver lost light) while its own transmitter keeps working
+// and the peer sees nothing. Combined with a Down impairment on the
+// peer-to-here direction this models a one-way fiber cut that only this
+// endpoint can see — the gray failure mode where protocols relying on
+// symmetric liveness (one-way hellos) diverge from ones that echo state
+// (BFD). A port that is already administratively down reports nothing.
+func (p *Port) CarrierFault() {
+	sim := p.Node.Sim
+	sim.tracef("%s: one-way carrier fault", p.Name())
+	sim.Schedule(sim.LocalDetectDelay, func() {
+		if p.Node.Handler != nil && p.up {
+			p.Node.Handler.PortDown(p)
+		}
+	})
+}
+
+// CarrierRestore reports carrier recovery after a CarrierFault.
+func (p *Port) CarrierRestore() {
+	sim := p.Node.Sim
+	sim.tracef("%s: one-way carrier restored", p.Name())
+	sim.Schedule(sim.LocalDetectDelay, func() {
+		if p.Node.Handler != nil && p.up {
+			p.Node.Handler.PortUp(p)
+		}
+	})
+}
+
 // CaptureFunc observes a frame at transmit time: the timestamped capture
 // hook used by the tshark-equivalent in internal/capture.
 type CaptureFunc func(at time.Duration, from *Port, frame []byte)
@@ -333,8 +400,12 @@ type Link struct {
 	// lossRate is the probability of dropping each frame in flight
 	// (fault injection for protocol-robustness tests).
 	lossRate float64
-	// Lost counts frames dropped by loss injection.
+	// Lost counts frames dropped by loss injection (uniform and
+	// per-direction), both directions combined.
 	Lost uint64
+	// Corrupted counts frames that had a byte flipped by a corruption
+	// impairment, both directions combined.
+	Corrupted uint64
 
 	// bandwidth, when nonzero, serializes frames at this many bits per
 	// second per direction; frames queue FIFO behind the transmitter.
@@ -354,6 +425,56 @@ type dirState struct {
 	queued        int
 	overflows     uint64
 	overflowBytes uint64
+
+	// imp is the direction's fault profile; impaired caches imp != zero so
+	// the clean TX path pays one flag test and no extra RNG draws.
+	imp       Impairment
+	impaired  bool
+	lost      uint64
+	corrupted uint64
+}
+
+// Impairment is a per-direction fault profile: every field applies to
+// frames transmitted in one direction of a link, leaving the reverse
+// direction untouched. The zero value is a clean wire.
+type Impairment struct {
+	// LossRate drops each frame with this probability (asymmetric gray
+	// loss when set on one direction only).
+	LossRate float64
+	// CorruptRate flips one random byte of each surviving frame with this
+	// probability (bit errors past a checksumless MAC).
+	CorruptRate float64
+	// ExtraLatency delays every frame by this much on top of the link
+	// latency.
+	ExtraLatency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter) per frame; enough
+	// of it reorders frames.
+	Jitter time.Duration
+	// Down blackholes the direction entirely: a one-way fiber cut. Both
+	// ports stay administratively up, so neither endpoint sees a
+	// carrier event — pair with Port.CarrierFault on the receiving end
+	// for the variant where that endpoint's optics raise an alarm.
+	Down bool
+}
+
+// active reports whether any fault is configured.
+func (i Impairment) active() bool { return i != Impairment{} }
+
+// Impair installs the fault profile on the direction transmitting from p.
+// The zero Impairment clears the direction.
+func (l *Link) Impair(from *Port, imp Impairment) {
+	d := l.dir(from)
+	d.imp = imp
+	d.impaired = imp.active()
+}
+
+// Impaired returns the direction's current fault profile.
+func (l *Link) Impaired(from *Port) Impairment { return l.dir(from).imp }
+
+// ClearImpairments restores both directions to a clean wire.
+func (l *Link) ClearImpairments() {
+	l.Impair(l.A, Impairment{})
+	l.Impair(l.B, Impairment{})
 }
 
 // LinkStats is a snapshot of one transmit direction of a link: the egress
@@ -367,14 +488,23 @@ type LinkStats struct {
 	// full, and OverflowBytes their total size.
 	Overflows     uint64
 	OverflowBytes uint64
+	// Lost counts frames dropped in this direction by loss injection
+	// (uniform link loss, asymmetric impairment loss, or a one-way Down).
+	Lost uint64
+	// Corrupted counts frames that had a byte flipped in this direction.
+	Corrupted uint64
 }
 
 // Stats returns the egress counters for the direction transmitting from p.
-// Links without a bandwidth cap never queue or drop, so their stats stay
-// zero.
+// Links without a bandwidth cap never queue or tail-drop, so those fields
+// stay zero; Lost and Corrupted count loss/corruption injection and move
+// on any link carrying an impairment.
 func (l *Link) Stats(from *Port) LinkStats {
 	d := l.dir(from)
-	return LinkStats{Queued: d.queued, Overflows: d.overflows, OverflowBytes: d.overflowBytes}
+	return LinkStats{
+		Queued: d.queued, Overflows: d.overflows, OverflowBytes: d.overflowBytes,
+		Lost: d.lost, Corrupted: d.corrupted,
+	}
 }
 
 // Bandwidth returns the link's per-direction capacity in bits per second

@@ -20,6 +20,10 @@ type Summary struct {
 	P50    float64
 	P95    float64
 	P99    float64
+	// P999 resolves the extreme tail: chaos campaigns produce
+	// distributions whose interesting mass (blackhole outliers, dampened
+	// reconvergence stragglers) sits beyond the 99th percentile.
+	P999 float64
 }
 
 // Summarize computes a Summary. An empty sample yields the zero Summary.
@@ -49,6 +53,7 @@ func Summarize(xs []float64) Summary {
 	s.P50 = Percentile(xs, 50)
 	s.P95 = Percentile(xs, 95)
 	s.P99 = Percentile(xs, 99)
+	s.P999 = Percentile(xs, 99.9)
 	return s
 }
 
@@ -88,8 +93,8 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
-// String renders "mean=… [min=…, p50=…, p95=…, p99=…, max=…] n=…".
+// String renders "mean=… [min=…, p50=…, p95=…, p99=…, p999=…, max=…] n=…".
 func (s Summary) String() string {
-	return fmt.Sprintf("mean=%.2f [min=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f] n=%d",
-		s.Mean, s.Min, s.P50, s.P95, s.P99, s.Max, s.N)
+	return fmt.Sprintf("mean=%.2f [min=%.2f p50=%.2f p95=%.2f p99=%.2f p999=%.2f max=%.2f] n=%d",
+		s.Mean, s.Min, s.P50, s.P95, s.P99, s.P999, s.Max, s.N)
 }

@@ -58,6 +58,7 @@ func TestQuantilesKnownSample(t *testing.T) {
 		{"P50", s.P50, 50.5},
 		{"P95", s.P95, 95.05},
 		{"P99", s.P99, 99.01},
+		{"P999", s.P999, 99.901},
 	} {
 		if math.Abs(tc.got-tc.want) > 1e-9 {
 			t.Errorf("%s = %v, want %v", tc.name, tc.got, tc.want)
@@ -65,8 +66,37 @@ func TestQuantilesKnownSample(t *testing.T) {
 	}
 	// A single-element sample pins every percentile to that element.
 	one := Summarize([]float64{7})
-	if one.P50 != 7 || one.P95 != 7 || one.P99 != 7 {
-		t.Errorf("single-sample percentiles = %v/%v/%v, want 7", one.P50, one.P95, one.P99)
+	if one.P50 != 7 || one.P95 != 7 || one.P99 != 7 || one.P999 != 7 {
+		t.Errorf("single-sample percentiles = %v/%v/%v/%v, want 7", one.P50, one.P95, one.P99, one.P999)
+	}
+}
+
+// TestP99UnchangedByP999 pins the regression contract for adding P999:
+// every previously-reported quantile must stay bit-identical to the direct
+// Percentile computation it has always used — adding a field must not
+// perturb existing figure values.
+func TestP99UnchangedByP999(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return s.P50 == Percentile(xs, 50) &&
+			s.P95 == Percentile(xs, 95) &&
+			s.P99 == Percentile(xs, 99) &&
+			s.P999 == Percentile(xs, 99.9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// One pinned literal so a change to Percentile itself also trips.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Summarize(xs).P99; got != Percentile(xs, 99) || math.Abs(got-8.86) > 1e-9 {
+		t.Errorf("P99 = %v, want 8.86 exactly", got)
 	}
 }
 
@@ -93,7 +123,7 @@ func TestSummaryProperties(t *testing.T) {
 		return s.Min == sorted[0] &&
 			s.Max == sorted[len(sorted)-1] &&
 			s.Min <= s.Mean && s.Mean <= s.Max &&
-			s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max &&
+			s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.P999 && s.P999 <= s.Max &&
 			s.StdDev >= 0
 	}
 	if err := quick.Check(f, nil); err != nil {

@@ -128,6 +128,31 @@ func (r *Receiver) packet(payload []byte) {
 	}
 }
 
+// Seq returns the next sequence number the sender will transmit; a probe
+// window is the half-open range [Seq at start, Seq at end).
+func (s *Sender) Seq() uint64 { return s.seq }
+
+// Missing scans the half-open sequence window [from, to) and returns how
+// many of those packets never arrived plus the length of the longest
+// consecutive missing run. Against a fixed-interval sender the product of
+// either count with the interval gives blackhole time and maximum outage
+// for the window — the chaos campaign's loss metrics.
+func (r *Receiver) Missing(from, to uint64) (total, longest uint64) {
+	var run uint64
+	for seq := from; seq < to; seq++ {
+		if r.seen[seq] {
+			run = 0
+			continue
+		}
+		total++
+		run++
+		if run > longest {
+			longest = run
+		}
+	}
+	return total, longest
+}
+
 // Report is the analyzer's verdict, comparable to the paper's loss counts.
 type Report struct {
 	Sent       uint64

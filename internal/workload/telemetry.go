@@ -21,6 +21,12 @@ type LinkSample struct {
 	Queued int
 	// Drops is the cumulative overflow-drop count for this direction.
 	Drops uint64
+	// Lost is the cumulative count of frames dropped in this direction by
+	// loss injection (link loss, impairments, one-way faults).
+	Lost uint64
+	// Corrupted is the cumulative count of frames corrupted in this
+	// direction by impairment injection.
+	Corrupted uint64
 }
 
 // LinkSeries is the time series of one link direction.
@@ -87,10 +93,12 @@ func (s *Sampler) sample() {
 		tx := sr.from.Counters.TxBytes
 		ls := s.link(sr)
 		smp := LinkSample{
-			At:      now,
-			TxBytes: (tx - sr.lastTx) - (ls.OverflowBytes - sr.lastDropB),
-			Queued:  ls.Queued,
-			Drops:   ls.Overflows,
+			At:        now,
+			TxBytes:   (tx - sr.lastTx) - (ls.OverflowBytes - sr.lastDropB),
+			Queued:    ls.Queued,
+			Drops:     ls.Overflows,
+			Lost:      ls.Lost,
+			Corrupted: ls.Corrupted,
 		}
 		if bps := sr.link.Bandwidth(); bps > 0 {
 			capacity := float64(bps) / 8 * s.interval.Seconds()

@@ -292,6 +292,42 @@ func TestSamplerSeriesAndDrops(t *testing.T) {
 	}
 }
 
+func TestSamplerSurfacesImpairmentCounters(t *testing.T) {
+	// Lost/Corrupted from the link's impairment state must reach the
+	// telemetry samples, per direction, so the workload CSV can show
+	// where a gray failure sat.
+	sim := simnet.New(3)
+	a, b := sim.AddNode("a"), sim.AddNode("b")
+	a.Handler, b.Handler = ipstack.New(a), ipstack.New(b)
+	link := sim.ConnectLatency(a.AddPort(), b.AddPort(), 0)
+	link.Impair(a.Port(1), simnet.Impairment{LossRate: 0.5, CorruptRate: 0.5})
+
+	s := NewSampler(sim, 10*time.Millisecond)
+	s.Watch(link)
+	s.Start()
+	frame := make([]byte, 100)
+	for i := 0; i < 50; i++ {
+		sim.After(time.Duration(i)*time.Millisecond, func() { a.Port(1).Send(frame) })
+	}
+	sim.RunFor(100 * time.Millisecond)
+	s.Stop()
+
+	fwd := s.Series()[0]
+	last := fwd.Samples[len(fwd.Samples)-1]
+	if last.Lost == 0 {
+		t.Error("50% loss on 50 frames surfaced no Lost count")
+	}
+	if last.Corrupted == 0 {
+		t.Error("50% corruption on 50 frames surfaced no Corrupted count")
+	}
+	rev := s.Series()[1]
+	for _, smp := range rev.Samples {
+		if smp.Lost != 0 || smp.Corrupted != 0 {
+			t.Fatalf("clean reverse direction recorded impairments: %+v", smp)
+		}
+	}
+}
+
 func TestLoadMeterIndices(t *testing.T) {
 	sim := simnet.New(1)
 	a, b, c := sim.AddNode("a"), sim.AddNode("b"), sim.AddNode("c")
