@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint analyzers invariants race bench figures fuzz-smoke chaos-smoke check
+.PHONY: all build test vet lint analyzers invariants race bench bench-partition bench-partition-smoke figures fuzz-smoke chaos-smoke check
 
 all: check
 
@@ -53,6 +53,18 @@ race:
 bench:
 	$(GO) test -bench 'Fig|Ablation|Scale' -benchtime 1x -run '^$$' .
 
+# bench-partition times the space-parallel engine at 1/2/4/8 shards on an
+# 8-PoD fabric and writes BENCH_partition.json (ns per simulated second,
+# speedup vs sequential, GOMAXPROCS — speedup > 1 needs a multi-core host).
+bench-partition:
+	$(GO) run ./cmd/closlab -experiment bench-partition -trials 3
+
+# bench-partition-smoke is the one-iteration tripwire wired into `make
+# check`: the sweep (including the 8-shard build) must run end to end, the
+# numbers land in a scratch file.
+bench-partition-smoke:
+	$(GO) run ./cmd/closlab -experiment bench-partition -trials 1 -bench-out /tmp/closlab-bench-partition.json
+
 # figures prints the full evaluation grids via the CLI driver.
 figures:
 	$(GO) run ./cmd/closlab -experiment all
@@ -74,4 +86,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseMessage -fuzztime $(FUZZ_TIME) ./internal/mrmtp
 	$(GO) test -run '^$$' -fuzz FuzzParseMessage -fuzztime $(FUZZ_TIME) ./internal/bgp
 
-check: build vet lint test race
+check: build vet lint test race bench-partition-smoke

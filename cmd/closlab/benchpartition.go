@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/topology"
+)
+
+// benchPartitionSpec is the fabric the partition benchmark shards: large
+// enough (8 PoDs, 40 routers + servers per PoD slice) that per-shard work
+// dominates the synchronization barriers.
+func benchPartitionSpec() topology.Spec {
+	return topology.Spec{Pods: 8, LeavesPerPod: 4, SpinesPerPod: 4, UplinksPerSpine: 2, ServersPerLeaf: 1}
+}
+
+// partitionShardStat is one shard's share of the run.
+type partitionShardStat struct {
+	Nodes  int           `json:"nodes"`
+	Events uint64        `json:"events"`
+	BusyNs time.Duration `json:"busy_ns"`
+}
+
+// partitionBenchRow is the measurement for one shard count.
+type partitionBenchRow struct {
+	Shards int `json:"shards"`
+	// NsPerOp is the mean wall-clock cost of one simulated second of
+	// steady-state fabric churn after warm-up.
+	NsPerOp int64 `json:"ns_per_op"`
+	// EventsPerOp is the virtual events processed per simulated second —
+	// identical across shard counts by the engine's identity contract.
+	EventsPerOp uint64 `json:"events_per_op"`
+	// SpeedupVsSequential is sequential ns/op over this row's ns/op.
+	SpeedupVsSequential float64              `json:"speedup_vs_sequential"`
+	ShardStats          []partitionShardStat `json:"shard_stats,omitempty"`
+}
+
+// partitionBenchFile is the BENCH_partition.json schema.
+type partitionBenchFile struct {
+	GeneratedBy string `json:"generated_by"`
+	// GOMAXPROCS bounds the parallelism actually available: speedup > 1
+	// requires GOMAXPROCS >= shards. On a single-core runner the sharded
+	// rows measure pure synchronization overhead.
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	NumCPU     int                 `json:"num_cpu"`
+	Pods       int                 `json:"pods"`
+	Iterations int                 `json:"iterations"`
+	Results    []partitionBenchRow `json:"results"`
+}
+
+// benchPartition times the space-parallel engine at shard counts 1/2/4/8
+// over an 8-PoD MR-MTP fabric and writes BENCH_partition.json. Wall-clock
+// reads here are the measurement itself, not simulation state.
+func benchPartition(_ []topology.Spec, trials int, seed int64, path string) error {
+	if trials < 1 {
+		trials = 1
+	}
+	spec := benchPartitionSpec()
+	out := partitionBenchFile{
+		GeneratedBy: "closlab -experiment bench-partition",
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Pods:        spec.Pods,
+		Iterations:  trials,
+	}
+	emitf("Space-parallel engine — %d-PoD MR-MTP fabric, %d x 1s steady state (GOMAXPROCS=%d):\n",
+		spec.Pods, trials, out.GOMAXPROCS)
+	emitf("%8s %14s %14s %9s\n", "shards", "ns/op", "events/op", "speedup")
+	var baseline int64
+	for _, shards := range []int{1, 2, 4, 8} {
+		opts := harness.DefaultOptions(spec, harness.ProtoMRMTP, seed)
+		opts.Partitions = shards
+		f, err := harness.Build(opts)
+		if err != nil {
+			return err
+		}
+		if err := f.WarmUp(harness.WarmupTime); err != nil {
+			return err
+		}
+		evStart := f.Sim.Events()
+		start := time.Now() //simlint:deterministic benchmark harness measuring real elapsed time
+		for i := 0; i < trials; i++ {
+			f.Sim.RunFor(time.Second)
+		}
+		elapsed := time.Since(start) //simlint:deterministic benchmark harness measuring real elapsed time
+		row := partitionBenchRow{
+			Shards:      shards,
+			NsPerOp:     elapsed.Nanoseconds() / int64(trials),
+			EventsPerOp: (f.Sim.Events() - evStart) / uint64(trials),
+		}
+		if baseline == 0 {
+			baseline = row.NsPerOp
+		}
+		if row.NsPerOp > 0 {
+			row.SpeedupVsSequential = float64(baseline) / float64(row.NsPerOp)
+		}
+		if f.Cluster != nil {
+			for _, st := range f.Cluster.ShardTimings() {
+				row.ShardStats = append(row.ShardStats, partitionShardStat{
+					Nodes: st.Nodes, Events: st.Events, BusyNs: st.Busy,
+				})
+			}
+		}
+		out.Results = append(out.Results, row)
+		emitf("%8d %14d %14d %8.2fx\n", shards, row.NsPerOp, row.EventsPerOp, row.SpeedupVsSequential)
+		if f.Cluster != nil {
+			for i, st := range f.Cluster.ShardTimings() {
+				emitf("%8s   shard %d: %3d nodes, %8d events, busy %v\n", "", i, st.Nodes, st.Events, st.Busy)
+			}
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	emitf("wrote %s\n\n", path)
+	return nil
+}

@@ -13,11 +13,15 @@
 //	closlab -experiment config                 # Listings 1-2 comparison
 //	closlab -experiment workload               # FCT + load balance under load
 //	closlab -experiment chaos                  # fault-injection campaigns
-//	closlab -experiment all                    # everything
+//	closlab -experiment bench-partition        # space-parallel engine timing
+//	closlab -experiment all                    # everything (virtual-time figures)
 //
 // Flags -trials and -seed control averaging, -pods restricts the topology,
 // and -parallel bounds how many trials run concurrently (the figures do not
-// depend on it: trial seeds derive from trial indices).
+// depend on it: trial seeds derive from trial indices). -shards partitions
+// each fabric across worker goroutines via the space-parallel engine; every
+// figure is bit-identical at any shard count, so it is purely a wall-clock
+// knob (like -parallel).
 package main
 
 import (
@@ -38,15 +42,19 @@ import (
 var protocols = []harness.Protocol{harness.ProtoMRMTP, harness.ProtoBGP, harness.ProtoBGPBFD}
 
 func main() {
-	experiment := flag.String("experiment", "all", "convergence|blastradius|overhead|loss-near|loss-far|keepalive|config|nodefail|flap|workload|chaos|artifacts|all")
+	experiment := flag.String("experiment", "all", "convergence|blastradius|overhead|loss-near|loss-far|keepalive|config|nodefail|flap|workload|chaos|bench-partition|artifacts|all")
 	trials := flag.Int("trials", 3, "trials to average per data point")
 	seed := flag.Int64("seed", 1, "base random seed")
 	pods := flag.Int("pods", 0, "restrict to one topology size (2 or 4); 0 = both")
 	out := flag.String("out", "closlab-artifacts", "output directory for -experiment artifacts")
 	parallel := flag.Int("parallel", harness.Workers,
 		"concurrent trials per data point (1 = sequential; results are identical either way)")
+	shards := flag.Int("shards", harness.DefaultPartitions,
+		"partitions per fabric (1 = sequential engine; must divide the PoD count; results are identical either way)")
+	benchOut := flag.String("bench-out", "BENCH_partition.json", "output file for -experiment bench-partition")
 	flag.Parse()
 	harness.Workers = *parallel
+	harness.DefaultPartitions = *shards
 
 	var specs []topology.Spec
 	switch *pods {
@@ -79,6 +87,16 @@ func main() {
 		{"chaos", func(s []topology.Spec, n int, seed int64) error {
 			return chaosExperiment(s, n, seed, *out)
 		}},
+	}
+
+	// bench-partition is opt-in only (it measures wall time, so "all" —
+	// which exists to regenerate the paper's virtual-time figures — skips
+	// it).
+	if *experiment == "bench-partition" {
+		if err := benchPartition(specs, *trials, *seed, *benchOut); err != nil {
+			fatalf("bench-partition: %v", err)
+		}
+		return
 	}
 
 	// Reject a bad -experiment before anything runs: a typo must exit

@@ -205,9 +205,10 @@ func (s *Session) detectTime() time.Duration {
 
 func (s *Session) scheduleTx() {
 	// RFC 5880 §6.8.7 requires jitter (75-100% of the interval) to avoid
-	// self-synchronization; the simulator's seeded RNG keeps it
-	// deterministic per run.
-	jitter := time.Duration(s.sim.Rand().Int63n(int64(s.cfg.TxInterval / 4)))
+	// self-synchronization; the node's seeded stream keeps it deterministic
+	// per run and independent of which engine (sequential or partitioned)
+	// interleaves the other nodes' draws.
+	jitter := time.Duration(s.stack.Node.Rand().Int63n(int64(s.cfg.TxInterval / 4)))
 	d := s.cfg.TxInterval - jitter
 	if s.txTimer != nil {
 		s.txTimer.Reset(d)

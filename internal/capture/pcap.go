@@ -42,7 +42,7 @@ func (r *Recorder) Tap(l *simnet.Link) {
 }
 
 // TapAll attaches the recorder to every link in the simulation.
-func (r *Recorder) TapAll(sim *simnet.Sim) {
+func (r *Recorder) TapAll(sim simnet.Engine) {
 	for _, l := range sim.Links() {
 		r.Tap(l)
 	}

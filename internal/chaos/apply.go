@@ -23,7 +23,7 @@ type Event struct {
 type Injector struct {
 	Spec Spec
 
-	sim    *simnet.Sim
+	sim    simnet.Engine
 	events []Event
 }
 
@@ -41,7 +41,7 @@ func (in *Injector) record(k Kind, action, target, detail string) {
 // resolvePort finds the interface on ref.Device wired to ref.Peer. Node
 // port slices are in insertion order, so resolution is deterministic even
 // when parallel links exist (the first is chosen).
-func resolvePort(sim *simnet.Sim, ref LinkRef) (*simnet.Port, error) {
+func resolvePort(sim simnet.Engine, ref LinkRef) (*simnet.Port, error) {
 	node := sim.Node(ref.Device)
 	if node == nil {
 		return nil, fmt.Errorf("chaos: no node %q", ref.Device)
@@ -59,7 +59,7 @@ func resolvePort(sim *simnet.Sim, ref LinkRef) (*simnet.Port, error) {
 // Resolution is eager: a spec naming a missing device or link fails here,
 // before anything is scheduled. The returned Injector accumulates the
 // action log as the simulation runs the campaign.
-func Apply(sim *simnet.Sim, spec Spec) (*Injector, error) {
+func Apply(sim simnet.Engine, spec Spec) (*Injector, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}

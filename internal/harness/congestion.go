@@ -65,7 +65,7 @@ func RunCongestion(opts Options, flows int, linkBps int64, duration time.Duratio
 		res.Delivered += rep.Received
 	}
 	for _, link := range f.Sim.Links() {
-		res.Overflow += link.Overflowed
+		res.Overflow += link.Overflowed()
 	}
 	return res, nil
 }

@@ -158,7 +158,7 @@ func TestCongestionQueueOverflowCounted(t *testing.T) {
 	f.Sim.RunFor(2 * time.Second)
 	var overflowed uint64
 	for _, link := range f.Sim.Links() {
-		overflowed += link.Overflowed
+		overflowed += link.Overflowed()
 	}
 	if overflowed == 0 {
 		t.Error("16x oversubscription with 8-frame queues overflowed nothing")

@@ -130,7 +130,7 @@ func TestLossInjectionActuallyDrops(t *testing.T) {
 	f.Sim.RunFor(5 * time.Second)
 	var lost uint64
 	for _, l := range f.Sim.Links() {
-		lost += l.Lost
+		lost += l.Lost()
 	}
 	if lost == 0 {
 		t.Error("50% loss rate dropped nothing")

@@ -1,0 +1,159 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/topology"
+)
+
+// The partitioned engine's acceptance bar: running any existing experiment
+// on a sharded fabric must produce output bit-identical to the sequential
+// engine. Ties at one virtual instant break by the deterministic
+// (time, class, device, tie, seq) key, never by arrival order, so the shard
+// count must be invisible in every result.
+
+// partitionCounts are the shard counts the identity tests sweep. The
+// 4-PoD fabric divides evenly by both.
+var partitionCounts = []int{2, 4}
+
+func withPartitions(opts Options, p int) Options {
+	opts.Partitions = p
+	return opts
+}
+
+func TestPartitionedFailureIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fabric trials in -short mode")
+	}
+	for _, proto := range []Protocol{ProtoMRMTP, ProtoBGP} {
+		for _, tc := range []topology.FailureCase{topology.TC1, topology.TC3} {
+			opts := DefaultOptions(topology.FourPodSpec(), proto, 11)
+			seq, err := RunFailure(withPartitions(opts, 1), tc)
+			if err != nil {
+				t.Fatalf("%v/%v sequential: %v", proto, tc, err)
+			}
+			for _, shards := range partitionCounts {
+				par, err := RunFailure(withPartitions(opts, shards), tc)
+				if err != nil {
+					t.Fatalf("%v/%v %d shards: %v", proto, tc, shards, err)
+				}
+				if !reflect.DeepEqual(seq, par) {
+					t.Errorf("%v/%v: %d-shard result differs from sequential:\nsequential: %+v\npartitioned: %+v",
+						proto, tc, shards, seq, par)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionedLossIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fabric trials in -short mode")
+	}
+	for _, proto := range []Protocol{ProtoMRMTP, ProtoBGPBFD} {
+		opts := DefaultOptions(topology.FourPodSpec(), proto, 13)
+		seq, err := RunLoss(withPartitions(opts, 1), topology.TC2, false)
+		if err != nil {
+			t.Fatalf("%v sequential: %v", proto, err)
+		}
+		for _, shards := range partitionCounts {
+			par, err := RunLoss(withPartitions(opts, shards), topology.TC2, false)
+			if err != nil {
+				t.Fatalf("%v %d shards: %v", proto, shards, err)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("%v: %d-shard loss result differs from sequential:\nsequential: %+v\npartitioned: %+v",
+					proto, shards, seq, par)
+			}
+		}
+	}
+}
+
+func TestPartitionedWorkloadIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fabric trials in -short mode")
+	}
+	opts := DefaultOptions(topology.FourPodSpec(), ProtoMRMTP, 17)
+	w := DefaultWorkloadConfig()
+	w.Flows = 60
+	w.MaxRun = 8 * time.Second
+	w.MidFailure = true
+	seq, err := RunWorkload(withPartitions(opts, 1), w)
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	for _, shards := range partitionCounts {
+		par, err := RunWorkload(withPartitions(opts, shards), w)
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		// LinkSeries carries unexported engine-graph pointers that can
+		// never be equal across two fabric builds; compare the telemetry
+		// by its observable data and everything else structurally.
+		if len(seq.Series) != len(par.Series) {
+			t.Fatalf("%d shards: %d series vs %d sequential", shards, len(par.Series), len(seq.Series))
+		}
+		for i := range seq.Series {
+			a, b := seq.Series[i], par.Series[i]
+			if a.Name != b.Name {
+				t.Errorf("%d shards: series %d named %q, sequential %q", shards, i, b.Name, a.Name)
+			} else if !reflect.DeepEqual(a.Samples, b.Samples) {
+				t.Errorf("%d shards: series %s samples differ from sequential", shards, a.Name)
+			}
+		}
+		seqCopy, parCopy := seq, par
+		seqCopy.Series, parCopy.Series = nil, nil
+		if !reflect.DeepEqual(seqCopy, parCopy) {
+			t.Errorf("%d-shard workload result differs from sequential:\nsequential: %+v\npartitioned: %+v",
+				shards, seqCopy, parCopy)
+		}
+	}
+}
+
+func TestPartitionedChaosIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fabric trials in -short mode")
+	}
+	// gray-spine impairs a spine→top link (cross-partition under the
+	// by-PoD policy) and oneway-top chaos-Downs the reverse direction of
+	// one — exactly the "impaired lookahead link" edge cases.
+	byName := make(map[string]chaos.Spec)
+	for _, s := range ChaosCatalog() {
+		byName[s.Name] = s
+	}
+	for _, name := range []string{"gray-spine", "oneway-top", "flap-burst"} {
+		spec, ok := byName[name]
+		if !ok {
+			t.Fatalf("catalog scenario %q missing", name)
+		}
+		opts := DefaultOptions(topology.FourPodSpec(), ProtoMRMTP, 19)
+		seq, err := RunChaos(withPartitions(opts, 1), spec)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", name, err)
+		}
+		for _, shards := range partitionCounts {
+			par, err := RunChaos(withPartitions(opts, shards), spec)
+			if err != nil {
+				t.Fatalf("%s %d shards: %v", name, shards, err)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("%s: %d-shard chaos result differs from sequential:\nsequential: %+v\npartitioned: %+v",
+					name, shards, seq, par)
+			}
+		}
+	}
+}
+
+// TestPartitionedBuildRejectsBadCounts pins the divisibility contract: a
+// shard count that does not divide the PoD count must fail loudly at Build,
+// never fall back to a silent remainder shard.
+func TestPartitionedBuildRejectsBadCounts(t *testing.T) {
+	opts := DefaultOptions(topology.FourPodSpec(), ProtoMRMTP, 1)
+	opts.Partitions = 3
+	if _, err := Build(opts); err == nil {
+		t.Error("Build accepted 3 partitions over a 4-PoD fabric")
+	}
+}

@@ -155,7 +155,7 @@ func RunWorkload(opts Options, w WorkloadConfig) (WorkloadResult, error) {
 		}
 	}
 
-	engine, err := workload.New(f.WorkloadHosts(), workload.Config{
+	engine, err := workload.New(f.Sim, f.WorkloadHosts(), workload.Config{
 		Pattern:        w.Pattern,
 		Sizes:          w.Sizes,
 		Flows:          w.Flows,

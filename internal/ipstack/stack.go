@@ -90,7 +90,7 @@ func New(node *simnet.Node) *Stack {
 		arpPending:  make(map[netaddr.IPv4][][]byte),
 		udpHandlers: make(map[uint16]UDPHandler),
 	}
-	s.TCP = tcp.NewEndpoint(node.Sim, s.sendTCPSegment)
+	s.TCP = tcp.NewEndpoint(node.Sim, node.Rand(), s.sendTCPSegment)
 	node.Handler = s
 	return s
 }

@@ -83,8 +83,8 @@ func TestQueueOverflowTailDrops(t *testing.T) {
 		a.Port(1).Send(make([]byte, 1000))
 	}
 	s.RunFor(time.Second)
-	if link.Overflowed != 6 {
-		t.Errorf("overflowed = %d, want 6 (10 offered, 4 queue slots)", link.Overflowed)
+	if link.Overflowed() != 6 {
+		t.Errorf("overflowed = %d, want 6 (10 offered, 4 queue slots)", link.Overflowed())
 	}
 	if got := b.Port(1).Counters.RxFrames; got != 4 {
 		t.Errorf("delivered = %d, want 4", got)
@@ -126,8 +126,8 @@ func TestLinkStatsPerDirection(t *testing.T) {
 	if fwd.Queued != 0 || rev.Queued != 0 {
 		t.Errorf("queues not drained: fwd=%d rev=%d", fwd.Queued, rev.Queued)
 	}
-	if link.Overflowed != fwd.Overflows+rev.Overflows {
-		t.Errorf("link total %d != sum of directions %d", link.Overflowed, fwd.Overflows+rev.Overflows)
+	if link.Overflowed() != fwd.Overflows+rev.Overflows {
+		t.Errorf("link total %d != sum of directions %d", link.Overflowed(), fwd.Overflows+rev.Overflows)
 	}
 	if got := link.Bandwidth(); got != 8_000_000 {
 		t.Errorf("Bandwidth() = %d, want 8000000", got)

@@ -50,16 +50,54 @@ type event struct {
 	dir      *dirState
 }
 
-// heapEntry is one slot of the scheduling heap. Events with equal time fire
-// in scheduling order (seq), which keeps runs deterministic.
+// heapEntry is one slot of the scheduling heap. Events are totally ordered
+// by (at, prio, tie, seq) — a key chosen so the space-partitioned engine
+// (partition.go) reproduces the sequential engine's event order exactly:
+//
+//   - prio encodes the owning node and event class: 0 for control events
+//     (scheduled from outside any node's context — harness code, chaos
+//     closures, the partitioned coordinator), (node+1)<<2|1 for a node's
+//     local events (timers, egress bookkeeping), (node+1)<<2|2 for frame
+//     deliveries to the node. At one instant, control runs first, then each
+//     node's locals before its frame arrivals, nodes in ID order.
+//   - tie breaks frame-vs-frame ties by the engine-independent transmit key
+//     (source node, source port, per-direction transmit counter), so two
+//     frames reaching one node at the same instant from different partitions
+//     order identically however they were enqueued.
+//   - seq (per-Sim scheduling order) breaks what remains; by construction
+//     the remaining collisions are same-node same-class events, whose
+//     relative scheduling order is engine-independent.
 type heapEntry struct {
-	at  time.Duration
-	seq uint64
-	ev  *event
+	at   time.Duration
+	prio uint32
+	tie  uint64
+	seq  uint64
+	ev   *event
+}
+
+// Event classes within prio (low two bits).
+const (
+	classControl = 0 // prio is exactly 0
+	classLocal   = 1
+	classFrame   = 2
+)
+
+// nodePrio builds the prio key for a node-owned event of the given class.
+func nodePrio(node int32, class uint32) uint32 {
+	return uint32(node+1)<<2 | class
 }
 
 func entryLess(a, b *heapEntry) bool {
-	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	if a.tie != b.tie {
+		return a.tie < b.tie
+	}
+	return a.seq < b.seq
 }
 
 // alloc takes an event record off the freelist (or makes one).
@@ -82,15 +120,33 @@ func (s *Sim) release(ev *event) {
 	s.free = append(s.free, ev) //simlint:alloc freelist growth is amortized; capacity stabilizes at peak in-flight events
 }
 
-// schedule allocates and enqueues an event at absolute time at. Scheduling
-// in the past is a programming error and panics.
+// ctxPrio derives the prio key for an event scheduled in the current
+// execution context: a node's local class while dispatching that node's
+// events (or running its Handler.Start), the control class otherwise.
+func (s *Sim) ctxPrio() uint32 {
+	if s.curOwner < 0 {
+		return classControl
+	}
+	return nodePrio(s.curOwner, classLocal)
+}
+
+// schedule allocates and enqueues an event at absolute time at, keyed to the
+// current execution context. Scheduling in the past is a programming error
+// and panics.
 func (s *Sim) schedule(at time.Duration) *event {
+	return s.scheduleKeyed(at, s.ctxPrio(), 0)
+}
+
+// scheduleKeyed allocates and enqueues an event with an explicit ordering
+// key (frame deliveries carry the dst node's frame class and a transmit tie
+// key instead of the sender's context).
+func (s *Sim) scheduleKeyed(at time.Duration, prio uint32, tie uint64) *event {
 	if at < s.now {
 		panic(fmt.Sprintf("simnet: scheduling event at %v before now %v", at, s.now)) //simlint:alloc unreachable except on programmer error; the panic path may allocate
 	}
 	ev := s.alloc()
 	s.seq++
-	s.heapPush(heapEntry{at: at, seq: s.seq, ev: ev})
+	s.heapPush(heapEntry{at: at, prio: prio, tie: tie, seq: s.seq, ev: ev})
 	return ev
 }
 
@@ -272,6 +328,8 @@ func (t *Timer) Reset(d time.Duration) {
 		i := int(t.ev.idx)
 		s.seq++
 		s.queue[i].at = at
+		s.queue[i].prio = s.ctxPrio()
+		s.queue[i].tie = 0
 		s.queue[i].seq = s.seq
 		s.heapFix(i)
 		return
@@ -296,6 +354,14 @@ func (s *Sim) Step() bool {
 	ev := e.ev
 	s.now = e.at
 	s.events++
+	// Attribute the dispatch to the event's owning node so everything it
+	// schedules inherits that node's ordering key.
+	prev := s.curOwner
+	if e.prio == classControl {
+		s.curOwner = -1
+	} else {
+		s.curOwner = int32(e.prio>>2) - 1
+	}
 	switch ev.kind {
 	case evFunc:
 		fn := ev.fn
@@ -310,6 +376,7 @@ func (s *Sim) Step() bool {
 		s.release(ev)
 		dir.queued--
 	}
+	s.curOwner = prev
 	return true
 }
 
@@ -317,6 +384,19 @@ func (s *Sim) Step() bool {
 // clock to exactly t.
 func (s *Sim) RunUntil(t time.Duration) {
 	for len(s.queue) > 0 && s.queue[0].at <= t {
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// runBefore processes every event scheduled strictly before t, then
+// advances the clock to exactly t. It is the partitioned engine's window
+// step: events at the window boundary belong to the next window (they may
+// still be racing cross-partition arrivals carrying the same timestamp).
+func (s *Sim) runBefore(t time.Duration) {
+	for len(s.queue) > 0 && s.queue[0].at < t {
 		s.Step()
 	}
 	if t > s.now {

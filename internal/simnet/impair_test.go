@@ -30,8 +30,8 @@ func TestImpairAsymmetricLoss(t *testing.T) {
 	if got := link.Stats(b.Port(1)).Lost; got != 0 {
 		t.Errorf("Stats(b).Lost = %d, want 0", got)
 	}
-	if link.Lost != 1 {
-		t.Errorf("link.Lost = %d, want 1", link.Lost)
+	if link.Lost() != 1 {
+		t.Errorf("link.Lost() = %d, want 1", link.Lost())
 	}
 }
 
@@ -72,8 +72,8 @@ func TestImpairCorruption(t *testing.T) {
 	if got := link.Stats(b.Port(1)).Corrupted; got != 0 {
 		t.Errorf("Stats(b).Corrupted = %d, want 0", got)
 	}
-	if link.Corrupted != 1 {
-		t.Errorf("link.Corrupted = %d, want 1", link.Corrupted)
+	if link.Corrupted() != 1 {
+		t.Errorf("link.Corrupted() = %d, want 1", link.Corrupted())
 	}
 }
 

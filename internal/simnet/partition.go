@@ -1,0 +1,477 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/invariant"
+)
+
+// This file implements the space-parallel engine: one fabric partitioned
+// across worker goroutines, each owning a shard of the devices and their
+// event heap, synchronized conservatively on the minimum inter-partition
+// link latency (the lookahead window).
+//
+// The algorithm is the classic synchronous conservative PDES loop
+// ("Modeling Extreme-Scale Interconnection Networks", PAPERS.md):
+//
+//  1. The coordinator computes the global lower bound tmin — the earliest
+//     unprocessed event across every shard heap and every in-flight
+//     cross-partition frame.
+//  2. Every shard may safely process events strictly before tmin + L, where
+//     L is the minimum latency of any cross-partition link: a frame sent by
+//     another shard at or after tmin cannot arrive before tmin + L.
+//  3. Shards run their windows in parallel. Frames crossing a partition
+//     boundary are appended to per-(src shard, dst shard) SPSC outboxes —
+//     the only shared structures — and handed to the destination shard at
+//     the next barrier.
+//
+// Determinism does not come from the barriers (they only bound how far a
+// shard may run ahead) but from the total event order (at, prio, tie, seq)
+// established in event.go: every event carries an engine-independent key,
+// so each shard's heap pops its events in exactly the relative order the
+// sequential engine would, whatever the wall-clock interleaving.
+//
+// Control events — everything scheduled through the Cluster itself rather
+// than through a node (harness failure injection, chaos campaign closures,
+// workload launches, telemetry sampling) — live on a dedicated control Sim
+// owned by the coordinator. They run at their exact virtual time with every
+// shard quiesced, which makes arbitrary cross-shard mutation (failing
+// ports, installing impairments, reading counters) race-free by
+// construction. The sequential engine gives control-class events the lowest
+// prio at an instant, so both engines interleave them identically.
+
+// Engine is the scheduling surface shared by the sequential *Sim and the
+// partitioned *Cluster: everything the harness, chaos injector, workload
+// generator and telemetry need to drive a fabric.
+type Engine interface {
+	Now() time.Duration
+	Rand() *rand.Rand
+	Events() uint64
+	Start()
+	RunUntil(t time.Duration)
+	RunFor(d time.Duration)
+	RunUntilIdle(maxTime time.Duration)
+	Node(name string) *Node
+	Nodes() []*Node
+	Links() []*Link
+	At(t time.Duration, fn func()) *Timer
+	After(d time.Duration, fn func()) *Timer
+	Schedule(d time.Duration, fn func())
+}
+
+var (
+	_ Engine = (*Sim)(nil)
+	_ Engine = (*Cluster)(nil)
+)
+
+// maxDur is the "no event" sentinel time.
+const maxDur = time.Duration(math.MaxInt64)
+
+// crossFrame is one frame delivery in flight between partitions, carrying
+// its full ordering key so the destination shard enqueues it exactly where
+// the sequential engine would have.
+type crossFrame struct {
+	at    time.Duration
+	prio  uint32
+	tie   uint64
+	src   *Port
+	dst   *Port
+	link  *Link
+	frame []byte
+}
+
+// crossQueue is the outbox for one directed (src shard, dst shard) pair.
+// It is single-producer (the source shard appends during its window) and
+// single-consumer (the coordinator swaps it out at the barrier); the barrier
+// itself provides the happens-before edges, so no lock is needed.
+type crossQueue struct {
+	buf []crossFrame
+}
+
+// ShardStats is one partition's accounting.
+type ShardStats struct {
+	// Nodes is the number of devices assigned to the shard.
+	Nodes int
+	// Events is the number of events the shard processed.
+	Events uint64
+	// Busy is the wall-clock time the shard's worker spent processing
+	// windows (perf accounting; virtual results never depend on it).
+	Busy time.Duration
+}
+
+// Cluster is a fabric partitioned across shards, presented behind the same
+// Engine surface as a sequential Sim. Build it with NewCluster, place every
+// node with AddNode, wire links with Connect/ConnectLatency, then use it
+// exactly like a Sim. Runs are bit-identical to a sequential Sim built in
+// the same order with the same seed.
+type Cluster struct {
+	shards   []*Sim
+	shardOf  map[*Sim]int
+	ctrl     *Sim // control-event queue + the Rand() stream
+	nodes    map[string]*Node
+	order    []*Node
+	links    []*Link
+	crossCnt int
+
+	queues  [][]*crossQueue // [src shard][dst shard] outboxes
+	pending [][]crossFrame  // frames awaiting injection, per dst shard
+	busy    []time.Duration // per-shard wall-clock accounting
+
+	// lookahead is the minimum cross-partition link latency L.
+	lookahead time.Duration
+
+	// OnQuiesce, when non-nil, runs at the end of every RunUntil with all
+	// shards quiesced — the harness uses it to merge per-shard metric logs.
+	OnQuiesce func()
+
+	started bool
+}
+
+// NewCluster creates a partitioned engine with the given shard count. Every
+// shard is seeded identically to a sequential Sim, so per-node and
+// per-direction random streams match a sequential run bit for bit.
+func NewCluster(seed int64, shards int) *Cluster {
+	if shards < 1 {
+		panic(fmt.Sprintf("simnet: cluster needs at least 1 shard, got %d", shards))
+	}
+	c := &Cluster{
+		shardOf:   make(map[*Sim]int, shards),
+		ctrl:      New(seed),
+		nodes:     make(map[string]*Node),
+		queues:    make([][]*crossQueue, shards),
+		pending:   make([][]crossFrame, shards),
+		busy:      make([]time.Duration, shards),
+		lookahead: maxDur,
+	}
+	for i := 0; i < shards; i++ {
+		sh := New(seed)
+		c.shards = append(c.shards, sh)
+		c.shardOf[sh] = i
+		c.queues[i] = make([]*crossQueue, shards)
+	}
+	return c
+}
+
+// Shards returns the shard count.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Lookahead returns the synchronization window L (the minimum
+// cross-partition link latency), or 0 when no link crosses a boundary.
+func (c *Cluster) Lookahead() time.Duration {
+	if c.lookahead == maxDur {
+		return 0
+	}
+	return c.lookahead
+}
+
+// AddNode creates a node on the given shard. Nodes must be added in the
+// same (sorted-name) order as the equivalent sequential build: the global
+// rank assigned here feeds MAC addresses and frame tie keys.
+func (c *Cluster) AddNode(name string, shard int) *Node {
+	if shard < 0 || shard >= len(c.shards) {
+		panic(fmt.Sprintf("simnet: node %s assigned to shard %d of %d", name, shard, len(c.shards)))
+	}
+	if _, dup := c.nodes[name]; dup {
+		panic("simnet: duplicate node name " + name)
+	}
+	n := c.shards[shard].AddNode(name)
+	n.gid = int32(len(c.order))
+	c.nodes[name] = n
+	c.order = append(c.order, n)
+	return n
+}
+
+// Node returns a node by name, or nil.
+func (c *Cluster) Node(name string) *Node { return c.nodes[name] }
+
+// Nodes returns every node in insertion order.
+func (c *Cluster) Nodes() []*Node { return append([]*Node(nil), c.order...) }
+
+// ShardOf returns the shard index owning the node.
+func (c *Cluster) ShardOf(n *Node) int { return c.shardOf[n.Sim] }
+
+// Connect wires two ports with the control Sim's default latency.
+func (c *Cluster) Connect(a, b *Port) *Link {
+	return c.ConnectLatency(a, b, c.ctrl.DefaultLatency)
+}
+
+// ConnectLatency wires two ports with an explicit one-way latency. A link
+// whose endpoints live on different shards becomes a cross-partition link:
+// its latency must be positive (it is the engine's lookahead) and its
+// per-direction state routes deliveries through the shard-pair outboxes.
+func (c *Cluster) ConnectLatency(a, b *Port, latency time.Duration) *Link {
+	sa, oka := c.shardOf[a.Node.Sim]
+	sb, okb := c.shardOf[b.Node.Sim]
+	if !oka || !okb {
+		panic(fmt.Sprintf("simnet: cluster connect of foreign ports %s <-> %s", a.Name(), b.Name()))
+	}
+	if sa == sb {
+		l := c.shards[sa].ConnectLatency(a, b, latency)
+		c.links = append(c.links, l)
+		return l
+	}
+	if latency <= 0 {
+		panic(fmt.Sprintf("simnet: cross-partition link %s <-> %s needs positive latency (it bounds the lookahead window)", a.Name(), b.Name()))
+	}
+	if a.Link != nil || b.Link != nil {
+		panic(fmt.Sprintf("simnet: port already wired: %s <-> %s", a.Name(), b.Name()))
+	}
+	l := &Link{A: a, B: b, Latency: latency}
+	a.Link = l
+	b.Link = l
+	l.dirA.cross = c.queue(sa, sb)
+	l.dirB.cross = c.queue(sb, sa)
+	c.links = append(c.links, l)
+	c.crossCnt++
+	if latency < c.lookahead {
+		c.lookahead = latency
+	}
+	return l
+}
+
+// queue returns (creating on demand) the outbox for the directed shard pair.
+func (c *Cluster) queue(from, to int) *crossQueue {
+	if c.queues[from][to] == nil {
+		c.queues[from][to] = &crossQueue{}
+	}
+	return c.queues[from][to]
+}
+
+// Links returns every link in creation order.
+func (c *Cluster) Links() []*Link { return c.links }
+
+// CrossLinks returns how many links cross a partition boundary.
+func (c *Cluster) CrossLinks() int { return c.crossCnt }
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() time.Duration { return c.ctrl.Now() }
+
+// Rand exposes the deterministic control random stream — the same stream a
+// sequential Sim hands out, consumed by the same (single-threaded) harness
+// code, so draws match sequential runs exactly.
+func (c *Cluster) Rand() *rand.Rand { return c.ctrl.Rand() }
+
+// Events returns the number of events processed across all shards and the
+// control queue.
+func (c *Cluster) Events() uint64 {
+	total := c.ctrl.Events()
+	for _, sh := range c.shards {
+		total += sh.Events()
+	}
+	return total
+}
+
+// At schedules fn at absolute virtual time t as a control event: it runs on
+// the coordinator with every shard quiesced at exactly t, and may therefore
+// touch any node, port or link in the fabric.
+func (c *Cluster) At(t time.Duration, fn func()) *Timer { return c.ctrl.At(t, fn) }
+
+// After schedules fn d from now as a control event.
+func (c *Cluster) After(d time.Duration, fn func()) *Timer { return c.ctrl.After(d, fn) }
+
+// Schedule runs fn d from now as a control event (no handle).
+func (c *Cluster) Schedule(d time.Duration, fn func()) { c.ctrl.Schedule(d, fn) }
+
+// Start invokes Start on every attached handler, shard by shard. Within a
+// shard, handlers start in sorted-name order; because every initial event
+// carries its owning node's key, the start order across shards is
+// immaterial to the event order.
+func (c *Cluster) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	for _, sh := range c.shards {
+		sh.Start()
+	}
+}
+
+// ShardTimings returns per-shard accounting (device count, events
+// processed, wall-clock busy time).
+func (c *Cluster) ShardTimings() []ShardStats {
+	out := make([]ShardStats, len(c.shards))
+	for i, sh := range c.shards {
+		out[i] = ShardStats{Nodes: len(sh.nodeOrder), Events: sh.Events(), Busy: c.busy[i]}
+	}
+	return out
+}
+
+// ctrlNext returns the next pending control event's time.
+func (c *Cluster) ctrlNext() time.Duration {
+	if len(c.ctrl.queue) == 0 {
+		return maxDur
+	}
+	return c.ctrl.queue[0].at
+}
+
+// nextEventTime returns the earliest unprocessed shard event, including
+// cross-partition frames awaiting injection (their arrival times are not
+// monotone within an outbox — jitter reorders them — so the pending sets
+// are scanned).
+func (c *Cluster) nextEventTime() time.Duration {
+	min := maxDur
+	for _, sh := range c.shards {
+		if len(sh.queue) > 0 && sh.queue[0].at < min {
+			min = sh.queue[0].at
+		}
+	}
+	for _, pend := range c.pending {
+		for i := range pend {
+			if pend[i].at < min {
+				min = pend[i].at
+			}
+		}
+	}
+	return min
+}
+
+// setShardNow advances every shard's clock to t (never backwards). Safe
+// only at quiescent points with no unprocessed shard event before t.
+func (c *Cluster) setShardNow(t time.Duration) {
+	for _, sh := range c.shards {
+		if t > sh.now {
+			sh.now = t
+		}
+	}
+}
+
+// collectOutboxes drains every shard-pair outbox into the per-destination
+// pending sets. Runs only on the coordinator with all workers idle (the
+// window barrier provides the happens-before edge), so no lock is needed.
+// It must run before each window computation: frames buffered by handler
+// Start calls, control closures, or the previous window are otherwise
+// invisible to nextEventTime.
+func (c *Cluster) collectOutboxes() {
+	for i := range c.queues {
+		for j, q := range c.queues[i] {
+			if q != nil && len(q.buf) > 0 {
+				c.pending[j] = append(c.pending[j], q.buf...)
+				for k := range q.buf {
+					q.buf[k] = crossFrame{} // drop frame references
+				}
+				q.buf = q.buf[:0]
+			}
+		}
+	}
+}
+
+// step runs one synchronized window on every shard in parallel: each worker
+// first injects the cross-partition frames collected for it, then processes
+// events strictly before end (or through end when inclusive).
+func (c *Cluster) step(end time.Duration, inclusive bool) {
+	var wg sync.WaitGroup
+	panics := make([]any, len(c.shards))
+	for i, sh := range c.shards {
+		wg.Add(1)
+		go func(i int, sh *Sim, pend []crossFrame) {
+			defer wg.Done()
+			defer func() { panics[i] = recover() }()
+			start := time.Now() //simlint:deterministic wall-clock perf accounting; virtual results never read it
+			for k := range pend {
+				sh.injectFrame(pend[k])
+			}
+			if inclusive {
+				sh.RunUntil(end)
+			} else {
+				sh.runBefore(end)
+			}
+			c.busy[i] += time.Since(start) //simlint:deterministic wall-clock perf accounting; virtual results never read it
+		}(i, sh, c.pending[i])
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	for i := range c.pending {
+		c.pending[i] = c.pending[i][:0]
+	}
+}
+
+// RunUntil processes every event scheduled at or before t across all
+// shards, then advances every clock to exactly t. The result is
+// bit-identical to a sequential Sim's RunUntil over the same fabric.
+func (c *Cluster) RunUntil(t time.Duration) {
+	for {
+		c.collectOutboxes()
+		tc := c.ctrlNext()
+		tmin := c.nextEventTime()
+		if tc > t && tmin > t {
+			break
+		}
+		if tc <= tmin {
+			// Control events run first at their instant: shards are
+			// quiesced strictly before tc, their clocks moved to tc so
+			// anything the closures schedule lands at the right time.
+			c.setShardNow(tc)
+			c.ctrl.RunUntil(tc)
+			continue
+		}
+		// Window [tmin, end): safe because no cross-partition frame sent at
+		// or after tmin can arrive before tmin + L, and no control event
+		// fires before end ≤ tc.
+		end := tmin + c.lookahead
+		if end < tmin { // overflow (no cross links: lookahead is maxDur)
+			end = maxDur
+		}
+		if tc < end {
+			end = tc
+		}
+		if t < end {
+			// Final step: every event at or before t is safe to process
+			// (cross arrivals generated inside land strictly after t), and
+			// t < tc so no control event is skipped.
+			c.step(t, true)
+			break
+		}
+		c.step(end, false)
+	}
+	c.setShardNow(t)
+	c.ctrl.RunUntil(t)
+	if invariant.Enabled {
+		c.checkQuiesced(t)
+	}
+	if c.OnQuiesce != nil {
+		c.OnQuiesce()
+	}
+}
+
+// RunFor advances the whole fabric by d.
+func (c *Cluster) RunFor(d time.Duration) { c.RunUntil(c.ctrl.Now() + d) }
+
+// RunUntilIdle drains the fabric up to the maxTime horizon.
+func (c *Cluster) RunUntilIdle(maxTime time.Duration) { c.RunUntil(maxTime) }
+
+// checkQuiesced asserts the post-RunUntil contract under -tags invariants:
+// every clock sits exactly at t and no unprocessed event is at or before t.
+func (c *Cluster) checkQuiesced(t time.Duration) {
+	invariant.Assertf(c.ctrl.now == t, "simnet: control clock %v after RunUntil(%v)", c.ctrl.now, t)
+	for i, sh := range c.shards {
+		invariant.Assertf(sh.now == t, "simnet: shard %d clock %v after RunUntil(%v)", i, sh.now, t)
+		if len(sh.queue) > 0 {
+			invariant.Assertf(sh.queue[0].at > t, "simnet: shard %d event at %v unprocessed after RunUntil(%v)", i, sh.queue[0].at, t)
+		}
+	}
+	for i, pend := range c.pending {
+		for k := range pend {
+			invariant.Assertf(pend[k].at > t, "simnet: pending cross frame at %v for shard %d after RunUntil(%v)", pend[k].at, i, t)
+		}
+	}
+}
+
+// injectFrame enqueues a cross-partition delivery handed over at a barrier.
+func (s *Sim) injectFrame(f crossFrame) {
+	if f.at < s.now {
+		panic(fmt.Sprintf("simnet: cross frame at %v injected before now %v", f.at, s.now))
+	}
+	ev := s.alloc()
+	ev.kind = evFrame
+	ev.src, ev.dst, ev.link, ev.frame = f.src, f.dst, f.link, f.frame
+	s.seq++
+	s.heapPush(heapEntry{at: f.at, prio: f.prio, tie: f.tie, seq: s.seq, ev: ev})
+}

@@ -45,14 +45,20 @@ type Handler interface {
 // all protocol code runs on the event loop goroutine.
 type Sim struct {
 	now       time.Duration
-	queue     []heapEntry // indexed min-heap ordered by (at, seq)
+	queue     []heapEntry // indexed min-heap ordered by (at, prio, tie, seq)
 	free      []*event    // recycled event records
 	seq       uint64
+	seed      int64 // base seed; derives the per-node and per-direction streams
 	rng       *rand.Rand
 	nodes     map[string]*Node
 	nodeOrder []*Node // insertion order, for deterministic iteration
 	links     []*Link
-	macSeq    uint32
+
+	// curOwner is the node whose event is being dispatched (-1 outside
+	// dispatch, i.e. control context). Schedules inherit it as their
+	// ordering key so the partitioned engine can reproduce sequential
+	// same-instant ordering.
+	curOwner int32
 
 	// LocalDetectDelay is the time between an interface failure and the
 	// owning node's PortDown callback (carrier-loss interrupt latency).
@@ -72,11 +78,27 @@ type Sim struct {
 // New creates a simulator seeded for deterministic runs.
 func New(seed int64) *Sim {
 	return &Sim{
+		seed:             seed,
 		rng:              rand.New(rand.NewSource(seed)),
 		nodes:            make(map[string]*Node),
 		LocalDetectDelay: 1 * time.Millisecond,
 		DefaultLatency:   100 * time.Microsecond,
+		curOwner:         -1,
 	}
+}
+
+// streamSeed derives an independent deterministic stream seed from the
+// simulation seed and a stable name (FNV-1a). Per-node and per-direction
+// streams make random draws independent of global event interleaving, so a
+// partitioned run consumes randomness identically to a sequential one.
+func streamSeed(base int64, name string, salt uint64) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	h ^= salt * 0x9e3779b97f4a7c15
+	return base ^ int64(h)
 }
 
 // Now returns the current virtual time (time since simulation start).
@@ -104,6 +126,15 @@ type Node struct {
 	// Meta carries harness-level labels (tier, pod, VID) without the
 	// simulator depending on topology types.
 	Meta map[string]string
+
+	// id is the node's rank within its owning Sim (heap ordering key); gid
+	// is its rank across the whole fabric. They coincide on a plain Sim; on
+	// a partitioned Cluster, id is shard-local while gid is global (used in
+	// frame tie keys and MAC derivation, which must match the sequential
+	// engine bit for bit).
+	id, gid int32
+
+	rng *rand.Rand // lazily built per-node stream (see Rand)
 }
 
 // AddNode creates a node. Names must be unique.
@@ -111,10 +142,24 @@ func (s *Sim) AddNode(name string) *Node {
 	if _, dup := s.nodes[name]; dup {
 		panic("simnet: duplicate node name " + name)
 	}
-	n := &Node{Name: name, Sim: s, Ports: []*Port{nil}, Meta: make(map[string]string)}
+	id := int32(len(s.nodeOrder))
+	n := &Node{Name: name, Sim: s, Ports: []*Port{nil}, Meta: make(map[string]string), id: id, gid: id}
 	s.nodes[name] = n
 	s.nodeOrder = append(s.nodeOrder, n)
 	return n
+}
+
+// Rand returns the node's private deterministic random stream, derived from
+// the simulation seed and the node name. Protocol code (BFD jitter, TCP
+// initial sequence numbers) draws from it instead of the simulation-wide
+// source, so draw sequences depend only on the node's own event order — a
+// requirement for partitioned runs to stay bit-identical to sequential
+// ones.
+func (n *Node) Rand() *rand.Rand {
+	if n.rng == nil {
+		n.rng = rand.New(rand.NewSource(streamSeed(n.Sim.seed, n.Name, 0)))
+	}
+	return n.rng
 }
 
 // Node returns a node by name, or nil.
@@ -128,13 +173,15 @@ func (s *Sim) Nodes() []*Node {
 
 // AddPort appends a new port to the node and returns it. Port indices start
 // at 1 to match the paper's VID construction ("append the port number on
-// which the request arrived").
+// which the request arrived"). The MAC derives from the node's global rank
+// and the port index — not a simulator-wide counter — so a fabric built
+// shard by shard assigns the same addresses as a sequential build.
 func (n *Node) AddPort() *Port {
-	n.Sim.macSeq++
+	idx := len(n.Ports)
 	p := &Port{
 		Node:  n,
-		Index: len(n.Ports),
-		MAC:   netaddr.MAC{0x02, 0x00, byte(n.Sim.macSeq >> 16), byte(n.Sim.macSeq >> 8), byte(n.Sim.macSeq), 0x01},
+		Index: idx,
+		MAC:   netaddr.MAC{0x02, byte(uint32(n.gid) >> 8), byte(uint32(n.gid)), byte(idx >> 8), byte(idx), 0x01},
 		up:    true,
 	}
 	n.Ports = append(n.Ports, p)
@@ -152,14 +199,17 @@ func (n *Node) Port(i int) *Port {
 
 // Start invokes Start on every attached handler. Call once after wiring.
 func (s *Sim) Start() {
-	// Deterministic order: nodes sorted by name.
+	// Deterministic order: nodes sorted by name. Each handler starts in its
+	// own node's context so its initial timers carry that node's key.
 	sorted := s.Nodes()
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
 	for _, n := range sorted {
 		if n.Handler != nil {
+			s.curOwner = n.id
 			n.Handler.Start()
 		}
 	}
+	s.curOwner = -1
 }
 
 // PortCounters tracks per-port frame statistics.
@@ -228,8 +278,7 @@ func (p *Port) Send(frame []byte) {
 	for _, tap := range link.taps {
 		tap(sim.now, p, frame)
 	}
-	if link.lossRate > 0 && sim.rng.Float64() < link.lossRate {
-		link.Lost++
+	if link.lossRate > 0 && d.rand(p).Float64() < link.lossRate {
 		d.lost++
 		if sim.Trace != nil {
 			sim.tracef("%s: frame lost in transit (%d bytes)", p.Name(), len(frame)) //simlint:alloc trace-only, guarded by Trace != nil
@@ -238,31 +287,30 @@ func (p *Port) Send(frame []byte) {
 	}
 	// Per-direction impairments (fault injection beyond uniform loss): the
 	// flag check keeps the unimpaired TX path free of extra RNG draws, so
-	// clean runs consume randomness exactly as before.
+	// clean runs consume no randomness at all. Draws come from the
+	// direction's private stream, so loss decisions depend only on this
+	// direction's transmit order — not on global event interleaving.
 	jitter := time.Duration(0)
 	if d.impaired {
 		if d.imp.Down {
-			link.Lost++
 			d.lost++
 			if sim.Trace != nil {
 				sim.tracef("%s: frame lost (one-way carrier down), %d bytes", p.Name(), len(frame)) //simlint:alloc trace-only, guarded by Trace != nil
 			}
 			return
 		}
-		if d.imp.LossRate > 0 && sim.rng.Float64() < d.imp.LossRate {
-			link.Lost++
+		if d.imp.LossRate > 0 && d.rand(p).Float64() < d.imp.LossRate {
 			d.lost++
 			if sim.Trace != nil {
 				sim.tracef("%s: frame lost (impairment), %d bytes", p.Name(), len(frame)) //simlint:alloc trace-only, guarded by Trace != nil
 			}
 			return
 		}
-		if d.imp.CorruptRate > 0 && sim.rng.Float64() < d.imp.CorruptRate {
+		if d.imp.CorruptRate > 0 && d.rand(p).Float64() < d.imp.CorruptRate {
 			// Flip one random byte: the receiver sees a parseable-or-not
 			// frame, exactly as a gray link delivers bit errors past a
 			// checksumless MAC.
-			frame[sim.rng.Intn(len(frame))] ^= 0xFF
-			link.Corrupted++
+			frame[d.rand(p).Intn(len(frame))] ^= 0xFF
 			d.corrupted++
 			if sim.Trace != nil {
 				sim.tracef("%s: frame corrupted in transit (%d bytes)", p.Name(), len(frame)) //simlint:alloc trace-only, guarded by Trace != nil
@@ -270,7 +318,7 @@ func (p *Port) Send(frame []byte) {
 		}
 		jitter = d.imp.ExtraLatency
 		if d.imp.Jitter > 0 {
-			jitter += time.Duration(sim.rng.Int63n(int64(d.imp.Jitter)))
+			jitter += time.Duration(d.rand(p).Int63n(int64(d.imp.Jitter)))
 		}
 	}
 	// Serialization and queueing: with finite bandwidth the frame waits
@@ -278,7 +326,6 @@ func (p *Port) Send(frame []byte) {
 	delay := link.Latency + jitter
 	if link.bandwidth > 0 {
 		if link.maxQueue > 0 && d.queued >= link.maxQueue {
-			link.Overflowed++
 			d.overflows++
 			d.overflowBytes += uint64(len(frame))
 			if sim.Trace != nil {
@@ -298,10 +345,26 @@ func (p *Port) Send(frame []byte) {
 		free.kind = evQueueFree
 		free.dir = d
 	}
-	ev := sim.schedule(sim.now + delay)
+	// The delivery's ordering key is engine-independent: the dst node's
+	// frame class, tied by (src gid, src port, per-direction tx counter).
+	d.txSeq++
+	tie := uint64(uint32(p.Node.gid))<<40 | uint64(uint16(p.Index))<<32 | uint64(d.txSeq)
+	dst := p.Peer()
+	if d.cross != nil {
+		// Cross-partition link: hand the delivery to the destination
+		// shard's inbox instead of the local heap. The queue is SPSC —
+		// written only by this shard's worker, drained by the destination's
+		// worker after the next barrier.
+		d.cross.buf = append(d.cross.buf, crossFrame{ //simlint:alloc outbox growth is amortized; capacity stabilizes at peak in-flight cross frames
+			at: sim.now + delay, prio: nodePrio(dst.Node.id, classFrame), tie: tie,
+			src: p, dst: dst, link: link, frame: frame,
+		})
+		return
+	}
+	ev := sim.scheduleKeyed(sim.now+delay, nodePrio(dst.Node.id, classFrame), tie)
 	ev.kind = evFrame
 	ev.src = p
-	ev.dst = p.Peer()
+	ev.dst = dst
 	ev.link = link
 	ev.frame = frame
 }
@@ -400,25 +463,31 @@ type Link struct {
 	// lossRate is the probability of dropping each frame in flight
 	// (fault injection for protocol-robustness tests).
 	lossRate float64
-	// Lost counts frames dropped by loss injection (uniform and
-	// per-direction), both directions combined.
-	Lost uint64
-	// Corrupted counts frames that had a byte flipped by a corruption
-	// impairment, both directions combined.
-	Corrupted uint64
 
 	// bandwidth, when nonzero, serializes frames at this many bits per
 	// second per direction; frames queue FIFO behind the transmitter.
 	bandwidth int64
 	// maxQueue bounds the per-direction egress queue in frames; beyond
-	// it frames tail-drop (counted in Overflowed). 0 means unbounded.
+	// it frames tail-drop (counted per direction). 0 means unbounded.
 	maxQueue int
-	// Overflowed counts tail-dropped frames.
-	Overflowed uint64
 
-	// Per-direction transmitter state, keyed by the sending port.
+	// Per-direction transmitter state, keyed by the sending port. Loss,
+	// corruption and overflow counters live per direction — on a link
+	// crossing a partition boundary each direction is written by a
+	// different shard, so a combined counter would be a data race.
 	dirA, dirB dirState
 }
+
+// Lost counts frames dropped by loss injection (uniform and per-direction),
+// both directions combined.
+func (l *Link) Lost() uint64 { return l.dirA.lost + l.dirB.lost }
+
+// Corrupted counts frames that had a byte flipped by a corruption
+// impairment, both directions combined.
+func (l *Link) Corrupted() uint64 { return l.dirA.corrupted + l.dirB.corrupted }
+
+// Overflowed counts tail-dropped frames, both directions combined.
+func (l *Link) Overflowed() uint64 { return l.dirA.overflows + l.dirB.overflows }
 
 type dirState struct {
 	busyUntil     time.Duration
@@ -432,6 +501,24 @@ type dirState struct {
 	impaired  bool
 	lost      uint64
 	corrupted uint64
+
+	// rng is the direction's private stream for loss/corruption/jitter
+	// draws, lazily derived from (sim seed, sending port).
+	rng *rand.Rand
+	// txSeq counts scheduled transmissions: the per-direction component of
+	// the frame tie key.
+	txSeq uint32
+	// cross, when non-nil, is the outbox toward the partition owning the
+	// far end (partitioned engine only).
+	cross *crossQueue
+}
+
+// rand returns the direction's private stream, creating it on first use.
+func (d *dirState) rand(from *Port) *rand.Rand {
+	if d.rng == nil {
+		d.rng = rand.New(rand.NewSource(streamSeed(from.Node.Sim.seed, from.Node.Name, uint64(from.Index)+1))) //simlint:alloc one-time per-direction stream setup; only impaired/lossy paths reach it
+	}
+	return d.rng
 }
 
 // Impairment is a per-direction fault profile: every field applies to

@@ -2,6 +2,7 @@ package tcp
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/netaddr"
@@ -47,6 +48,7 @@ const (
 // function handed to NewEndpoint.
 type Endpoint struct {
 	sim    *simnet.Sim
+	rng    *rand.Rand
 	output func(src, dst netaddr.IPv4, segment []byte)
 
 	listeners map[uint16]func(*Conn)
@@ -70,9 +72,17 @@ type connKey struct {
 }
 
 // NewEndpoint creates a TCP endpoint that transmits segments through output.
-func NewEndpoint(sim *simnet.Sim, output func(src, dst netaddr.IPv4, segment []byte)) *Endpoint {
+// rng supplies initial sequence numbers; the owning stack passes its node's
+// stream so draws are independent of global event interleaving (required
+// for sequential/partitioned engine identity). A nil rng falls back to the
+// sim's control stream.
+func NewEndpoint(sim *simnet.Sim, rng *rand.Rand, output func(src, dst netaddr.IPv4, segment []byte)) *Endpoint {
+	if rng == nil {
+		rng = sim.Rand()
+	}
 	return &Endpoint{
 		sim:       sim,
+		rng:       rng,
 		output:    output,
 		listeners: make(map[uint16]func(*Conn)),
 		conns:     make(map[connKey]*Conn),
@@ -102,7 +112,7 @@ func (e *Endpoint) newConn(k connKey) *Conn {
 	c := &Conn{
 		ep:  e,
 		key: k,
-		iss: uint32(e.sim.Rand().Int63()),
+		iss: uint32(e.rng.Int63()),
 	}
 	c.sndUna = c.iss
 	e.conns[k] = c

@@ -36,8 +36,8 @@ func newWirePair(t *testing.T) *wirePair {
 			w.sim.After(100*time.Microsecond, func() { to.Input(src, dst, cp) })
 		}
 	}
-	w.a = NewEndpoint(w.sim, nil)
-	w.b = NewEndpoint(w.sim, nil)
+	w.a = NewEndpoint(w.sim, nil, nil)
+	w.b = NewEndpoint(w.sim, nil, nil)
 	w.a.output = deliver(w.b)
 	w.b.output = deliver(w.a)
 	return w

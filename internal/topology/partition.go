@@ -1,0 +1,56 @@
+package topology
+
+import "fmt"
+
+// Partition assigns every device of a fabric to one shard of the
+// space-parallel engine (simnet.Cluster). The assignment is pure policy:
+// any placement is bit-identical to sequential by construction, but a good
+// one keeps most traffic intra-shard so the lookahead windows carry real
+// work. See DESIGN.md §11.
+type Partition struct {
+	Shards int
+	shard  map[string]int
+}
+
+// Shard returns the shard index for a device name.
+func (p *Partition) Shard(name string) (int, bool) {
+	s, ok := p.shard[name]
+	return s, ok
+}
+
+// PartitionByPod splits a fabric by PoD: the PoD count must divide evenly
+// by the shard count, each shard owns a contiguous block of PoDs (leaves,
+// pod spines and servers follow their PoD), and the PoD-less top tier is
+// dealt round-robin by device index — top spine T-k goes to shard
+// (k-1) mod shards. Every leaf–spine and server–leaf link is therefore
+// intra-shard; only spine–top links cross partitions, and their latency
+// becomes the engine's lookahead window.
+func PartitionByPod(t *Topology, shards int) (*Partition, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("topology: need at least 1 partition, got %d", shards)
+	}
+	pods := 0
+	devices := t.sortedDevices()
+	for _, d := range devices {
+		if d.Pod > pods {
+			pods = d.Pod
+		}
+	}
+	if pods == 0 {
+		return nil, fmt.Errorf("topology: no PoDs to partition")
+	}
+	if pods%shards != 0 {
+		return nil, fmt.Errorf("topology: %d partitions do not divide the %d-PoD fabric evenly; pick a divisor of the PoD count so no shard is left with a remainder", shards, pods)
+	}
+	podsPerShard := pods / shards
+	p := &Partition{Shards: shards, shard: make(map[string]int, len(t.Devices))}
+	for _, d := range devices {
+		if d.Pod > 0 {
+			p.shard[d.Name] = (d.Pod - 1) / podsPerShard
+		} else {
+			// Top tier (and multi-tier super/zone spines): round-robin.
+			p.shard[d.Name] = (d.Index - 1) % shards
+		}
+	}
+	return p, nil
+}

@@ -44,14 +44,14 @@ type LinkSeries struct {
 // utilization / queue-depth / drop telemetry a production fabric would
 // scrape from switch ASICs.
 type Sampler struct {
-	sim      *simnet.Sim
+	sim      simnet.Engine
 	interval time.Duration
 	series   []*LinkSeries
 	timer    *simnet.Timer
 }
 
 // NewSampler creates a sampler polling every interval once started.
-func NewSampler(sim *simnet.Sim, interval time.Duration) *Sampler {
+func NewSampler(sim simnet.Engine, interval time.Duration) *Sampler {
 	if interval <= 0 {
 		interval = 10 * time.Millisecond
 	}

@@ -95,6 +95,7 @@ type Flow struct {
 	rounds     int
 	retx       int
 	received   int
+	dups       int // arrivals of sequences already delivered
 	gotMask    []uint64
 	timer      *simnet.Timer
 
@@ -108,36 +109,42 @@ func (f *Flow) mark(seq uint32)     { f.gotMask[seq/64] |= 1 << (seq % 64) }
 
 // Engine generates, transmits and accounts a workload over one simulation.
 type Engine struct {
-	sim   *simnet.Sim
+	sim   simnet.Engine
 	hosts []Host
 	cfg   Config
 	flows []*Flow
 	byID  map[uint32]*Flow
 
-	base      time.Duration // virtual time of Start
-	started   bool
-	completed int
-	abandoned int
+	base    time.Duration // virtual time of Start
+	started bool
 
 	// PacketsSent counts data transmissions including repairs;
-	// Retransmits the repair subset; Duplicates arrivals of sequences
-	// already delivered (a repair raced its original).
+	// Retransmits the repair subset. Both are written only from the
+	// send path (control events), never from receive handlers —
+	// per-flow receive accounting lives on the Flow so that hosts on
+	// different shards of a partitioned engine never share a counter.
 	PacketsSent uint64
 	Retransmits uint64
-	Duplicates  uint64
 }
 
 // New generates the full flow schedule deterministically from cfg.Seed and
-// registers the receive path on every host. Hosts must share one simulator.
-func New(hosts []Host, cfg Config) (*Engine, error) {
+// registers the receive path on every host. sim is the engine driving the
+// hosts' fabric — flow launches and repair timers are control events on it
+// (on a partitioned Cluster they must not live on any one shard's heap). A
+// nil sim defaults to the first host's own simulator, which is only valid
+// sequentially.
+func New(sim simnet.Engine, hosts []Host, cfg Config) (*Engine, error) {
 	if len(hosts) < 2 {
 		return nil, fmt.Errorf("workload: need at least 2 hosts, got %d", len(hosts))
 	}
 	if cfg.Flows < 1 || cfg.PacketSize < wireHeaderLen || cfg.Sizes == nil {
 		return nil, fmt.Errorf("workload: bad config: %d flows, %dB packets", cfg.Flows, cfg.PacketSize)
 	}
+	if sim == nil {
+		sim = hosts[0].Stack.Node.Sim
+	}
 	e := &Engine{
-		sim:   hosts[0].Stack.Node.Sim,
+		sim:   sim,
 		hosts: hosts,
 		cfg:   cfg,
 		byID:  make(map[uint32]*Flow, cfg.Flows),
@@ -172,7 +179,13 @@ func New(hosts []Host, cfg Config) (*Engine, error) {
 			continue
 		}
 		seen[h.Stack] = true
-		h.Stack.ListenUDP(cfg.DstPort, e.onDatagram)
+		// The receive path runs inside the host's own event loop; it must
+		// read that node's clock, not the engine-wide one (on a
+		// partitioned Cluster the control clock lags mid-window).
+		local := h.Stack.Node.Sim
+		h.Stack.ListenUDP(cfg.DstPort, func(_, _ netaddr.IPv4, dg udp.Datagram) {
+			e.onDatagram(local, dg)
+		})
 	}
 	return e, nil
 }
@@ -248,7 +261,7 @@ func (e *Engine) tick(f *Flow) {
 		}
 		if f.rounds >= e.cfg.MaxRounds {
 			f.Abandoned = true
-			e.abandoned++
+
 			return
 		}
 		f.rounds++
@@ -294,7 +307,11 @@ func (e *Engine) sendData(f *Flow, seq uint32) {
 	src.Stack.SendUDP(src.IP, dst.IP, f.SrcPort, e.cfg.DstPort, payload)
 }
 
-func (e *Engine) onDatagram(_, _ netaddr.IPv4, dg udp.Datagram) {
+// onDatagram is the receive path, running on the destination host's event
+// loop. local is that host's simulator: its clock is the arrival instant.
+// Only per-flow state is touched here — a flow's packets all land on one
+// host, so no two shards of a partitioned engine ever write the same Flow.
+func (e *Engine) onDatagram(local *simnet.Sim, dg udp.Datagram) {
 	p := dg.Payload
 	if len(p) < wireHeaderLen || u32(p) != Magic {
 		return
@@ -305,20 +322,28 @@ func (e *Engine) onDatagram(_, _ netaddr.IPv4, dg udp.Datagram) {
 		return
 	}
 	if f.got(seq) {
-		e.Duplicates++
+		f.dups++
 		return
 	}
 	f.mark(seq)
 	f.received++
 	if f.received == f.Packets && !f.Done {
 		f.Done = true
-		f.FCT = e.sim.Now() - f.launchedAt
-		e.completed++
+		f.FCT = local.Now() - f.launchedAt
 	}
 }
 
 // Done reports whether every flow has finished (completed or abandoned).
-func (e *Engine) Done() bool { return e.completed+e.abandoned == len(e.flows) }
+// Callers run at quiescent points, so reading flow flags written by other
+// shards' receive handlers is safe.
+func (e *Engine) Done() bool {
+	for _, f := range e.flows {
+		if !f.Done && !f.Abandoned {
+			return false
+		}
+	}
+	return true
+}
 
 // Flows exposes the schedule in generation order (read-only by convention).
 func (e *Engine) Flows() []*Flow { return e.flows }
@@ -378,11 +403,17 @@ func (e *Engine) Report(buckets []Bucket) Report {
 	}
 	r := Report{
 		Flows:       len(e.flows),
-		Completed:   e.completed,
-		Abandoned:   e.abandoned,
 		PacketsSent: e.PacketsSent,
 		Retransmits: e.Retransmits,
-		Duplicates:  e.Duplicates,
+	}
+	for _, f := range e.flows {
+		switch {
+		case f.Done:
+			r.Completed++
+		case f.Abandoned:
+			r.Abandoned++
+		}
+		r.Duplicates += uint64(f.dups)
 	}
 	r.Incomplete = r.Flows - r.Completed - r.Abandoned
 	for _, b := range buckets {

@@ -104,7 +104,7 @@ func smallConfig(seed int64) Config {
 
 func TestEngineCompletesAllFlows(t *testing.T) {
 	w := newRig(t, 1)
-	e, err := New(w.hosts, smallConfig(3))
+	e, err := New(nil, w.hosts, smallConfig(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestEngineDeterministic(t *testing.T) {
 		w := newRig(t, 1)
 		cfg := smallConfig(5)
 		cfg.Sizes = WebSearchMix()
-		e, err := New(w.hosts, cfg)
+		e, err := New(nil, w.hosts, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -168,7 +168,7 @@ func TestEngineRepairsAcrossOutage(t *testing.T) {
 	cfg := smallConfig(7)
 	cfg.Flows = 6
 	cfg.MeanArrival = 5 * time.Millisecond
-	e, err := New(w.hosts, cfg)
+	e, err := New(nil, w.hosts, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -45,3 +45,38 @@ func bump() int {
 }
 
 func ok() error { return ErrBad }
+
+// --- space-parallel engine shapes (DESIGN.md §11) ---------------------------
+//
+// The partitioned engine's cross-shard outboxes are instance state: fields
+// of an engine object, handed between goroutines at window barriers. The
+// analyzer is structural about package-level vars only, so this idiom needs
+// no suppression — which is exactly the point: shard state must live on the
+// engine, never at package level.
+
+type frameRef struct{ at int64 }
+
+type outbox struct{ buf []frameRef }
+
+type shard struct {
+	inbox outbox
+	heap  []frameRef
+}
+
+func (s *shard) push(f frameRef) { s.inbox.buf = append(s.inbox.buf, f) }
+
+func (s *shard) pop() frameRef {
+	f := s.heap[0]
+	s.heap = s.heap[1:]
+	return f
+}
+
+// A package-level event heap, by contrast, would be written by every shard
+// worker that schedules into it: flagged.
+var globalHeap []frameRef // want `package-level var globalHeap is written by this package`
+
+func drainGlobal() frameRef {
+	f := globalHeap[0]
+	globalHeap = globalHeap[1:]
+	return f
+}
