@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint analyzers invariants race bench bench-partition bench-partition-smoke figures fuzz-smoke chaos-smoke check
+.PHONY: all build test vet lint analyzers invariants race bench bench-partition bench-partition-smoke figures fuzz-smoke chaos-smoke trace-smoke check
 
 all: check
 
@@ -76,6 +76,14 @@ figures:
 chaos-smoke:
 	$(GO) run -race ./cmd/closlab -experiment chaos -pods 2 -trials 1 -out /tmp/closlab-chaos-smoke
 
+# trace-smoke runs the in-fabric observability campaign under the race
+# detector: every trace-catalog gray-failure scenario against both
+# protocols on the 2-PoD fabric, one trial per cell, artifacts to a
+# scratch directory. A tripwire for the prober fleet, the localizer, and
+# the trace artifact writers, not a statistics run.
+trace-smoke:
+	$(GO) run -race ./cmd/closlab -experiment trace -pods 2 -trials 1 -out /tmp/closlab-trace-smoke
+
 # fuzz-smoke gives each wire-decoder fuzz target a short budget on top of
 # its checked-in seed corpus — a regression tripwire, not a campaign.
 FUZZ_TIME ?= 5s
@@ -86,4 +94,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseMessage -fuzztime $(FUZZ_TIME) ./internal/mrmtp
 	$(GO) test -run '^$$' -fuzz FuzzParseMessage -fuzztime $(FUZZ_TIME) ./internal/bgp
 
-check: build vet lint test race bench-partition-smoke
+check: build vet lint test race bench-partition-smoke trace-smoke

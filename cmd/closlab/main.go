@@ -13,6 +13,7 @@
 //	closlab -experiment config                 # Listings 1-2 comparison
 //	closlab -experiment workload               # FCT + load balance under load
 //	closlab -experiment chaos                  # fault-injection campaigns
+//	closlab -experiment trace                  # path tracing + gray-failure localization
 //	closlab -experiment bench-partition        # space-parallel engine timing
 //	closlab -experiment all                    # everything (virtual-time figures)
 //
@@ -42,7 +43,6 @@ import (
 var protocols = []harness.Protocol{harness.ProtoMRMTP, harness.ProtoBGP, harness.ProtoBGPBFD}
 
 func main() {
-	experiment := flag.String("experiment", "all", "convergence|blastradius|overhead|loss-near|loss-far|keepalive|config|nodefail|flap|workload|chaos|bench-partition|artifacts|all")
 	trials := flag.Int("trials", 3, "trials to average per data point")
 	seed := flag.Int64("seed", 1, "base random seed")
 	pods := flag.Int("pods", 0, "restrict to one topology size (2 or 4); 0 = both")
@@ -52,22 +52,11 @@ func main() {
 	shards := flag.Int("shards", harness.DefaultPartitions,
 		"partitions per fabric (1 = sequential engine; must divide the PoD count; results are identical either way)")
 	benchOut := flag.String("bench-out", "BENCH_partition.json", "output file for -experiment bench-partition")
-	flag.Parse()
-	harness.Workers = *parallel
-	harness.DefaultPartitions = *shards
 
-	var specs []topology.Spec
-	switch *pods {
-	case 0:
-		specs = []topology.Spec{topology.TwoPodSpec(), topology.FourPodSpec()}
-	case 2:
-		specs = []topology.Spec{topology.TwoPodSpec()}
-	case 4:
-		specs = []topology.Spec{topology.FourPodSpec()}
-	default:
-		fatalf("unsupported -pods %d (want 2 or 4)", *pods)
-	}
-
+	// The experiment registry. Declared before the -experiment flag so its
+	// usage string (and the unknown-value error) enumerates the registered
+	// names — adding an experiment here is the whole wiring job, with no
+	// hand-maintained list to fall out of date.
 	experiments := []struct {
 		name string
 		fn   func([]topology.Spec, int, int64) error
@@ -87,6 +76,31 @@ func main() {
 		{"chaos", func(s []topology.Spec, n int, seed int64) error {
 			return chaosExperiment(s, n, seed, *out)
 		}},
+		{"trace", func(s []topology.Spec, n int, seed int64) error {
+			return traceExperiment(s, n, seed, *out)
+		}},
+	}
+	known := make([]string, 0, len(experiments)+3)
+	for _, e := range experiments {
+		known = append(known, e.name)
+	}
+	known = append(known, "bench-partition", "artifacts", "all")
+	experiment := flag.String("experiment", "all", strings.Join(known, "|"))
+
+	flag.Parse()
+	harness.Workers = *parallel
+	harness.DefaultPartitions = *shards
+
+	var specs []topology.Spec
+	switch *pods {
+	case 0:
+		specs = []topology.Spec{topology.TwoPodSpec(), topology.FourPodSpec()}
+	case 2:
+		specs = []topology.Spec{topology.TwoPodSpec()}
+	case 4:
+		specs = []topology.Spec{topology.FourPodSpec()}
+	default:
+		fatalf("unsupported -pods %d (want 2 or 4)", *pods)
 	}
 
 	// bench-partition is opt-in only (it measures wall time, so "all" —
@@ -99,12 +113,9 @@ func main() {
 		return
 	}
 
-	// Reject a bad -experiment before anything runs: a typo must exit
-	// non-zero with usage, not masquerade as a successful empty run.
-	known := []string{"all", "artifacts"}
-	for _, e := range experiments {
-		known = append(known, e.name)
-	}
+	// Reject a bad (or empty) -experiment before anything runs: a typo must
+	// exit non-zero naming every registered experiment, not masquerade as a
+	// successful empty run.
 	if !slices.Contains(known, *experiment) {
 		fatalf("unknown -experiment %q (want one of: %s)", *experiment, strings.Join(known, "|"))
 	}

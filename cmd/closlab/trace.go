@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+
+	"repro/internal/harness"
+	"repro/internal/topology"
+)
+
+// traceProtocols is the observability-plane comparison: the paper's
+// protocol against plain BGP/ECMP. Localization needs no BFD — the point
+// of path tracing is catching the gray failures liveness protocols miss —
+// and probing both data planes shows the technique is plane-agnostic.
+var traceProtocols = []harness.Protocol{harness.ProtoMRMTP, harness.ProtoBGP}
+
+// traceExperiment runs every trace-catalog gray-failure scenario against
+// every protocol and topology cell, prints the per-cell summaries, and
+// writes the per-hop statistics CSV, accusation CSV, summary JSON, and
+// merged event timeline artifacts to dir.
+func traceExperiment(specs []topology.Spec, trials int, seed int64, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var runs []harness.TraceRun
+	for _, spec := range specs {
+		for _, proto := range traceProtocols {
+			for _, sc := range harness.TraceCatalog() {
+				s, rs, err := harness.RunTraceTrials(harness.DefaultOptions(spec, proto, seed), sc, trials)
+				if err != nil {
+					return err
+				}
+				emitf("%s", harness.RenderTrace(s))
+				runs = append(runs, harness.TraceRun{Summary: s, Trials: rs})
+			}
+		}
+	}
+	emitf("\n")
+
+	files := map[string][]byte{
+		"trace-hops.csv":        harness.RenderTraceHopsCSV(runs),
+		"trace-accusations.csv": harness.RenderTraceAccusationsCSV(runs),
+		"trace-timeline.csv":    harness.RenderTraceTimelineCSV(runs),
+	}
+	summary, err := harness.RenderTraceSummaryJSON(runs)
+	if err != nil {
+		return err
+	}
+	files["trace-summary.json"] = summary
+	for _, name := range []string{"trace-hops.csv", "trace-accusations.csv", "trace-timeline.csv", "trace-summary.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), files[name], 0o644); err != nil {
+			return err
+		}
+	}
+	emitf("trace: wrote trace-hops.csv, trace-accusations.csv, trace-timeline.csv and trace-summary.json to %s\n", dir)
+	return nil
+}

@@ -240,7 +240,7 @@ func TestChaosArtifactsByteIdentical(t *testing.T) {
 	if !bytes.Equal(js1, js2) {
 		t.Error("same-seed summary JSONs differ")
 	}
-	if !strings.HasPrefix(string(csv1), "protocol,pods,scenario,trial,t_us,kind,action,target,detail\n") {
+	if !strings.HasPrefix(string(csv1), "protocol,pods,scenario,trial,t_us,kind,action,target,detail,accused_link\n") {
 		t.Errorf("unexpected CSV header: %q", strings.SplitN(string(csv1), "\n", 2)[0])
 	}
 	if !strings.Contains(string(js1), `"reconvergences_per_up_transition"`) {

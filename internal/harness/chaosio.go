@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"repro/internal/chaos"
 )
 
 // This file renders chaos campaign artifacts. The renderers are exported
@@ -19,21 +21,35 @@ type ChaosRun struct {
 	Trials  []ChaosResult
 }
 
+// timelineHeader is the shared event-timeline CSV schema: injector fault
+// actions and localizer accusation events interleave in the same rows, with
+// accused_link filled only on accusation events.
+const timelineHeader = "protocol,pods,scenario,trial,t_us,kind,action,target,detail,accused_link\n"
+
+// writeTimelineRows renders one trial's event log.
+func writeTimelineRows(b *strings.Builder, proto Protocol, pods int, scenario string, trial int, events []chaos.Event) {
+	for _, ev := range events {
+		accused := ""
+		if ev.Kind == AccusationEventKind {
+			accused = ev.Target
+		}
+		// strings.Builder writes cannot fail; the blank assignment makes
+		// the discarded result explicit rather than accidental.
+		_, _ = fmt.Fprintf(b, "%s,%d,%s,%d,%d,%s,%s,%s,%s,%s\n",
+			proto, pods, scenario, trial,
+			ev.At/time.Microsecond, ev.Kind, ev.Action, ev.Target, ev.Detail, accused)
+	}
+}
+
 // RenderChaosTimelineCSV renders every trial's injector log as CSV:
 // one row per fault action actually executed, in virtual-time order.
 func RenderChaosTimelineCSV(runs []ChaosRun) []byte {
 	var b strings.Builder
-	// strings.Builder writes cannot fail; blank assignments make the
-	// discarded results explicit rather than accidental.
-	_, _ = b.WriteString("protocol,pods,scenario,trial,t_us,kind,action,target,detail\n")
+	_, _ = b.WriteString(timelineHeader)
 	for _, r := range runs {
 		s := r.Summary
 		for ti, tr := range r.Trials {
-			for _, ev := range tr.Events {
-				_, _ = fmt.Fprintf(&b, "%s,%d,%s,%d,%d,%s,%s,%s,%s\n",
-					s.Protocol, s.Pods, s.Scenario, ti,
-					ev.At/time.Microsecond, ev.Kind, ev.Action, ev.Target, ev.Detail)
-			}
+			writeTimelineRows(&b, s.Protocol, s.Pods, s.Scenario, ti, tr.Events)
 		}
 	}
 	return []byte(b.String())

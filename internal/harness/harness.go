@@ -242,6 +242,10 @@ func (f *Fabric) buildMRMTP() {
 		cfg := mrmtp.DefaultConfig(d.Level, top)
 		cfg.HelloInterval = f.Opts.MTPHello
 		cfg.DeadInterval = f.Opts.MTPDead
+		// Give every router a trace identity so TTL-expired probes earn a
+		// time-exceeded reply attributable to this hop (same ID space as
+		// the BGP fabric's router IDs).
+		cfg.Identity = routerID(d)
 		if f.Opts.MTPAccept > 0 {
 			cfg.AcceptHellos = f.Opts.MTPAccept
 		}

@@ -1,0 +1,277 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pathtrace"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// traceTestCfg probes one flow per leaf pair: hop-attribution assertions
+// want a small deterministic fleet, not ECMP sweep width.
+func traceTestCfg() TraceConfig {
+	cfg := DefaultTraceConfig()
+	cfg.Flows = 1
+	return cfg
+}
+
+// buildTraceRun builds a warm fabric with the prober fleet started and two
+// seconds of probing behind it.
+func buildTraceRun(t *testing.T, proto Protocol, seed int64) (*Fabric, *traceRun) {
+	t.Helper()
+	f, err := Build(DefaultOptions(topology.TwoPodSpec(), proto, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := newTraceRun(f, traceTestCfg())
+	if err := f.WarmUp(WarmupTime); err != nil {
+		t.Fatal(err)
+	}
+	run.start()
+	f.Sim.RunFor(2 * time.Second)
+	return f, run
+}
+
+// wantTiers is the tier sequence a probe walks leaf-to-leaf: up to a spine
+// and back down intra-pod, over the top tier cross-pod.
+func wantTiers(intraPod bool) []topology.Tier {
+	if intraPod {
+		return []topology.Tier{topology.TierSpine, topology.TierLeaf}
+	}
+	return []topology.Tier{topology.TierSpine, topology.TierTop, topology.TierSpine, topology.TierLeaf}
+}
+
+// TestTraceHopAttribution is the end-to-end time-exceeded contract: for
+// every prober, the per-TTL reply addresses observed on the wire match the
+// walk predicted from the protocol's own forwarding state — MR-MTP VID
+// paths answer from router identities, BGP ECMP paths from ingress
+// interfaces, and the destination ToR from its gateway in both planes.
+func TestTraceHopAttribution(t *testing.T) {
+	for _, proto := range []Protocol{ProtoMRMTP, ProtoBGP} {
+		t.Run(proto.String(), func(t *testing.T) {
+			_, run := buildTraceRun(t, proto, 21)
+			cells := 0
+			for i, p := range run.tracer.Probers() {
+				v := run.vants[i]
+				hops, _ := run.forwardWalk(i, p.Cfg.MaxTTL)
+				if len(hops) != p.Cfg.MaxTTL {
+					t.Fatalf("prober %d (%s->%s): walk length %d, want %d",
+						i, v.src.Name, v.dst.Name, len(hops), p.Cfg.MaxTTL)
+				}
+				for h, tier := range wantTiers(v.src.Pod == v.dst.Pod) {
+					if hops[h].dev.Tier != tier {
+						t.Fatalf("prober %d hop %d is %s (tier %v), want tier %v",
+							i, h+1, hops[h].dev.Name, hops[h].dev.Tier, tier)
+					}
+				}
+				for _, s := range p.Snapshot() {
+					hop := hops[s.TTL-1]
+					if !s.Seen {
+						t.Errorf("prober %d TTL %d: no reply seen", i, s.TTL)
+						continue
+					}
+					if s.Addr != hop.addr {
+						t.Errorf("prober %d (%s->%s) TTL %d: replied from %s, walk predicts %s (%s)",
+							i, v.src.Name, v.dst.Name, s.TTL, s.Addr, hop.addr, hop.dev.Name)
+					}
+					if want := hop.dev == v.dst; s.Reached != want {
+						t.Errorf("prober %d TTL %d: Reached=%t, want %t", i, s.TTL, s.Reached, want)
+					}
+					if s.Lost != 0 {
+						t.Errorf("prober %d TTL %d: %d probes lost on a healthy fabric", i, s.TTL, s.Lost)
+					}
+					// Pin the per-plane address scheme, not just walk
+					// self-consistency.
+					if hop.dev == v.dst {
+						if s.Addr != topology.LeafGatewayIP(v.dst) {
+							t.Errorf("prober %d TTL %d: destination replied from %s, want gateway", i, s.TTL, s.Addr)
+						}
+					} else if proto == ProtoMRMTP && s.Addr != routerID(hop.dev) {
+						t.Errorf("prober %d TTL %d: hop replied from %s, want router identity %s",
+							i, s.TTL, s.Addr, routerID(hop.dev))
+					}
+					cells++
+				}
+			}
+			if cells == 0 {
+				t.Fatal("no cells verified")
+			}
+		})
+	}
+}
+
+// TestTraceHopAttributionUnderOneWayDown drops one transmit direction of a
+// walked spine→top link mid-run: cells probing at or past the dark link
+// record loss while the TTL-1 cell keeps exact attribution — the per-hop
+// statistics isolate the failing hop.
+func TestTraceHopAttributionUnderOneWayDown(t *testing.T) {
+	for _, proto := range []Protocol{ProtoMRMTP, ProtoBGP} {
+		t.Run(proto.String(), func(t *testing.T) {
+			f, run := buildTraceRun(t, proto, 23)
+			target := -1
+			for i, p := range run.tracer.Probers() {
+				if p.Cfg.MaxTTL == 4 {
+					target = i
+					break
+				}
+			}
+			if target < 0 {
+				t.Fatal("no cross-pod prober")
+			}
+			hops, _ := run.forwardWalk(target, 4)
+			if len(hops) != 4 {
+				t.Fatalf("walk length %d, want 4", len(hops))
+			}
+			// The spine→top TX port from the walked path, impaired one-way:
+			// the reverse direction and the spine's reply path stay clean.
+			spine := hops[0].dev
+			var port *simnet.Port
+			for _, p := range f.Sim.Node(spine.Name).Ports[1:] {
+				if p.Link != nil && p.Peer().Node.Name == hops[1].dev.Name {
+					port = p
+					break
+				}
+			}
+			if port == nil {
+				t.Fatalf("no port %s->%s", spine.Name, hops[1].dev.Name)
+			}
+
+			before := map[int]pathtrace.HopSnapshot{}
+			for _, s := range run.tracer.Probers()[target].Snapshot() {
+				before[s.TTL] = s
+			}
+			port.Link.Impair(port, simnet.Impairment{Down: true})
+			f.Sim.RunFor(time.Second)
+
+			for _, s := range run.tracer.Probers()[target].Snapshot() {
+				b := before[s.TTL]
+				if s.TTL == 1 {
+					if s.Lost != b.Lost {
+						t.Errorf("TTL 1 lost %d probes behind an impairment past its hop", s.Lost-b.Lost)
+					}
+					if s.Addr != hops[0].addr {
+						t.Errorf("TTL 1 attribution moved to %s under the impairment", s.Addr)
+					}
+					continue
+				}
+				if s.Lost <= b.Lost {
+					t.Errorf("TTL %d recorded no loss across the dark %s->%s link",
+						s.TTL, spine.Name, hops[1].dev.Name)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceCampaignLocalizesCatalog runs every catalog scenario end to end
+// on both protocols: each must localize an accepted link with zero false
+// accusals, and the verdict must land after injection.
+func TestTraceCampaignLocalizesCatalog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full trace campaigns in -short mode")
+	}
+	for _, proto := range []Protocol{ProtoMRMTP, ProtoBGP} {
+		for _, sc := range TraceCatalog() {
+			r, err := RunTrace(DefaultOptions(topology.TwoPodSpec(), proto, 31), sc)
+			if err != nil {
+				t.Fatalf("%s %s: %v", proto, sc.Spec.Name, err)
+			}
+			if !r.Localized {
+				t.Errorf("%s %s: not localized (accusations: %+v)", proto, sc.Spec.Name, r.Accusations)
+			}
+			if r.FalseAccusals != 0 {
+				t.Errorf("%s %s: %d false accusals: %+v", proto, sc.Spec.Name, r.FalseAccusals, r.Accusations)
+			}
+			if r.Localized && r.TimeToLocalize <= 0 {
+				t.Errorf("%s %s: non-positive time-to-localize %v", proto, sc.Spec.Name, r.TimeToLocalize)
+			}
+			if r.ProbesSent == 0 || r.RepliesReceived == 0 {
+				t.Errorf("%s %s: probe fleet idle (sent %d, received %d)",
+					proto, sc.Spec.Name, r.ProbesSent, r.RepliesReceived)
+			}
+		}
+	}
+}
+
+// TestPartitionedTraceIdentity pins the campaign's bit-identity across the
+// space-parallel engine: the catalog's spine fault crosses the by-PoD shard
+// boundary, and probe ticks ride shard-local queues.
+func TestPartitionedTraceIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fabric trials in -short mode")
+	}
+	sc := TraceCatalog()[0] // trace-gray-spine: a cross-shard S→T fault
+	cfg := traceTestCfg()
+	opts := DefaultOptions(topology.FourPodSpec(), ProtoMRMTP, 19)
+	seq, err := RunTraceCfg(withPartitions(opts, 1), sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Localized || seq.FalseAccusals != 0 {
+		t.Fatalf("sequential reference run did not localize cleanly: %+v", seq.Accusations)
+	}
+	for _, shards := range partitionCounts {
+		par, err := RunTraceCfg(withPartitions(opts, shards), sc, cfg)
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("%d-shard trace result differs from sequential:\nsequential: %+v\npartitioned: %+v",
+				shards, seq, par)
+		}
+	}
+}
+
+// TestTraceParallelMatchesSequential pins trial pooling: worker count must
+// not leak into summaries or rendered artifacts.
+func TestTraceParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fabric trials in -short mode")
+	}
+	sc := TraceCatalog()[1] // trace-gray-leaf
+	opts := DefaultOptions(topology.TwoPodSpec(), ProtoMRMTP, 3)
+
+	old := Workers
+	defer func() { Workers = old }()
+
+	render := func(s TraceSummary, rs []TraceResult) [][]byte {
+		runs := []TraceRun{{Summary: s, Trials: rs}}
+		js, err := RenderTraceSummaryJSON(runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return [][]byte{
+			RenderTraceHopsCSV(runs), RenderTraceAccusationsCSV(runs),
+			RenderTraceTimelineCSV(runs), js,
+		}
+	}
+
+	Workers = 1
+	seq, seqTrials, err := RunTraceTrials(opts, sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Workers = 4
+	par, parTrials, err := RunTraceTrials(opts, sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TraceSummary is flat and comparable by design, like ChaosSummary.
+	if seq != par {
+		t.Errorf("parallel summary differs from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+	seqArts, parArts := render(seq, seqTrials), render(par, parTrials)
+	for i := range seqArts {
+		if !bytes.Equal(seqArts[i], parArts[i]) {
+			t.Errorf("artifact %d differs between worker counts", i)
+		}
+	}
+	if !strings.HasPrefix(string(seqArts[1]), "protocol,pods,scenario,trial,t_us,link,cells,ratio,latency,correct,t_to_localize_us\n") {
+		t.Errorf("unexpected accusations header: %q", strings.SplitN(string(seqArts[1]), "\n", 2)[0])
+	}
+}

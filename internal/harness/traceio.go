@@ -1,0 +1,131 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// This file renders trace campaign artifacts, mirroring chaosio.go: the
+// renderers are exported so the byte-identity acceptance test runs against
+// the exact bytes the CLI writes.
+
+// TraceRun pairs one cell's summary with its per-trial results.
+type TraceRun struct {
+	Summary TraceSummary
+	Trials  []TraceResult
+}
+
+// RenderTraceHopsCSV renders every trial's per-hop statistic samples:
+// one row per (sample time, prober, TTL) cell.
+func RenderTraceHopsCSV(runs []TraceRun) []byte {
+	var b strings.Builder
+	_, _ = b.WriteString("protocol,pods,scenario,trial,t_us,prober,flow,src,dst,ttl,addr,seen,reached,sent,lost,received,loss_ewma,rtt_p50_us,rtt_p95_us,last_seen_us\n")
+	for _, r := range runs {
+		s := r.Summary
+		for ti, tr := range r.Trials {
+			for _, h := range tr.Samples {
+				_, _ = fmt.Fprintf(&b, "%s,%d,%s,%d,%d,%d,%d,%s,%s,%d,%s,%t,%t,%d,%d,%d,%.4f,%d,%d,%d\n",
+					s.Protocol, s.Pods, s.Scenario, ti,
+					h.At/time.Microsecond, h.Prober, h.Flow, h.Src, h.Dst, h.TTL,
+					h.Addr, h.Seen, h.Reached, h.Sent, h.Lost, h.Received,
+					h.LossEWMA, h.RTTP50/time.Microsecond, h.RTTP95/time.Microsecond,
+					h.LastSeen/time.Microsecond)
+			}
+		}
+	}
+	return []byte(b.String())
+}
+
+// RenderTraceAccusationsCSV renders every trial's localization verdicts.
+func RenderTraceAccusationsCSV(runs []TraceRun) []byte {
+	var b strings.Builder
+	_, _ = b.WriteString("protocol,pods,scenario,trial,t_us,link,cells,ratio,latency,correct,t_to_localize_us\n")
+	for _, r := range runs {
+		s := r.Summary
+		for ti, tr := range r.Trials {
+			for _, a := range tr.Accusations {
+				_, _ = fmt.Fprintf(&b, "%s,%d,%s,%d,%d,%s,%d,%.3f,%t,%t,%d\n",
+					s.Protocol, s.Pods, s.Scenario, ti,
+					a.At/time.Microsecond, a.Link, a.Cells, a.Ratio, a.Latency, a.Correct,
+					(a.At-tr.InjectedAt)/time.Microsecond)
+			}
+		}
+	}
+	return []byte(b.String())
+}
+
+// RenderTraceTimelineCSV renders every trial's merged event log — injector
+// fault actions and accusation events — in the shared timeline schema.
+func RenderTraceTimelineCSV(runs []TraceRun) []byte {
+	var b strings.Builder
+	_, _ = b.WriteString(timelineHeader)
+	for _, r := range runs {
+		s := r.Summary
+		for ti, tr := range r.Trials {
+			writeTimelineRows(&b, s.Protocol, s.Pods, s.Scenario, ti, tr.Events)
+		}
+	}
+	return []byte(b.String())
+}
+
+// traceJSONSummary is the machine-readable form of one cell.
+type traceJSONSummary struct {
+	Protocol string `json:"protocol"`
+	Pods     int    `json:"pods"`
+	Scenario string `json:"scenario"`
+	Trials   int    `json:"trials"`
+	Probers  int    `json:"probers"`
+
+	Localized     int `json:"localized_trials"`
+	FalseAccusals int `json:"false_accusals"`
+
+	TTLocMsMean float64 `json:"time_to_localize_ms_mean"`
+	TTLocMsMax  float64 `json:"time_to_localize_ms_max"`
+
+	AccusationsMean   float64 `json:"accusations_mean"`
+	ProbeLossRateMean float64 `json:"probe_loss_rate_mean"`
+	TraceRepliesMean  float64 `json:"trace_replies_mean"`
+}
+
+// RenderTraceSummaryJSON renders every cell's summary as indented JSON.
+func RenderTraceSummaryJSON(runs []TraceRun) ([]byte, error) {
+	var out []traceJSONSummary
+	for _, r := range runs {
+		s := r.Summary
+		out = append(out, traceJSONSummary{
+			Protocol: s.Protocol.String(),
+			Pods:     s.Pods,
+			Scenario: s.Scenario,
+			Trials:   s.Trials,
+			Probers:  s.Probers,
+
+			Localized:     s.Localized,
+			FalseAccusals: s.FalseAccusals,
+
+			TTLocMsMean: s.TTLocMsMean,
+			TTLocMsMax:  s.TTLocMsMax,
+
+			AccusationsMean:   s.AccusationsMean,
+			ProbeLossRateMean: s.ProbeLossRateMean,
+			TraceRepliesMean:  s.TraceRepliesMean,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// RenderTrace formats one cell's summary as the experiment's text block.
+func RenderTrace(s TraceSummary) string {
+	out := fmt.Sprintf("%s %dP %s: %d trials, %d probers, localized %d/%d, %d false accusals\n",
+		s.Protocol, s.Pods, s.Scenario, s.Trials, s.Probers,
+		s.Localized, s.Trials, s.FalseAccusals)
+	out += fmt.Sprintf("  time-to-localize mean %.0fms (max %.0fms), %.1f accusations/trial, probe loss %.2f%%, %.0f trace replies\n",
+		s.TTLocMsMean, s.TTLocMsMax, s.AccusationsMean,
+		100*s.ProbeLossRateMean, s.TraceRepliesMean)
+	return out
+}

@@ -23,6 +23,12 @@ const (
 // HeaderLen is the fixed ICMP header size.
 const HeaderLen = 8
 
+// Destination-unreachable codes used here.
+const (
+	CodeNetUnreach  byte = 0
+	CodePortUnreach byte = 3
+)
+
 // Message is a decoded ICMP message. For echo messages, ID/Seq hold the
 // identifier and sequence number; for errors, Payload holds the original
 // IP header plus at least 8 bytes of its payload (RFC 792).
@@ -92,6 +98,14 @@ func DestUnreachable(origIP []byte) Message {
 	return Message{Type: TypeDestUnreach, Payload: quote(origIP)}
 }
 
+// PortUnreachable builds the error a host sends when a UDP datagram arrives
+// for a port nobody listens on (code 3). For a UDP traceroute probe this is
+// the "destination reached" signal: intermediate hops answer time-exceeded,
+// the final hop answers port-unreachable.
+func PortUnreachable(origIP []byte) Message {
+	return Message{Type: TypeDestUnreach, Code: CodePortUnreach, Payload: quote(origIP)}
+}
+
 func quote(origIP []byte) []byte {
 	n := ipv4.HeaderLen + 8
 	if n > len(origIP) {
@@ -117,4 +131,25 @@ func QuotedEcho(errMsg Message) (id, seq uint16, ok bool) {
 		return 0, 0, false
 	}
 	return uint16(inner[4])<<8 | uint16(inner[5]), uint16(inner[6])<<8 | uint16(inner[7]), true
+}
+
+// QuotedUDPProbe extracts the original IP ID and UDP ports from an error
+// message quoting a UDP packet. A UDP traceroute prober encodes the probe
+// slot in the IP ID and the flow label in the source port, so this is how a
+// time-exceeded or port-unreachable reply is matched back to its probe.
+func QuotedUDPProbe(errMsg Message) (ipID, srcPort, dstPort uint16, ok bool) {
+	q := errMsg.Payload
+	if len(q) < ipv4.HeaderLen {
+		return 0, 0, 0, false
+	}
+	ihl := int(q[0]&0x0f) * 4
+	// RFC 792 quotes the header plus >= 8 payload bytes, which for UDP
+	// covers exactly src port, dst port, length, checksum.
+	if q[9] != ipv4.ProtoUDP || ihl < ipv4.HeaderLen || len(q) < ihl+4 {
+		return 0, 0, 0, false
+	}
+	ipID = uint16(q[4])<<8 | uint16(q[5])
+	srcPort = uint16(q[ihl])<<8 | uint16(q[ihl+1])
+	dstPort = uint16(q[ihl+2])<<8 | uint16(q[ihl+3])
+	return ipID, srcPort, dstPort, true
 }

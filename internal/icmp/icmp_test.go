@@ -100,3 +100,51 @@ func TestShortQuote(t *testing.T) {
 		t.Errorf("short quote = %d bytes", len(m.Payload))
 	}
 }
+
+func TestPortUnreachableQuotedUDPProbe(t *testing.T) {
+	// A UDP probe with a distinctive IP ID and ports must round-trip
+	// through the port-unreachable quote and back out of the extractor.
+	udpWire := []byte{0x82, 0x9b, 0x82, 0x9a, 0, 12, 0, 0, 1, 2, 3, 4}
+	pkt := ipv4.Packet{
+		Header:  ipv4.Header{ID: 0x1234, TTL: 7, Protocol: ipv4.ProtoUDP},
+		Payload: udpWire,
+	}
+	m := PortUnreachable(pkt.Marshal())
+	out, err := Unmarshal(m.Marshal())
+	if err != nil || out.Type != TypeDestUnreach || out.Code != CodePortUnreach {
+		t.Fatalf("port-unreachable round trip: %+v %v", out, err)
+	}
+	ipID, src, dst, ok := QuotedUDPProbe(out)
+	if !ok || ipID != 0x1234 || src != 0x829b || dst != 0x829a {
+		t.Errorf("QuotedUDPProbe = %#x,%#x,%#x,%v", ipID, src, dst, ok)
+	}
+	// Time-exceeded quotes of the same probe must match identically.
+	te := TimeExceeded(pkt.Marshal())
+	ipID, src, dst, ok = QuotedUDPProbe(te)
+	if !ok || ipID != 0x1234 || src != 0x829b || dst != 0x829a {
+		t.Errorf("QuotedUDPProbe(time-exceeded) = %#x,%#x,%#x,%v", ipID, src, dst, ok)
+	}
+}
+
+func TestQuotedUDPProbeRejects(t *testing.T) {
+	// An ICMP quote (echo probe) must not match the UDP extractor.
+	echo := EchoRequest(1, 2, nil)
+	pkt := ipv4.Packet{
+		Header:  ipv4.Header{TTL: 1, Protocol: ipv4.ProtoICMP},
+		Payload: echo.Marshal(),
+	}
+	if _, _, _, ok := QuotedUDPProbe(TimeExceeded(pkt.Marshal())); ok {
+		t.Error("QuotedUDPProbe matched an ICMP quote")
+	}
+	if _, _, _, ok := QuotedUDPProbe(Message{Payload: []byte{0x45, 0, 0}}); ok {
+		t.Error("QuotedUDPProbe matched a truncated quote")
+	}
+	// A quote cut off before the UDP ports must be rejected.
+	short := ipv4.Packet{
+		Header:  ipv4.Header{TTL: 1, Protocol: ipv4.ProtoUDP},
+		Payload: []byte{1, 2},
+	}
+	if _, _, _, ok := QuotedUDPProbe(TimeExceeded(short.Marshal())); ok {
+		t.Error("QuotedUDPProbe matched a quote without full UDP ports")
+	}
+}

@@ -49,6 +49,9 @@ func TestHandleFrameRxAllocs(t *testing.T) {
 // to zero once the simulator freelists warm up.
 func TestHandleFrameForwardAllocs(t *testing.T) {
 	l := newLAN(t)
+	// Sink the probe datagrams so h2 consumes them instead of answering
+	// port-unreachable inside the timed loop.
+	l.h2.ListenUDP(7777, func(src, dst netaddr.IPv4, dg udp.Datagram) {})
 	// Prime ARP on the router's h2-side interface so transmit takes the
 	// fast path, then drain the warm-up traffic.
 	l.h1.SendUDP(l.sub1.Host(1), l.sub2.Host(1), 9, 7, []byte("prime"))

@@ -239,7 +239,7 @@ func (s *Stack) handleIPv4(p *simnet.Port, payload []byte) {
 		return
 	}
 	if s.IsLocal(pkt.Header.Dst) {
-		s.deliver(pkt)
+		s.deliver(pkt, payload)
 		return
 	}
 	// Forward: copy into a fresh frame buffer (the received frame belongs
@@ -259,7 +259,9 @@ func (s *Stack) handleIPv4(p *simnet.Port, payload []byte) {
 	s.routeOut(pkt.Header, buf)
 }
 
-func (s *Stack) deliver(pkt ipv4.Packet) {
+// deliver consumes a locally destined packet. wire holds the original
+// wire-format bytes so error replies (port-unreachable) can quote them.
+func (s *Stack) deliver(pkt ipv4.Packet, wire []byte) {
 	s.Stats.IPDelivered++
 	switch pkt.Header.Protocol {
 	case ipv4.ProtoTCP:
@@ -271,6 +273,10 @@ func (s *Stack) deliver(pkt ipv4.Packet) {
 		}
 		if h := s.udpHandlers[dg.DstPort]; h != nil {
 			h(pkt.Header.Src, pkt.Header.Dst, dg)
+		} else if !pkt.Header.Src.IsZero() {
+			// Closed port: answer port-unreachable like a real host. A UDP
+			// traceroute probe reads this as "destination reached".
+			s.SendICMP(pkt.Header.Dst, pkt.Header.Src, icmp.PortUnreachable(wire))
 		}
 	case ipv4.ProtoICMP:
 		m, err := icmp.Unmarshal(pkt.Payload)
@@ -311,6 +317,36 @@ func (s *Stack) SendIPTTL(src, dst netaddr.IPv4, proto, ttl byte, payload []byte
 
 func (s *Stack) sendIP(src, dst netaddr.IPv4, proto byte, payload []byte) {
 	s.SendIPTTL(src, dst, proto, ipv4.DefaultTTL, payload)
+}
+
+// SendIPRaw emits a caller-built wire-format IPv4 packet through the normal
+// FIB route-out path. Unlike SendIPTTL the caller controls every header
+// field — the path tracer encodes its probe slot in the IP ID, which the
+// stack's own ipID counter would clobber.
+func (s *Stack) SendIPRaw(ipWire []byte) {
+	pkt, err := ipv4.Unmarshal(ipWire)
+	if err != nil {
+		return
+	}
+	frame := make([]byte, ethernet.HeaderLen+len(ipWire))
+	copy(frame[ethernet.HeaderLen:], ipWire)
+	s.routeOut(pkt.Header, frame)
+}
+
+// NextHopFor returns the next hop routeOut would choose for a packet to dst
+// carrying flow key k: the sole next hop when the route has one, the
+// hash-picked member otherwise (Pick over a single entry is that entry, so
+// the two forms agree). The returned value is a copy, safe to retain across
+// FIB lookups.
+func (s *Stack) NextHopFor(dst netaddr.IPv4, k FlowKey) (NextHop, bool) {
+	r, ok := s.FIB.Lookup(dst)
+	if !ok || len(r.NextHops) == 0 {
+		return NextHop{}, false
+	}
+	if len(r.NextHops) == 1 {
+		return r.NextHops[0], true
+	}
+	return r.Pick(k), true
 }
 
 // newIPFrame allocates the single buffer carrying a locally originated

@@ -38,13 +38,23 @@ func (Nop) ControlMessage(time.Duration, string, int) {}
 type Event struct {
 	At    time.Duration
 	Node  string
-	Kind  string // "route" or "control"
+	Kind  string // "route", "control", or "accuse"
 	Bytes int
+	// Detail carries kind-specific payload: for "accuse" events, the
+	// accused directed link ("From->To").
+	Detail string
 }
 
 // Log is an append-only Recorder retaining every event.
 type Log struct {
 	Events []Event
+}
+
+// Accusation records a gray-failure localization verdict from the
+// observability plane (DESIGN.md §12): node's localizer accused the
+// directed link named by detail.
+func (l *Log) Accusation(at time.Duration, node, detail string) {
+	l.Events = append(l.Events, Event{At: at, Node: node, Kind: "accuse", Detail: detail})
 }
 
 // RouteUpdate implements Recorder.
@@ -149,6 +159,8 @@ func (l *Log) Timeline(failureAt time.Duration) []TimelineEntry {
 			out = append(out, TimelineEntry{e.At, e.Node + " updated its routing table"})
 		case "control":
 			out = append(out, TimelineEntry{e.At, fmt.Sprintf("%s sent a %d-byte update", e.Node, e.Bytes)})
+		case "accuse":
+			out = append(out, TimelineEntry{e.At, fmt.Sprintf("%s accused link %s", e.Node, e.Detail)})
 		}
 	}
 	return out

@@ -120,11 +120,19 @@ func (r *Router) handleData(p *simnet.Port, payload []byte) {
 			return
 		}
 		r.Stats.DataDelivered++
+		if pkt.Header.Dst == r.GatewayIP() {
+			// Addressed to the ToR itself: trace probes and their replies.
+			r.handleLocal(ipWire, pkt) //simlint:alloc gateway-addressed control traffic, off the forwarding fast path
+			return
+		}
 		r.deliverToRack(ipWire, pkt.Header.Dst)
 		return
 	}
 	if h.TTL <= 1 {
 		r.Stats.DataDropped++
+		// Expired probes earn a time-exceeded reply, like an IP router
+		// (path tracing depends on it); other expiries stay silent drops.
+		r.sendTraceReply(h, ipWire) //simlint:alloc TTL expiry is off the fast path; reply construction allocates
 		return
 	}
 	// In-place decrement: the delivered frame is ours, and sendOn copies

@@ -30,6 +30,12 @@ type Config struct {
 	// derived (paper §III.A).
 	RackSubnet netaddr.Prefix
 
+	// Identity is the address a spine answers path-trace probes from
+	// (the analogue of a router ID on a loopback). MR-MTP devices carry
+	// no IP stack, so without an identity the fabric interior stays
+	// invisible to traceroute; zero disables trace replies.
+	Identity netaddr.IPv4
+
 	// HelloInterval and DeadInterval implement Quick-to-Detect: the
 	// paper runs 50 ms hellos with a 100 ms dead timer — a neighbor is
 	// assumed down after a single missed hello.
@@ -118,6 +124,7 @@ type Stats struct {
 	DataForwarded uint64
 	DataDelivered uint64
 	DataDropped   uint64
+	TraceReplies  uint64
 	NeighborsLost uint64
 
 	// QDSA transition counters (chaos telemetry). NeighborsAccepted
@@ -178,6 +185,11 @@ type Router struct {
 	// ToR data-plane state (rack-side ARP).
 	arpCache   map[netaddr.IPv4]arpEntry
 	arpPending map[netaddr.IPv4][][]byte
+
+	// icmpListeners receive ICMP messages addressed to the ToR's own
+	// gateway address (path-trace replies), excluding echo requests,
+	// which the ToR answers itself.
+	icmpListeners []ICMPListener
 
 	Stats Stats
 }

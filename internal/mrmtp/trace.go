@@ -1,0 +1,151 @@
+package mrmtp
+
+import (
+	"repro/internal/flowhash"
+	"repro/internal/icmp"
+	"repro/internal/ipv4"
+	"repro/internal/netaddr"
+	"repro/internal/udp"
+)
+
+// This file is the MR-MTP half of the in-fabric observability plane
+// (DESIGN.md §12). The fabric is IP-opaque — spines never parse past the
+// encapsulation header — so ordinary traceroute shows the whole fabric as a
+// single hop. Path tracing instead steps the *data-plane* TTL: a probe is a
+// server-format IP packet injected with a small encapsulation TTL, the
+// spine where it expires answers time-exceeded from its configured
+// Identity, and the destination ToR answers port-unreachable from its
+// gateway address. The replies ride the fabric like any other packet.
+
+// ICMPListener receives ICMP messages addressed to the ToR's gateway IP.
+type ICMPListener func(src netaddr.IPv4, m icmp.Message)
+
+// ListenICMP registers a listener for gateway-addressed ICMP (path-trace
+// replies). Echo requests are answered by the ToR itself and not delivered.
+func (r *Router) ListenICMP(h ICMPListener) {
+	r.icmpListeners = append(r.icmpListeners, h)
+}
+
+// InjectData encapsulates a caller-built wire-format IP packet at this ToR
+// with an explicit encapsulation TTL and forwards it into the fabric. This
+// is the probe entry point: ttl selects the hop under test (1 = first
+// spine), and the caller controls every inner header field, in particular
+// the IP ID a reply quotes back and the UDP source port the fabric hashes.
+func (r *Router) InjectData(ipWire []byte, ttl byte) {
+	pkt, err := ipv4.Unmarshal(ipWire)
+	if err != nil || r.Cfg.Tier != 1 {
+		return
+	}
+	dstRoot := pkt.Header.Dst[2]
+	r.forwardData(MarshalData(r.rootVID, dstRoot, ttl, ipWire), dstRoot, flowhash.FromIPPacket(ipWire))
+}
+
+// NextDataHop returns the port forwardData would choose for a packet to
+// dstRoot carrying flow key — the same VID-table walk and uplink hash,
+// without sending anything. ok is false when forwardData would drop. Path
+// enumeration composes this across devices to predict a probe's hop
+// sequence.
+func (r *Router) NextDataHop(dstRoot byte, key flowhash.Key) (port int, ok bool) {
+	for _, vidKey := range r.byRoot[dstRoot] {
+		e := r.entries[vidKey]
+		adj := r.adjs[e.port]
+		if adj != nil && adj.state == adjUp && adj.port.Up() {
+			return e.port, true
+		}
+	}
+	ups := r.uplinks()
+	eligible := r.eligScratch[:0]
+	for _, adj := range ups {
+		marks := r.unreachable[adj.port.Index]
+		if !marks[dstRoot] && !marks[DefaultRoot] {
+			eligible = append(eligible, adj)
+		}
+	}
+	r.eligScratch = eligible
+	if len(eligible) == 0 || r.downstream[dstRoot] || (r.Cfg.Tier == 1 && dstRoot == r.rootVID) {
+		return 0, false
+	}
+	return eligible[int(key.Hash())%len(eligible)].port.Index, true
+}
+
+// handleLocal consumes a fabric-delivered IP packet addressed to the ToR's
+// own gateway IP: echo requests are answered, unclaimed UDP earns
+// port-unreachable (the "probe reached its destination" signal), and other
+// ICMP — the trace replies — goes to the registered listeners.
+func (r *Router) handleLocal(ipWire []byte, pkt ipv4.Packet) {
+	switch pkt.Header.Protocol {
+	case ipv4.ProtoICMP:
+		m, err := icmp.Unmarshal(pkt.Payload)
+		if err != nil {
+			return
+		}
+		if m.Type == icmp.TypeEchoRequest {
+			r.sendFromGateway(pkt.Header.Src, marshalICMP(icmp.EchoReplyTo(m)))
+			return
+		}
+		for _, h := range r.icmpListeners {
+			h(pkt.Header.Src, m)
+		}
+	case ipv4.ProtoUDP:
+		if _, err := udp.Unmarshal(pkt.Header.Src, pkt.Header.Dst, pkt.Payload); err != nil {
+			return
+		}
+		if !pkt.Header.Src.IsZero() {
+			r.sendFromGateway(pkt.Header.Src, marshalICMP(icmp.PortUnreachable(ipWire)))
+		}
+	}
+}
+
+// sendFromGateway emits an ICMP message sourced from the ToR's gateway
+// address: straight to the rack when the destination sits behind this ToR,
+// encapsulated into the fabric otherwise. The destination root derives from
+// the address exactly as ingressIP derives it (paper §III.A).
+func (r *Router) sendFromGateway(dst netaddr.IPv4, icmpWire []byte) {
+	reply := ipv4.Packet{
+		Header: ipv4.Header{
+			TTL: ipv4.DefaultTTL, Protocol: ipv4.ProtoICMP,
+			Src: r.GatewayIP(), Dst: dst,
+		},
+		Payload: icmpWire,
+	}
+	wire := reply.Marshal()
+	if r.Cfg.RackSubnet.Contains(dst) {
+		r.deliverToRack(wire, dst)
+		return
+	}
+	r.forwardData(MarshalData(r.rootVID, dst[2], DataTTL, wire), dst[2], flowhash.FromIPPacket(wire))
+}
+
+// sendTraceReply answers an encapsulation-TTL expiry with time-exceeded
+// from the device's Identity, routed back toward the probe's source root.
+// Only inner UDP and echo-request packets qualify: replying to an ICMP
+// error could chain errors into a loop, and a zero Identity (a fabric not
+// configured for tracing) keeps the silent-drop behavior.
+func (r *Router) sendTraceReply(h DataHeader, ipWire []byte) {
+	if r.Cfg.Identity.IsZero() {
+		return
+	}
+	pkt, err := ipv4.Unmarshal(ipWire)
+	if err != nil || pkt.Header.Src.IsZero() {
+		return
+	}
+	switch pkt.Header.Protocol {
+	case ipv4.ProtoUDP:
+	case ipv4.ProtoICMP:
+		if len(pkt.Payload) == 0 || pkt.Payload[0] != icmp.TypeEchoRequest {
+			return
+		}
+	default:
+		return
+	}
+	reply := ipv4.Packet{
+		Header: ipv4.Header{
+			TTL: ipv4.DefaultTTL, Protocol: ipv4.ProtoICMP,
+			Src: r.Cfg.Identity, Dst: pkt.Header.Src,
+		},
+		Payload: marshalICMP(icmp.TimeExceeded(ipWire)),
+	}
+	wire := reply.Marshal()
+	r.Stats.TraceReplies++
+	r.forwardData(MarshalData(r.rootVID, h.SrcRoot, DataTTL, wire), h.SrcRoot, flowhash.FromIPPacket(wire))
+}

@@ -1,0 +1,80 @@
+// Package pathtrace is the in-fabric observability plane (DESIGN.md §12):
+// mtr-style per-hop probers that walk MR-MTP VID paths and ECMP hop sets
+// with TTL-stepped UDP probes, rolling per-hop statistics (loss EWMA, RTT
+// quantiles, last-seen) sampled on the virtual clock, and a localization
+// engine that turns the anomaly pattern across probe paths into accusations
+// of individual directed links.
+//
+// The package is deliberately fabric-agnostic: a Transport injects a
+// caller-built wire-format IP probe with a hop limit (the BGP stack maps it
+// to the IP TTL, the MR-MTP ToR to the encapsulation TTL), and replies come
+// back as ICMP messages whose quoted bytes carry the probe's IP ID and UDP
+// ports. The harness owns topology knowledge — which links a probe path
+// covers — and hands the localizer one coverage matrix per sweep.
+package pathtrace
+
+import (
+	"time"
+
+	"repro/internal/netaddr"
+)
+
+// TracePort is the UDP destination port probes aim at — chosen, like
+// classic traceroute, to be unclaimed so the destination answers
+// port-unreachable ("reached").
+const TracePort = 33434
+
+// BaseSrcPort is the first UDP source port the tracer hands out. Each
+// prober owns one source port (BaseSrcPort + prober ID): the fabric hashes
+// flows on the port, so one port pins one path, and a reply's quoted source
+// port identifies the prober that sent the probe.
+const BaseSrcPort = 33500
+
+// MaxTTL bounds the hop distance a prober walks; the IP ID encodes the TTL
+// in 5 bits, so probes can step at most 31 hops.
+const MaxTTL = 31
+
+// DirectedLink names one direction of a fabric link by device names, the
+// unit the localizer accuses (chaos impairs per direction, so the accusable
+// unit must be per direction too).
+type DirectedLink struct {
+	From, To string
+}
+
+// String renders the link in the chaos LinkRef style.
+func (l DirectedLink) String() string { return l.From + "->" + l.To }
+
+// Clock supplies virtual time; *simnet.Sim satisfies it.
+type Clock interface {
+	Now() time.Duration
+}
+
+// Transport injects a probe into the fabric from the prober's vantage.
+type Transport interface {
+	// SendProbe emits a wire-format IPv4+UDP probe. hopLimit selects the
+	// hop under test: 1 expires at the first fabric device past the
+	// vantage.
+	SendProbe(ipWire []byte, hopLimit int)
+}
+
+// HopSnapshot is the rolled-up state of one (prober, TTL) cell.
+type HopSnapshot struct {
+	Prober int
+	Src    netaddr.IPv4
+	Dst    netaddr.IPv4
+	Flow   int
+	TTL    int
+
+	Addr    netaddr.IPv4 // last replier; zero until first reply
+	Reached bool         // last reply was port-unreachable (destination)
+	Seen    bool
+
+	Sent     uint64
+	Lost     uint64
+	Received uint64
+	LossEWMA float64
+
+	RTTP50   time.Duration
+	RTTP95   time.Duration
+	LastSeen time.Duration
+}

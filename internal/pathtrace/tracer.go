@@ -1,0 +1,57 @@
+package pathtrace
+
+import (
+	"repro/internal/icmp"
+	"repro/internal/netaddr"
+)
+
+// Tracer owns a fabric's probers and dispatches trace replies to them. The
+// harness creates one Tracer per fabric, registers one prober per
+// (source, destination, flow) tuple, schedules each prober's Tick on its
+// own node's virtual clock, and wires every vantage's ICMP listener to
+// Dispatch.
+type Tracer struct {
+	probers []*Prober
+}
+
+// AddProber registers a prober; the tracer assigns the next free ID (and
+// with it the UDP source port).
+func (t *Tracer) AddProber(cfg ProberConfig, clock Clock, tr Transport) *Prober {
+	cfg.ID = len(t.probers)
+	p := NewProber(cfg, clock, tr)
+	t.probers = append(t.probers, p)
+	return p
+}
+
+// Probers returns the registered probers in ID order.
+func (t *Tracer) Probers() []*Prober { return t.probers }
+
+// Dispatch routes a received ICMP message to the prober its quoted source
+// port names. It reports whether the message was a trace reply for one of
+// the tracer's probers; unrelated ICMP is left for other listeners.
+func (t *Tracer) Dispatch(from netaddr.IPv4, m icmp.Message) bool {
+	reached, ok := icmpReplyKind(m)
+	if !ok {
+		return false
+	}
+	ipID, srcPort, dstPort, ok := icmp.QuotedUDPProbe(m)
+	if !ok || dstPort != TracePort {
+		return false
+	}
+	id := int(srcPort) - BaseSrcPort
+	if id < 0 || id >= len(t.probers) {
+		return false
+	}
+	t.probers[id].HandleReply(from, ipID, reached)
+	return true
+}
+
+// Snapshot samples every prober's rollups, concatenated in prober-ID order
+// (so TTL cells stay grouped and the output order is deterministic).
+func (t *Tracer) Snapshot() []HopSnapshot {
+	var out []HopSnapshot
+	for _, p := range t.probers {
+		out = append(out, p.Snapshot()...)
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package stats
+
+// FixedHistogram is a fixed-bucket histogram over [Min, Max): `buckets`
+// equal-width bins plus underflow/overflow counters. The localization-time
+// reporting uses it to export CDFs without shipping raw samples, and its
+// Observe path never mutates or retains caller data — the exact-percentile
+// path (Summarize/Percentile) over the same samples stays bit-identical.
+type FixedHistogram struct {
+	Min, Max float64
+	Counts   []uint64
+	Under    uint64
+	Over     uint64
+	N        uint64
+}
+
+// NewFixedHistogram builds a histogram with the given bounds and bucket
+// count (at least 1; max must exceed min).
+func NewFixedHistogram(min, max float64, buckets int) *FixedHistogram {
+	if buckets < 1 {
+		buckets = 1
+	}
+	if max <= min {
+		max = min + 1
+	}
+	return &FixedHistogram{Min: min, Max: max, Counts: make([]uint64, buckets)}
+}
+
+// width returns one bucket's span.
+func (h *FixedHistogram) width() float64 {
+	return (h.Max - h.Min) / float64(len(h.Counts))
+}
+
+// Observe adds one sample.
+func (h *FixedHistogram) Observe(x float64) {
+	h.N++
+	switch {
+	case x < h.Min:
+		h.Under++
+	case x >= h.Max:
+		h.Over++
+	default:
+		i := int((x - h.Min) / h.width())
+		if i >= len(h.Counts) { // float edge at the upper bound
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// ObserveAll adds every sample; xs is read-only.
+func (h *FixedHistogram) ObserveAll(xs []float64) {
+	for _, x := range xs {
+		h.Observe(x)
+	}
+}
+
+// CDFPoint is one step of the exported cumulative distribution: Fraction of
+// samples were at or below Value (a bucket's upper edge).
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// CDF exports the cumulative distribution at every bucket upper edge. The
+// underflow count is folded into the first point; overflow shows up as the
+// final fraction falling short of 1.
+func (h *FixedHistogram) CDF() []CDFPoint {
+	out := make([]CDFPoint, len(h.Counts))
+	if h.N == 0 {
+		for i := range out {
+			out[i] = CDFPoint{Value: h.Min + float64(i+1)*h.width()}
+		}
+		return out
+	}
+	cum := h.Under
+	for i, c := range h.Counts {
+		cum += c
+		out[i] = CDFPoint{
+			Value:    h.Min + float64(i+1)*h.width(),
+			Fraction: float64(cum) / float64(h.N),
+		}
+	}
+	return out
+}
+
+// Quantile returns the upper edge of the first bucket whose cumulative
+// fraction reaches q (0..1) — the nearest-rank percentile rounded up to
+// bucket granularity, within one bucket width of it. Returns Min with no
+// samples; Max when only the overflow region reaches q.
+func (h *FixedHistogram) Quantile(q float64) float64 {
+	if h.N == 0 {
+		return h.Min
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := q * float64(h.N)
+	cum := float64(h.Under)
+	if cum >= need && h.Under > 0 {
+		return h.Min
+	}
+	for i, c := range h.Counts {
+		cum += float64(c)
+		if cum >= need {
+			return h.Min + float64(i+1)*h.width()
+		}
+	}
+	return h.Max
+}

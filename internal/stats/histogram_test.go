@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFixedHistogramCounts(t *testing.T) {
+	h := NewFixedHistogram(0, 10, 10)
+	h.ObserveAll([]float64{-1, 0, 0.5, 5, 9.999, 10, 42})
+	if h.Under != 1 || h.Over != 2 || h.N != 7 {
+		t.Fatalf("under=%d over=%d n=%d, want 1,2,7", h.Under, h.Over, h.N)
+	}
+	if h.Counts[0] != 2 || h.Counts[5] != 1 || h.Counts[9] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+}
+
+func TestFixedHistogramCDF(t *testing.T) {
+	h := NewFixedHistogram(0, 4, 4)
+	h.ObserveAll([]float64{0.5, 1.5, 2.5, 3.5})
+	cdf := h.CDF()
+	want := []float64{0.25, 0.5, 0.75, 1}
+	for i, p := range cdf {
+		if p.Fraction != want[i] {
+			t.Errorf("cdf[%d] = %+v, want fraction %f", i, p, want[i])
+		}
+		if p.Value != float64(i+1) {
+			t.Errorf("cdf[%d].Value = %f, want %d", i, p.Value, i+1)
+		}
+	}
+}
+
+func TestFixedHistogramQuantileBrackets(t *testing.T) {
+	// The histogram quantile is nearest-rank at bucket granularity, while
+	// Percentile interpolates between ranks: the two must agree to within
+	// two bucket widths (one for the bucket rounding, one for the
+	// interpolation step between adjacent samples).
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	h := NewFixedHistogram(0, 100, 200)
+	h.ObserveAll(xs)
+	width := 100.0 / 200
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := Percentile(xs, q*100)
+		est := h.Quantile(q)
+		if math.Abs(est-exact) > 2*width+1e-9 {
+			t.Errorf("q=%f: histogram %f vs exact %f (width %f)", q, est, exact, width)
+		}
+	}
+}
+
+// TestHistogramPercentileBitIdentity is the regression gate the satellite
+// task demands: feeding the same samples through the histogram must leave
+// the existing P99/P999 computation bit-for-bit unchanged (the histogram
+// neither mutates nor reorders caller samples).
+func TestHistogramPercentileBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 10
+	}
+	before := Summarize(xs)
+	b99, b999 := math.Float64bits(before.P99), math.Float64bits(before.P999)
+
+	h := NewFixedHistogram(0, 100, 64)
+	h.ObserveAll(xs)
+	_ = h.CDF()
+	_ = h.Quantile(0.99)
+
+	after := Summarize(xs)
+	if math.Float64bits(after.P99) != b99 || math.Float64bits(after.P999) != b999 {
+		t.Fatalf("P99/P999 bits changed after histogram use: %x/%x vs %x/%x",
+			math.Float64bits(after.P99), math.Float64bits(after.P999), b99, b999)
+	}
+	for i, x := range xs {
+		if math.Float64bits(x) != math.Float64bits(append([]float64(nil), xs...)[i]) {
+			t.Fatalf("sample %d mutated", i)
+		}
+	}
+}

@@ -80,3 +80,53 @@ func drainGlobal() frameRef {
 	globalHeap = globalHeap[1:]
 	return f
 }
+
+// --- observability-plane shapes (DESIGN.md §12) -----------------------------
+//
+// The path-tracing fleet follows the same rule: per-hop rolling statistics
+// and the prober registry are fields of a tracer object owned by one
+// campaign. Probers tick on shard-local queues, so any package-level rollup
+// would be written from every shard at once.
+
+type hopStat struct {
+	sent, lost uint64
+	lossEWMA   float64
+}
+
+type prober struct {
+	id    int
+	hops  []hopStat
+	flows uint16
+}
+
+type tracer struct {
+	probers []prober
+	pending map[uint16]int
+}
+
+func (tr *tracer) add(p prober) int {
+	p.id = len(tr.probers)
+	tr.probers = append(tr.probers, p)
+	return p.id
+}
+
+func (p *prober) record(ttl int, ok bool) {
+	h := &p.hops[ttl-1]
+	h.sent++
+	if !ok {
+		h.lost++
+		h.lossEWMA += (1 - h.lossEWMA) * 0.25
+	}
+}
+
+// Package-level prober bookkeeping is exactly the bug the rule exists for:
+// a global ID well and a global reply-matching table would be racy under
+// the partitioned engine and leak state between trials.
+var nextProberID int // want `package-level var nextProberID is written by this package`
+
+var replyTable = map[uint16]int{} // want `package-level var replyTable has a type with mutable indirection`
+
+func register(tr *tracer, p prober) {
+	nextProberID++
+	replyTable[p.flows] = tr.add(p)
+}
