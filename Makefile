@@ -17,10 +17,12 @@ test:
 vet:
 	$(GO) vet ./...
 
-# lint enforces the determinism contract (DESIGN.md §8) and the hot-path
-# contract (DESIGN.md §9) with the repo's own analyzers — map iteration
-# order, wall-clock/global-rand use, panics in packet-processing code,
-# hot-path allocation discipline, frame ownership, and trial purity.
+# lint enforces the determinism contract (DESIGN.md §8), the hot-path
+# contract (DESIGN.md §9), and the partition-safety contract (DESIGN.md
+# §13) with the repo's own analyzers — map iteration order,
+# wall-clock/global-rand use, panics in packet-processing code, hot-path
+# allocation discipline, frame ownership, trial purity, justified escape
+# hatches, cross-shard ownership, and clock-domain hygiene.
 # staticcheck runs too when installed; it is not vendored, so a bare
 # container skips it rather than failing.
 lint:
@@ -31,10 +33,11 @@ lint:
 		echo "staticcheck not installed; skipping" ; \
 	fi
 
-# analyzers runs the lint passes' own golden-fixture suites (also covered
-# by `make test`; this target is the fast inner loop when writing a pass).
+# analyzers runs the lint passes' own golden-fixture suites and the
+# simlint driver's exit-status/schema tests (also covered by `make test`;
+# this target is the fast inner loop when writing a pass).
 analyzers:
-	$(GO) test ./tools/analyzers/...
+	$(GO) test ./tools/analyzers/... ./cmd/simlint/...
 
 # invariants runs the suite with runtime assertions compiled in: event-heap
 # ordering, MR-MTP VID-table consistency, and FIB next-hop validity panic on
@@ -56,6 +59,8 @@ bench:
 # bench-partition times the space-parallel engine at 1/2/4/8 shards on an
 # 8-PoD fabric and writes BENCH_partition.json (ns per simulated second,
 # speedup vs sequential, GOMAXPROCS — speedup > 1 needs a multi-core host).
+# Rows where shards exceed GOMAXPROCS are marked "degraded": true and warn
+# on stderr — they measure synchronization overhead, not speedup.
 bench-partition:
 	$(GO) run ./cmd/closlab -experiment bench-partition -trials 3
 

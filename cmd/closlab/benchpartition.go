@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
 	"time"
@@ -34,8 +35,12 @@ type partitionBenchRow struct {
 	// identical across shard counts by the engine's identity contract.
 	EventsPerOp uint64 `json:"events_per_op"`
 	// SpeedupVsSequential is sequential ns/op over this row's ns/op.
-	SpeedupVsSequential float64              `json:"speedup_vs_sequential"`
-	ShardStats          []partitionShardStat `json:"shard_stats,omitempty"`
+	SpeedupVsSequential float64 `json:"speedup_vs_sequential"`
+	// Degraded marks a row whose shard count exceeds GOMAXPROCS: the shards
+	// time-slice one another, so the row measures synchronization overhead
+	// rather than parallel speedup and must not be quoted as such.
+	Degraded   bool                 `json:"degraded,omitempty"`
+	ShardStats []partitionShardStat `json:"shard_stats,omitempty"`
 }
 
 // partitionBenchFile is the BENCH_partition.json schema.
@@ -44,8 +49,12 @@ type partitionBenchFile struct {
 	// GOMAXPROCS bounds the parallelism actually available: speedup > 1
 	// requires GOMAXPROCS >= shards. On a single-core runner the sharded
 	// rows measure pure synchronization overhead.
-	GOMAXPROCS int                 `json:"gomaxprocs"`
-	NumCPU     int                 `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	// Degraded is true when any row ran with more shards than GOMAXPROCS;
+	// consumers (and the ROADMAP's rerun-on-real-hardware item) should treat
+	// the whole file as a correctness record, not a performance claim.
+	Degraded   bool                `json:"degraded,omitempty"`
 	Pods       int                 `json:"pods"`
 	Iterations int                 `json:"iterations"`
 	Results    []partitionBenchRow `json:"results"`
@@ -96,6 +105,13 @@ func benchPartition(_ []topology.Spec, trials int, seed int64, path string) erro
 		}
 		if row.NsPerOp > 0 {
 			row.SpeedupVsSequential = float64(baseline) / float64(row.NsPerOp)
+		}
+		if shards > out.GOMAXPROCS {
+			row.Degraded = true
+			out.Degraded = true
+			fmt.Fprintf(os.Stderr,
+				"closlab: warning: GOMAXPROCS=%d < shards=%d; this row time-slices shards and measures synchronization overhead, not speedup (marked degraded)\n",
+				out.GOMAXPROCS, shards)
 		}
 		if f.Cluster != nil {
 			for _, st := range f.Cluster.ShardTimings() {

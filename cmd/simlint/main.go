@@ -1,11 +1,11 @@
 // Command simlint is the repo's lint driver: a multichecker that runs the
 // custom analyzers under tools/analyzers over the module and fails if any
-// site violates the determinism contract (DESIGN.md §8) or the hot-path
-// contract (DESIGN.md §9).
+// site violates the determinism contract (DESIGN.md §8), the hot-path
+// contract (DESIGN.md §9), or the partition-safety contract (DESIGN.md §13).
 //
 // Usage:
 //
-//	simlint [-json] [packages]
+//	simlint [-json|-sarif] [packages]
 //
 // With no arguments it checks ./... . Each analyzer applies only to the
 // packages where its rule is a contract rather than a style preference:
@@ -20,11 +20,19 @@
 //	             roots are the //simlint:hotpath annotations)
 //	framealias   the packet-processing packages plus simnet (frame
 //	             ownership at the Port.Send boundary)
+//	justify      every package (a bare //simlint marker is wrong anywhere)
+//	crossshard   reads the whole module, reports in repro/internal/...
+//	clockdomain  reads the whole module, reports in repro/internal/...
+//
+// The last two are module passes: they build a cross-package call graph and
+// alias/clock summaries from every loaded package, then report only inside
+// their scope.
 //
 // Diagnostics print as file:line:col: message (analyzer); with -json they
 // are emitted instead as a JSON array of {file,line,col,analyzer,message}
-// objects on stdout. The exit status is 1 if anything was reported, 2 on
-// operational failure.
+// objects on stdout, and with -sarif as a SARIF 2.1.0 log for code-scanning
+// upload. The exit status is 1 if anything was reported, 2 on operational
+// failure.
 package main
 
 import (
@@ -38,7 +46,10 @@ import (
 
 	"repro/tools/analyzers/allocfree"
 	"repro/tools/analyzers/analysis"
+	"repro/tools/analyzers/clockdomain"
+	"repro/tools/analyzers/crossshard"
 	"repro/tools/analyzers/framealias"
+	"repro/tools/analyzers/justify"
 	"repro/tools/analyzers/load"
 	"repro/tools/analyzers/maporder"
 	"repro/tools/analyzers/panicpath"
@@ -67,7 +78,9 @@ func isInternal(importPath string) bool {
 	return strings.HasPrefix(importPath, "repro/internal/")
 }
 
-// checks pairs each analyzer with its package scope.
+func anyPkg(string) bool { return true }
+
+// checks pairs each per-package analyzer with its package scope.
 var checks = []struct {
 	analyzer *analysis.Analyzer
 	applies  func(importPath string) bool
@@ -78,6 +91,17 @@ var checks = []struct {
 	{panicpath.Analyzer, isPacketPkg},
 	{allocfree.Analyzer, isHotPkg},
 	{framealias.Analyzer, isHotPkg},
+	{justify.Analyzer, anyPkg},
+}
+
+// moduleChecks pairs each module pass with its reporting scope; the pass
+// itself always reads every loaded package.
+var moduleChecks = []struct {
+	analyzer *analysis.ModuleAnalyzer
+	reportIn func(importPath string) bool
+}{
+	{crossshard.Analyzer, isInternal},
+	{clockdomain.Analyzer, isInternal},
 }
 
 // finding is one printable diagnostic.
@@ -91,7 +115,12 @@ type finding struct {
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	sarifOut := flag.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log instead of text")
 	flag.Parse()
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "simlint: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -108,6 +137,13 @@ func main() {
 	}
 
 	var findings []finding
+	relFile := func(file string) string {
+		if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
+		}
+		return file
+	}
+
 	for _, pkg := range pkgs {
 		for _, c := range checks {
 			if !c.applies(pkg.ImportPath) {
@@ -121,19 +157,51 @@ func main() {
 				TypesInfo: pkg.Info,
 			}
 			name := c.analyzer.Name
+			fset := pkg.Fset
 			pass.Report = func(d analysis.Diagnostic) {
-				pos := pkg.Fset.Position(d.Pos)
-				file := pos.Filename
-				if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
-					file = rel
-				}
+				pos := fset.Position(d.Pos)
 				findings = append(findings, finding{
-					File: file, Line: pos.Line, Col: pos.Column,
+					File: relFile(pos.Filename), Line: pos.Line, Col: pos.Column,
 					Message: d.Message, Analyzer: name,
 				})
 			}
 			if _, err := c.analyzer.Run(pass); err != nil {
 				fmt.Fprintf(os.Stderr, "simlint: %s on %s: %v\n", name, pkg.ImportPath, err)
+				os.Exit(2)
+			}
+		}
+	}
+
+	// Module passes see every loaded package at once; the loader parses all
+	// targets into one FileSet, so positions compare across units.
+	if len(pkgs) > 0 {
+		units := make([]*analysis.PackageUnit, len(pkgs))
+		for i, pkg := range pkgs {
+			units[i] = &analysis.PackageUnit{
+				ImportPath: pkg.ImportPath,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.Info,
+			}
+		}
+		fset := pkgs[0].Fset
+		for _, mc := range moduleChecks {
+			name := mc.analyzer.Name
+			pass := &analysis.ModulePass{
+				Analyzer: mc.analyzer,
+				Fset:     fset,
+				Units:    units,
+				ReportIn: mc.reportIn,
+				Report: func(d analysis.Diagnostic) {
+					pos := fset.Position(d.Pos)
+					findings = append(findings, finding{
+						File: relFile(pos.Filename), Line: pos.Line, Col: pos.Column,
+						Message: d.Message, Analyzer: name,
+					})
+				},
+			}
+			if _, err := mc.analyzer.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "simlint: %s: %v\n", name, err)
 				os.Exit(2)
 			}
 		}
@@ -152,7 +220,8 @@ func main() {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -162,7 +231,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "simlint:", err)
 			os.Exit(2)
 		}
-	} else {
+	case *sarifOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sarifLog(findings)); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			os.Exit(2)
+		}
+	default:
 		for _, f := range findings {
 			fmt.Printf("%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
 		}

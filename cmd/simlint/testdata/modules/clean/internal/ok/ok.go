@@ -1,0 +1,6 @@
+// Package ok is the clean fixture for the simlint driver tests: nothing in
+// here violates any analyzer.
+package ok
+
+// Add is deliberately boring.
+func Add(a, b int) int { return a + b }

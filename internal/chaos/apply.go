@@ -96,10 +96,12 @@ func (in *Injector) applyFlapStorm(f Fault) error {
 	for i := 0; i < f.Flaps; i++ {
 		at := f.Start.D() + time.Duration(i)*f.Period.D()
 		flap := i + 1
+		//simlint:shardsafe control event runs at the quiesce barrier with every shard idle; revisit under barrier-free sync
 		in.sim.Schedule(at, func() {
 			port.Fail()
 			in.record(FlapStorm, "fail", port.Name(), fmt.Sprintf("flap %d/%d", flap, f.Flaps))
 		})
+		//simlint:shardsafe control event runs at the quiesce barrier with every shard idle; revisit under barrier-free sync
 		in.sim.Schedule(at+down, func() {
 			port.Restore()
 			in.record(FlapStorm, "restore", port.Name(), fmt.Sprintf("flap %d/%d", flap, f.Flaps))
@@ -123,10 +125,12 @@ func (in *Injector) applyImpair(f Fault) error {
 	}
 	detail := fmt.Sprintf("loss=%v corrupt=%v latency=%v jitter=%v",
 		f.LossRate, f.CorruptRate, f.ExtraLatency.D(), f.Jitter.D())
+	//simlint:shardsafe control event runs at the quiesce barrier with every shard idle; revisit under barrier-free sync
 	in.sim.Schedule(f.Start.D(), func() {
 		port.Link.Impair(port, imp)
 		in.record(f.Kind, "impair", port.Name(), detail)
 	})
+	//simlint:shardsafe control event runs at the quiesce barrier with every shard idle; revisit under barrier-free sync
 	in.sim.Schedule(f.Start.D()+f.Duration.D(), func() {
 		port.Link.Impair(port, simnet.Impairment{})
 		in.record(f.Kind, "clear", port.Name(), "")
@@ -143,11 +147,13 @@ func (in *Injector) applyOneWay(f Fault) error {
 		return err
 	}
 	peer := port.Peer()
+	//simlint:shardsafe control event runs at the quiesce barrier with every shard idle; revisit under barrier-free sync
 	in.sim.Schedule(f.Start.D(), func() {
 		peer.Link.Impair(peer, simnet.Impairment{Down: true})
 		port.CarrierFault()
 		in.record(OneWay, "carrier-fault", port.Name(), "rx direction blackholed")
 	})
+	//simlint:shardsafe control event runs at the quiesce barrier with every shard idle; revisit under barrier-free sync
 	in.sim.Schedule(f.Start.D()+f.Duration.D(), func() {
 		peer.Link.Impair(peer, simnet.Impairment{})
 		port.CarrierRestore()
@@ -168,10 +174,12 @@ func (in *Injector) applyCorrelated(f Fault) error {
 	for i, p := range ports {
 		port := p
 		at := f.Start.D() + time.Duration(i)*f.Stagger.D()
+		//simlint:shardsafe control event runs at the quiesce barrier with every shard idle; revisit under barrier-free sync
 		in.sim.Schedule(at, func() {
 			port.Fail()
 			in.record(Correlated, "fail", port.Name(), "")
 		})
+		//simlint:shardsafe control event runs at the quiesce barrier with every shard idle; revisit under barrier-free sync
 		in.sim.Schedule(at+f.Duration.D(), func() {
 			port.Restore()
 			in.record(Correlated, "restore", port.Name(), "")
@@ -192,12 +200,14 @@ func (in *Injector) applyDrain(f Fault) error {
 	for i, n := range nodes {
 		node := n
 		at := f.Start.D() + time.Duration(i)*f.Stagger.D()
+		//simlint:shardsafe control event runs at the quiesce barrier with every shard idle; revisit under barrier-free sync
 		in.sim.Schedule(at, func() {
 			for _, p := range node.Ports[1:] {
 				p.Fail()
 			}
 			in.record(Drain, "drain", node.Name, fmt.Sprintf("%d ports", len(node.Ports)-1))
 		})
+		//simlint:shardsafe control event runs at the quiesce barrier with every shard idle; revisit under barrier-free sync
 		in.sim.Schedule(at+f.Duration.D(), func() {
 			for _, p := range node.Ports[1:] {
 				p.Restore()

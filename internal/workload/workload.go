@@ -234,6 +234,7 @@ func (e *Engine) Start() {
 	e.base = e.sim.Now()
 	for _, f := range e.flows {
 		f := f
+		//simlint:shardsafe launch mutates flow state at the quiesce barrier with every shard idle; revisit under barrier-free sync
 		e.sim.At(e.base+f.Start, func() { e.launch(f) })
 	}
 }
@@ -279,6 +280,7 @@ func (e *Engine) tick(f *Flow) {
 	if f.timer != nil {
 		f.timer.Reset(wait)
 	} else {
+		//simlint:shardsafe retransmit tick runs at the quiesce barrier with every shard idle; revisit under barrier-free sync
 		f.timer = e.sim.After(wait, func() { e.tick(f) })
 	}
 }
@@ -329,6 +331,7 @@ func (e *Engine) onDatagram(local *simnet.Sim, dg udp.Datagram) {
 	f.received++
 	if f.received == f.Packets && !f.Done {
 		f.Done = true
+		//simlint:clocksafe launchedAt was stamped by a control event at a quiesce barrier, where the coordinator and shard clocks agree
 		f.FCT = local.Now() - f.launchedAt
 	}
 }

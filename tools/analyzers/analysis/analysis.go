@@ -70,7 +70,36 @@ const (
 	// SharedComment exempts one package-level variable from the sharedstate
 	// analyzer, with a required justification.
 	SharedComment = "//simlint:shared"
+	// ShardSafeComment exempts one partition-boundary crossing (a control
+	// closure capturing shard-resident state, or an aliased payload) from
+	// the crossshard analyzer, with a required justification. The usual
+	// reason is that the site runs at a quiesce barrier with every shard
+	// idle — a property the planned barrier-free sync will revoke, which is
+	// why each site must say so explicitly.
+	ShardSafeComment = "//simlint:shardsafe"
+	// ClockSafeComment exempts one cross-domain clock mixing site from the
+	// clockdomain analyzer, with a required justification (typically: both
+	// clocks are provably equal because the site runs at a quiesce
+	// barrier).
+	ClockSafeComment = "//simlint:clocksafe"
 )
+
+// Markers is the registry of every directive the suite understands, used by
+// the justify analyzer to reject bare justifications and typoed markers.
+// Declarative markers label a site for another analyzer and need no reason;
+// justification markers silence a diagnostic and must say why.
+var Markers = []struct {
+	Comment     string
+	Declarative bool
+}{
+	{SuppressionComment, false},
+	{HotPathComment, true},
+	{AllocComment, false},
+	{FrameOwnComment, false},
+	{SharedComment, false},
+	{ShardSafeComment, false},
+	{ClockSafeComment, false},
+}
 
 // markerMatches reports whether comment text is marker, optionally followed
 // by a space-separated justification. `//simlint:alloc` matches AllocComment;

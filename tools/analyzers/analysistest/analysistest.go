@@ -78,9 +78,50 @@ func runPackage(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
 	if _, err := a.Run(pass); err != nil {
 		t.Fatalf("%s: analyzer failed: %v", a.Name, err)
 	}
+	checkDiagnostics(t, a.Name, pkg.Fset, diags, wants)
+}
 
+// RunModule loads each fixture package and applies the module analyzer to it
+// as a one-package module, failing t on any mismatch between diagnostics and
+// `// want` expectations. Interprocedural behavior is exercised within the
+// fixture package: its helpers, closures, and types are all the analyzer
+// sees, plus the export data of anything the fixture imports.
+func RunModule(t *testing.T, testdata string, a *analysis.ModuleAnalyzer, pkgs ...string) {
+	t.Helper()
+	for _, name := range pkgs {
+		pkg, err := load.LoadDir(filepath.Join(testdata, "src", name))
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", name, err)
+		}
+		var wants []*expectation
+		for _, f := range pkg.Files {
+			wants = append(wants, parseExpectations(t, pkg.Fset, f)...)
+		}
+		var diags []analysis.Diagnostic
+		pass := &analysis.ModulePass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Units: []*analysis.PackageUnit{{
+				ImportPath: pkg.ImportPath,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.Info,
+			}},
+			Report: func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s: analyzer failed: %v", a.Name, err)
+		}
+		checkDiagnostics(t, a.Name, pkg.Fset, diags, wants)
+	}
+}
+
+// checkDiagnostics matches reported diagnostics against expectations
+// one-to-one: every diagnostic must hit a same-line want and vice versa.
+func checkDiagnostics(t *testing.T, name string, fset *token.FileSet, diags []analysis.Diagnostic, wants []*expectation) {
+	t.Helper()
 	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
+		pos := fset.Position(d.Pos)
 		matched := false
 		for _, w := range wants {
 			if w.used || w.file != pos.Filename || w.line != pos.Line {
@@ -93,12 +134,12 @@ func runPackage(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
 			}
 		}
 		if !matched {
-			t.Errorf("%s: unexpected diagnostic: %s: %s", a.Name, pos, d.Message)
+			t.Errorf("%s: unexpected diagnostic: %s: %s", name, pos, d.Message)
 		}
 	}
 	for _, w := range wants {
 		if !w.used {
-			t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none", a.Name, w.file, w.line, w.re)
+			t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none", name, w.file, w.line, w.re)
 		}
 	}
 }
@@ -109,7 +150,7 @@ func parseExpectations(t *testing.T, fset *token.FileSet, f *ast.File) []*expect
 	var out []*expectation
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			text, ok := strings.CutPrefix(c.Text, "// want ")
+			text, ok := wantText(c.Text)
 			if !ok {
 				continue
 			}
@@ -128,6 +169,22 @@ func parseExpectations(t *testing.T, fset *token.FileSet, f *ast.File) []*expect
 		}
 	}
 	return out
+}
+
+// wantText extracts the pattern list of a want expectation. The marker may
+// open the comment (`// want "re"`) or trail other comment text at a space
+// boundary (`//simlint:shared // want "re"`) — the latter lets fixtures
+// expect diagnostics that analyzers anchor on a marker comment itself, where
+// a second line comment cannot follow on the same line.
+func wantText(text string) (string, bool) {
+	if rest, ok := strings.CutPrefix(text, "// want "); ok {
+		return rest, true
+	}
+	const embedded = " // want "
+	if i := strings.Index(text, embedded); i >= 0 {
+		return text[i+len(embedded):], true
+	}
+	return "", false
 }
 
 // splitPatterns parses a space-separated sequence of Go string literals.

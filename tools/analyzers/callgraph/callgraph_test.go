@@ -1,0 +1,123 @@
+package callgraph
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/tools/analyzers/analysis"
+	"repro/tools/analyzers/load"
+)
+
+func loadFixture(t *testing.T) *Graph {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := load.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return Build([]*analysis.PackageUnit{{
+		ImportPath: pkg.ImportPath,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		TypesInfo:  pkg.Info,
+	}})
+}
+
+// nodeByName finds a declared function node by its bare name.
+func nodeByName(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for fn, n := range g.Nodes {
+		if fn.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node for %q", name)
+	return nil
+}
+
+// calleeNames flattens a node's resolved callees.
+func calleeNames(n *Node) map[string]bool {
+	out := map[string]bool{}
+	for _, c := range n.Calls {
+		for _, callee := range c.Callees {
+			if callee.Func != nil {
+				out[callee.Func.Name()] = true
+			} else {
+				out["<literal>"] = true
+			}
+		}
+	}
+	return out
+}
+
+func TestDirectAndMethodCalls(t *testing.T) {
+	g := loadFixture(t)
+	if !calleeNames(nodeByName(t, g, "direct"))["leaf"] {
+		t.Error("direct() should resolve its call to leaf")
+	}
+	if !calleeNames(nodeByName(t, g, "viaMethod"))["Do"] {
+		t.Error("viaMethod() should resolve a.Do() statically")
+	}
+}
+
+func TestLiteralBinding(t *testing.T) {
+	g := loadFixture(t)
+	n := nodeByName(t, g, "viaLiteral")
+	if !calleeNames(n)["<literal>"] {
+		t.Error("viaLiteral() should resolve f() to the bound func literal")
+	}
+	// The literal's own body resolves leaf().
+	for _, c := range n.Calls {
+		for _, callee := range c.Callees {
+			if callee.Lit != nil && !calleeNames(callee)["leaf"] {
+				t.Error("bound literal should resolve its call to leaf")
+			}
+		}
+	}
+}
+
+func TestInterfaceCHA(t *testing.T) {
+	g := loadFixture(t)
+	names := calleeNames(nodeByName(t, g, "viaInterface"))
+	if !names["Do"] {
+		t.Fatal("viaInterface() should resolve d.Do() by CHA")
+	}
+	var targets int
+	for _, c := range nodeByName(t, g, "viaInterface").Calls {
+		targets += len(c.Callees)
+	}
+	if targets != 2 {
+		t.Errorf("CHA should find both Do implementations, got %d targets", targets)
+	}
+}
+
+func TestCallersAndSCCs(t *testing.T) {
+	g := loadFixture(t)
+	leaf := nodeByName(t, g, "leaf")
+	callers := map[string]bool{}
+	for _, c := range g.Callers(leaf) {
+		callers[c.Name()] = true
+	}
+	if len(callers) < 2 {
+		t.Errorf("leaf should have callers from direct and the literal, got %v", callers)
+	}
+
+	// cycleA <-> cycleB must share one SCC, emitted before (or with) any
+	// caller, and leaf's SCC must precede direct's (reverse topological).
+	pos := map[*Node]int{}
+	for i, scc := range g.SCCs() {
+		for _, n := range scc {
+			pos[n] = i
+		}
+	}
+	a, b := nodeByName(t, g, "cycleA"), nodeByName(t, g, "cycleB")
+	if pos[a] != pos[b] {
+		t.Errorf("cycleA and cycleB should share an SCC: %d vs %d", pos[a], pos[b])
+	}
+	if pos[leaf] > pos[nodeByName(t, g, "direct")] {
+		t.Error("SCCs should be in reverse topological order (leaf before direct)")
+	}
+}

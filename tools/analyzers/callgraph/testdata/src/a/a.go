@@ -1,0 +1,37 @@
+// Fixture for the callgraph package: direct calls, method calls, func
+// literals bound to locals, and interface dispatch.
+package a
+
+type Doer interface{ Do() int }
+
+type A struct{ n int }
+
+func (a *A) Do() int { return a.n }
+
+type B struct{}
+
+func (B) Do() int { return 2 }
+
+func leaf() int { return 1 }
+
+func direct() int { return leaf() }
+
+func viaLiteral() int {
+	f := func() int { return leaf() }
+	return f()
+}
+
+func viaInterface(d Doer) int { return d.Do() }
+
+func viaMethod(a *A) int { return a.Do() }
+
+func cycleA(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return cycleB(n - 1)
+}
+
+func cycleB(n int) int { return cycleA(n) }
+
+var sink = []any{direct, viaLiteral, viaInterface, viaMethod, cycleB, A{}, B{}}

@@ -1,0 +1,633 @@
+// Package clockdomain enforces the partitioned engine's time contract
+// (DESIGN.md §13): a Sim.Now() reading belongs to the engine that produced
+// it and must not meet time from another engine. Under space-parallel
+// execution each shard's virtual clock advances independently between
+// synchronization points, so subtracting a coordinator timestamp from a
+// shard-local Now() (the PR 6 FCT bug) or scheduling a shard-local deadline
+// on the coordinator silently mixes two clocks that only agree at barriers.
+//
+// The analysis assigns every engine expression a canonical identity:
+//
+//   - method-receiver chains canonicalize by type: e.sim inside
+//     (*workload.Engine) methods is "(*workload.Engine).sim" in every
+//     method, so stores and loads of the same field agree;
+//   - parameters get a per-declaration identity, so an engine handed into a
+//     callback is distinct from the engine stored in the receiver;
+//   - package-level variables canonicalize by path.
+//
+// Duration values are then labeled with the clock domains that produced
+// them: X.Now() yields {identity of X}, labels flow through assignment,
+// struct fields (object-grained, module-wide), arithmetic, and resolved
+// calls (return summaries with call-site parameter substitution via
+// tools/analyzers/callgraph). Subtracting two readings of the same clock
+// yields an unlabeled interval — elapsed times may cross shards freely; it
+// is instants that must stay home.
+//
+// Two sites are flagged:
+//
+//   - arithmetic or comparison whose operands carry disjoint, known domain
+//     sets (an instant from clock A meeting an instant from clock B);
+//   - X.At(t, ...) where t's domains are known and do not include X.
+//
+// Unknown domains stay silent: the analysis only reports when both sides
+// are traced to concrete, different engines. The escape hatch is
+// `//simlint:clocksafe <why>` on the offending line (or the line above);
+// the usual why is a quiesce barrier that aligns the clocks at that point.
+package clockdomain
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/tools/analyzers/analysis"
+	"repro/tools/analyzers/callgraph"
+)
+
+// Analyzer is the clock-domain check.
+var Analyzer = &analysis.ModuleAnalyzer{
+	Name: "clockdomain",
+	Doc:  "flags time values crossing between engine clock domains",
+	Run:  run,
+}
+
+// simnetPath is the package owning the engine types.
+const simnetPath = "repro/internal/simnet"
+
+// engineNames are the simnet types whose Now() defines a clock domain.
+var engineNames = map[string]bool{
+	"Sim":     true,
+	"Engine":  true,
+	"Cluster": true,
+}
+
+// sumKey is a domain key in a function summary: absolute, or rooted at one
+// of the summarized function's parameters so call sites can substitute the
+// argument's identity.
+type sumKey struct {
+	param int    // -1 when absolute
+	key   string // absolute key, or the field path appended to the argument
+}
+
+type labelSet map[string]bool
+
+type checker struct {
+	pass  *analysis.ModulePass
+	graph *callgraph.Graph
+
+	// recvKey canonicalizes method receivers by receiver type.
+	recvKey map[types.Object]string
+	// paramKey gives every parameter a stable per-declaration identity.
+	paramKey map[types.Object]string
+	// paramIdx locates a parameter in its function's signature for summary
+	// substitution.
+	paramIdx map[types.Object]int
+	// owner maps parameters to their function node, to scope substitution.
+	owner map[types.Object]*callgraph.Node
+
+	// paths propagates engine identities through local assignment.
+	paths    map[types.Object]string
+	poisoned map[types.Object]bool
+
+	// clocks labels duration-typed locals; fields labels duration-typed
+	// struct fields module-wide (object-grained, flow-insensitive).
+	clocks map[types.Object]labelSet
+	fields map[*types.Var]labelSet
+
+	// retClock / retEngine are per-function return summaries.
+	retClock     map[*callgraph.Node]map[sumKey]bool
+	retEngine    map[*callgraph.Node]sumKey
+	retEngineBad map[*callgraph.Node]bool
+
+	changed bool
+}
+
+func run(pass *analysis.ModulePass) (any, error) {
+	c := &checker{
+		pass:         pass,
+		graph:        callgraph.Build(pass.Units),
+		recvKey:      map[types.Object]string{},
+		paramKey:     map[types.Object]string{},
+		paramIdx:     map[types.Object]int{},
+		owner:        map[types.Object]*callgraph.Node{},
+		paths:        map[types.Object]string{},
+		poisoned:     map[types.Object]bool{},
+		clocks:       map[types.Object]labelSet{},
+		fields:       map[*types.Var]labelSet{},
+		retClock:     map[*callgraph.Node]map[sumKey]bool{},
+		retEngine:    map[*callgraph.Node]sumKey{},
+		retEngineBad: map[*callgraph.Node]bool{},
+	}
+	c.indexIdentities()
+
+	// Global monotone fixpoint: labels only grow, path identities only decay
+	// toward unknown, so the sweep terminates.
+	for {
+		c.changed = false
+		for _, n := range c.graph.AllNodes() {
+			c.sweepNode(n)
+		}
+		if !c.changed {
+			break
+		}
+	}
+
+	for _, n := range c.graph.AllNodes() {
+		c.reportNode(n)
+	}
+	return nil, nil
+}
+
+// indexIdentities assigns canonical keys to receivers and parameters.
+func (c *checker) indexIdentities() {
+	for _, n := range c.graph.AllNodes() {
+		if n.Decl != nil && n.Decl.Recv != nil && len(n.Decl.Recv.List) > 0 {
+			fld := n.Decl.Recv.List[0]
+			if len(fld.Names) == 1 {
+				if obj := n.Unit.TypesInfo.Defs[fld.Names[0]]; obj != nil {
+					c.recvKey[obj] = "(" + typeString(obj.Type()) + ")"
+				}
+			}
+		}
+		var ftype *ast.FuncType
+		if n.Decl != nil {
+			ftype = n.Decl.Type
+		} else {
+			ftype = n.Lit.Type
+		}
+		i := 0
+		for _, fld := range ftype.Params.List {
+			for _, name := range fld.Names {
+				obj := n.Unit.TypesInfo.Defs[name]
+				if obj != nil {
+					pos := c.pass.Fset.Position(obj.Pos())
+					c.paramKey[obj] = fmt.Sprintf("%s (param %s:%d)",
+						name.Name, filepath.Base(pos.Filename), pos.Line)
+					c.paramIdx[obj] = i
+					c.owner[obj] = n
+				}
+				i++
+			}
+			if len(fld.Names) == 0 {
+				i++
+			}
+		}
+	}
+}
+
+// sweepNode propagates labels through one function body.
+func (c *checker) sweepNode(n *callgraph.Node) {
+	info := n.Unit.TypesInfo
+	inspectBody(n, func(m ast.Node) {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			if len(m.Lhs) == len(m.Rhs) && (m.Tok == token.ASSIGN || m.Tok == token.DEFINE) {
+				for i := range m.Lhs {
+					c.bind(info, m.Lhs[i], m.Rhs[i])
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range m.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != len(vs.Values) {
+					continue
+				}
+				for i := range vs.Names {
+					c.bind(info, vs.Names[i], vs.Values[i])
+				}
+			}
+		case *ast.ReturnStmt:
+			c.summarize(n, m)
+		}
+	})
+}
+
+// bind records what one assignment teaches us: engine identities for path
+// propagation, clock labels for duration values.
+func (c *checker) bind(info *types.Info, lhs, rhs ast.Expr) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := info.Defs[l]
+		if obj == nil {
+			obj = info.Uses[l]
+		}
+		if obj == nil {
+			return
+		}
+		if rk := c.rootKeyOf(info, rhs); rk != "" && !c.poisoned[obj] {
+			if prev, ok := c.paths[obj]; ok && prev != rk {
+				c.poisoned[obj] = true
+				delete(c.paths, obj)
+				c.changed = true
+			} else if !ok {
+				c.paths[obj] = rk
+				c.changed = true
+			}
+		}
+		if isDuration(obj.Type()) {
+			c.addLabels(c.lookupClock(obj), c.clockSetOf(info, rhs), func() labelSet {
+				s := labelSet{}
+				c.clocks[obj] = s
+				return s
+			})
+		}
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[l]
+		if !ok || sel.Kind() != types.FieldVal {
+			return
+		}
+		fv, ok := sel.Obj().(*types.Var)
+		if !ok || !isDuration(fv.Type()) {
+			return
+		}
+		c.addLabels(c.fields[fv], c.clockSetOf(info, rhs), func() labelSet {
+			s := labelSet{}
+			c.fields[fv] = s
+			return s
+		})
+	}
+}
+
+// addLabels unions src into dst (allocating via mk when dst is nil),
+// flagging the fixpoint on growth.
+func (c *checker) addLabels(dst labelSet, src labelSet, mk func() labelSet) {
+	if len(src) == 0 {
+		return
+	}
+	if dst == nil {
+		dst = mk()
+	}
+	for k := range src {
+		if !dst[k] {
+			dst[k] = true
+			c.changed = true
+		}
+	}
+}
+
+func (c *checker) lookupClock(obj types.Object) labelSet { return c.clocks[obj] }
+
+// summarize folds a return statement into the function's summaries.
+func (c *checker) summarize(n *callgraph.Node, ret *ast.ReturnStmt) {
+	info := n.Unit.TypesInfo
+	for _, res := range ret.Results {
+		t := info.TypeOf(res)
+		if t == nil {
+			continue
+		}
+		switch {
+		case isDuration(t):
+			for k := range c.clockSetOf(info, res) {
+				sk := c.toSumKey(n, k)
+				m := c.retClock[n]
+				if m == nil {
+					m = map[sumKey]bool{}
+					c.retClock[n] = m
+				}
+				if !m[sk] {
+					m[sk] = true
+					c.changed = true
+				}
+			}
+		case isEngine(t):
+			rk := c.rootKeyOf(info, res)
+			if rk == "" || c.retEngineBad[n] {
+				continue
+			}
+			sk := c.toSumKey(n, rk)
+			if prev, ok := c.retEngine[n]; ok && prev != sk {
+				c.retEngineBad[n] = true
+				delete(c.retEngine, n)
+				c.changed = true
+			} else if !ok {
+				c.retEngine[n] = sk
+				c.changed = true
+			}
+		}
+	}
+}
+
+// toSumKey rewrites a key rooted at one of n's own parameters into a
+// substitutable form; other keys (receiver-canonical, package-level, foreign
+// parameters) stay absolute.
+func (c *checker) toSumKey(n *callgraph.Node, key string) sumKey {
+	for obj, pk := range c.paramKey { //simlint:deterministic result independent of visit order: at most one param key prefixes a given identity
+		if c.owner[obj] != n {
+			continue
+		}
+		if key == pk {
+			return sumKey{param: c.paramIdx[obj]}
+		}
+		if strings.HasPrefix(key, pk+".") {
+			return sumKey{param: c.paramIdx[obj], key: key[len(pk):]}
+		}
+	}
+	return sumKey{param: -1, key: key}
+}
+
+// expand resolves a summary key at a call site; "" when the argument's
+// identity is unknown.
+func (c *checker) expand(info *types.Info, sk sumKey, call *ast.CallExpr) string {
+	if sk.param < 0 {
+		return sk.key
+	}
+	if sk.param >= len(call.Args) {
+		return ""
+	}
+	root := c.rootKeyOf(info, call.Args[sk.param])
+	if root == "" {
+		return ""
+	}
+	return root + sk.key
+}
+
+// rootKeyOf computes the canonical identity of an expression's storage
+// location, or "" when unknown.
+func (c *checker) rootKeyOf(info *types.Info, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return ""
+		}
+		if k, ok := c.recvKey[obj]; ok {
+			return k
+		}
+		if k, ok := c.paramKey[obj]; ok {
+			return k
+		}
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return shortPkg(v.Pkg().Path()) + "." + v.Name()
+		}
+		return c.paths[obj]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			root := c.rootKeyOf(info, e.X)
+			if root == "" {
+				return ""
+			}
+			return root + "." + e.Sel.Name
+		}
+		// Qualified package-level variable: pkg.Var.
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return shortPkg(v.Pkg().Path()) + "." + v.Name()
+		}
+		return ""
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return c.rootKeyOf(info, e.X)
+		}
+		return ""
+	case *ast.StarExpr:
+		return c.rootKeyOf(info, e.X)
+	case *ast.CallExpr:
+		key := ""
+		for _, callee := range c.graph.CalleesAt(e) {
+			sk, ok := c.retEngine[callee]
+			if !ok {
+				return ""
+			}
+			k := c.expand(info, sk, e)
+			if k == "" || (key != "" && key != k) {
+				return ""
+			}
+			key = k
+		}
+		return key
+	}
+	return ""
+}
+
+// clockSetOf computes the clock domains an expression's value may carry.
+func (c *checker) clockSetOf(info *types.Info, e ast.Expr) labelSet {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return c.clocks[obj]
+		}
+		return nil
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if fv, ok := sel.Obj().(*types.Var); ok {
+				return c.fields[fv]
+			}
+			return nil
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return c.clocks[v]
+		}
+		return nil
+	case *ast.BinaryExpr:
+		x := c.clockSetOf(info, e.X)
+		y := c.clockSetOf(info, e.Y)
+		// Subtracting two readings of the same clock yields an elapsed
+		// interval, which belongs to no domain.
+		if e.Op == token.SUB && len(x) > 0 && setsEqual(x, y) {
+			return nil
+		}
+		return union(x, y)
+	case *ast.UnaryExpr:
+		return c.clockSetOf(info, e.X)
+	case *ast.CallExpr:
+		// X.Now(): the reading belongs to X's clock.
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Now" {
+			if rt := info.TypeOf(sel.X); rt != nil && isEngine(rt) {
+				if k := c.rootKeyOf(info, sel.X); k != "" {
+					return labelSet{k: true}
+				}
+				return nil
+			}
+		}
+		// Conversion (time.Duration(x)) keeps the operand's labels.
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return c.clockSetOf(info, e.Args[0])
+		}
+		// Resolved call: union of callee return summaries, parameters
+		// substituted with this site's arguments.
+		var out labelSet
+		for _, callee := range c.graph.CalleesAt(e) {
+			for sk := range c.retClock[callee] {
+				if k := c.expand(info, sk, e); k != "" {
+					if out == nil {
+						out = labelSet{}
+					}
+					out[k] = true
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// mixOps are the operators where two instants meet.
+var mixOps = map[token.Token]bool{
+	token.SUB: true, token.ADD: true,
+	token.LSS: true, token.GTR: true, token.LEQ: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+// reportNode flags clock mixes and cross-engine scheduling in one body.
+func (c *checker) reportNode(n *callgraph.Node) {
+	info := n.Unit.TypesInfo
+	inspectBody(n, func(m ast.Node) {
+		switch m := m.(type) {
+		case *ast.BinaryExpr:
+			if !mixOps[m.Op] {
+				return
+			}
+			if t := info.TypeOf(m.X); t == nil || !isDuration(t) {
+				return
+			}
+			x := c.clockSetOf(info, m.X)
+			y := c.clockSetOf(info, m.Y)
+			if len(x) == 0 || len(y) == 0 || !disjoint(x, y) {
+				return
+			}
+			c.report(n, m.Pos(),
+				"expression mixes clocks from different engines: %s vs %s; keep shard time on its shard or justify with %s <why>",
+				render(x), render(y), analysis.ClockSafeComment)
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "At" || len(m.Args) == 0 {
+				return
+			}
+			rt := info.TypeOf(sel.X)
+			if rt == nil || !isEngine(rt) {
+				return
+			}
+			key := c.rootKeyOf(info, sel.X)
+			if key == "" {
+				return
+			}
+			s := c.clockSetOf(info, m.Args[0])
+			if len(s) == 0 || s[key] {
+				return
+			}
+			c.report(n, m.Pos(),
+				"schedules a time from clock %s on engine %s; keep shard time on its shard or justify with %s <why>",
+				render(s), key, analysis.ClockSafeComment)
+		}
+	})
+}
+
+// report applies the clocksafe escape hatch, then emits.
+func (c *checker) report(n *callgraph.Node, pos token.Pos, format string, args ...any) {
+	unit := c.pass.UnitFor(pos)
+	just, marked := n.Unit.MarkedAt(c.pass.Fset, pos, analysis.ClockSafeComment)
+	if marked {
+		if just == "" {
+			c.pass.Reportf(unit, pos, "%s requires a written justification", analysis.ClockSafeComment)
+		}
+		return
+	}
+	c.pass.Reportf(unit, pos, format, args...)
+}
+
+// inspectBody walks a node's body, staying out of nested func literals
+// (they are their own graph nodes).
+func inspectBody(n *callgraph.Node, visit func(ast.Node)) {
+	ast.Inspect(n.Body, func(m ast.Node) bool {
+		if m != nil && m != n.Body {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+		}
+		if m != nil {
+			visit(m)
+		}
+		return true
+	})
+}
+
+// isDuration reports whether t is time.Duration.
+func isDuration(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Duration"
+}
+
+// isEngine reports whether t is an engine surface: simnet.Sim, simnet.Engine
+// or simnet.Cluster, possibly behind a pointer.
+func isEngine(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == simnetPath && engineNames[obj.Name()]
+}
+
+func setsEqual(a, b labelSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func disjoint(a, b labelSet) bool {
+	for k := range a {
+		if b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func union(a, b labelSet) labelSet {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := labelSet{}
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// render prints a label set deterministically.
+func render(s labelSet) string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+// typeString renders a type tersely (drop the module prefix for width).
+func typeString(t types.Type) string {
+	return strings.ReplaceAll(t.String(), "repro/internal/", "")
+}
+
+// shortPkg drops the module prefix from a package path.
+func shortPkg(p string) string {
+	return strings.TrimPrefix(strings.TrimPrefix(p, "repro/internal/"), "repro/")
+}

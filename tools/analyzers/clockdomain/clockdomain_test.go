@@ -1,0 +1,12 @@
+package clockdomain_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysistest"
+	"repro/tools/analyzers/clockdomain"
+)
+
+func TestClockDomain(t *testing.T) {
+	analysistest.RunModule(t, analysistest.TestData(), clockdomain.Analyzer, "a")
+}

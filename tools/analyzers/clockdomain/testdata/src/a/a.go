@@ -1,0 +1,95 @@
+// Fixture for the clockdomain analyzer: Sim.Now() readings must stay within
+// the engine that produced them.
+package a
+
+import (
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// engine mirrors the workload shape: a control-plane clock stored in a
+// field, stamped from the coordinator.
+type engine struct {
+	sim  simnet.Engine
+	base time.Duration
+}
+
+type flow struct {
+	launchedAt time.Duration
+	fct        time.Duration
+	start      time.Duration
+}
+
+func (e *engine) launch(f *flow) {
+	e.base = e.sim.Now()
+	f.launchedAt = e.sim.Now()
+}
+
+// onDatagram is the PR 6 FCT bug: launchedAt was stamped from the
+// coordinator clock, Now() is the receiving shard's clock.
+func (e *engine) onDatagram(local *simnet.Sim, f *flow) {
+	f.fct = local.Now() - f.launchedAt // want `mixes clocks from different engines`
+}
+
+// sameDomain subtracts two readings of one clock: fine.
+func (e *engine) sameDomain(f *flow) {
+	f.fct = e.sim.Now() - f.launchedAt
+}
+
+// sameAt schedules with a deadline built from the scheduling engine's own
+// clock: fine.
+func (e *engine) sameAt(f *flow) {
+	e.sim.At(e.base+f.start, func() {})
+}
+
+// crossAt schedules a shard-local deadline on the coordinator.
+func crossAt(eng simnet.Engine, local *simnet.Sim) {
+	deadline := local.Now() + time.Millisecond
+	eng.At(deadline, func() {}) // want `schedules a time from clock`
+}
+
+// intervalsOK: elapsed times are domainless and may cross shards freely.
+func intervalsOK(sa, sb *simnet.Sim) bool {
+	startA := sa.Now()
+	startB := sb.Now()
+	elapsedA := sa.Now() - startA
+	elapsedB := sb.Now() - startB
+	return elapsedA > elapsedB
+}
+
+// carrier + clock() + stamp() exercise interprocedural engine-identity and
+// clock-return summaries.
+type carrier struct {
+	sim *simnet.Sim
+}
+
+func (c *carrier) clock() *simnet.Sim { return c.sim }
+
+func stamp(c *carrier) time.Duration { return c.clock().Now() }
+
+func wrapperMix(c *carrier, other *simnet.Sim) time.Duration {
+	t0 := stamp(c)
+	return other.Now() - t0 // want `mixes clocks from different engines`
+}
+
+func wrapperSame(c *carrier) time.Duration {
+	t0 := stamp(c)
+	return c.clock().Now() - t0
+}
+
+// paramFlow: a clock reading handed through a parameter keeps the caller's
+// domain via call-site substitution.
+func since(s *simnet.Sim, t0 time.Duration) time.Duration { return s.Now() - t0 }
+
+func paramFlowOK(s *simnet.Sim) time.Duration {
+	return since(s, s.Now())
+}
+
+// justified sites pass with a reason and fail without one.
+func justified(eng simnet.Engine, local *simnet.Sim, f *flow) {
+	//simlint:clocksafe fixture: runs at the quiesce barrier where all clocks agree
+	f.fct = local.Now() - f.launchedAt
+	//simlint:clocksafe
+	f.fct = local.Now() - f.launchedAt // want `requires a written justification`
+}

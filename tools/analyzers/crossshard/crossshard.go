@@ -1,0 +1,289 @@
+// Package crossshard enforces the partitioned engine's ownership contract
+// (DESIGN.md §13): anything that crosses a partition boundary must be owned
+// by value. The checked boundary is the control-event surface — closures
+// handed to At/After/Schedule on a simnet.Engine or *simnet.Cluster run on
+// the coordinator, not on the shard that created them, so every reference
+// they carry into shard-local mutable state is a data race the moment the
+// global quiesce barrier is replaced by barrier-free conservative sync
+// (the ROADMAP's next step).
+//
+// A capture is rejected when it is:
+//
+//   - shard-resident by type: *simnet.Sim, *simnet.Node, *simnet.Port,
+//     *simnet.Link, *simnet.Timer, or any type that transitively reaches one
+//     of them through fields, elements, or embedded types (a chaos target
+//     holding a *Port, a workload flow holding its retransmit *Timer);
+//   - shard-resident by flow: a plain slice, map, or pointer whose value the
+//     interprocedural alias analysis (tools/analyzers/dataflow) traced back
+//     to shard-resident memory — a router table borrowed from a node, a
+//     telemetry cell slice returned by a helper.
+//
+// The coordinator's own surface stays usable: simnet.Engine and
+// *simnet.Cluster captures are exempt, as are owned copies (scalars,
+// strings, freshly allocated buffers). Method values passed as callbacks
+// (eng.After(d, s.sample)) are checked through their receiver.
+//
+// The escape hatch is `//simlint:shardsafe <why>` on the scheduling call (or
+// the line above). Today the usual why is "runs at the quiesce barrier with
+// every shard idle"; each annotation marks a site the barrier-free engine
+// must revisit.
+package crossshard
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/tools/analyzers/analysis"
+	"repro/tools/analyzers/callgraph"
+	"repro/tools/analyzers/dataflow"
+)
+
+// Analyzer is the cross-shard ownership check.
+var Analyzer = &analysis.ModuleAnalyzer{
+	Name: "crossshard",
+	Doc:  "flags control-event closures capturing shard-local mutable state",
+	Run:  run,
+}
+
+// simnetPath is the package owning the shard-resident anchor types.
+const simnetPath = "repro/internal/simnet"
+
+// anchorNames are the simnet types that live on exactly one shard.
+var anchorNames = map[string]bool{
+	"Sim":   true,
+	"Node":  true,
+	"Port":  true,
+	"Link":  true,
+	"Timer": true,
+}
+
+// coordNames are the simnet types forming the coordinator surface; values
+// of these types are the cross-shard API itself, not shard state.
+var coordNames = map[string]bool{
+	"Engine":  true,
+	"Cluster": true,
+}
+
+// schedNames are the Engine methods whose closure argument crosses to the
+// coordinator.
+var schedNames = map[string]bool{
+	"At":       true,
+	"After":    true,
+	"Schedule": true,
+}
+
+func run(pass *analysis.ModulePass) (any, error) {
+	graph := callgraph.Build(pass.Units)
+	st := newShardTyper()
+	aliasing := dataflow.NewAliasing(graph, st.resident)
+
+	for _, u := range pass.Units {
+		for _, f := range u.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					checkCall(pass, u, call, st, aliasing)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// checkCall inspects one potential control-scheduling call.
+func checkCall(pass *analysis.ModulePass, u *analysis.PackageUnit, call *ast.CallExpr, st *shardTyper, aliasing *dataflow.Aliasing) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !schedNames[sel.Sel.Name] {
+		return
+	}
+	recv := u.TypesInfo.TypeOf(sel.X)
+	if recv == nil || !isCoordinator(recv) {
+		return
+	}
+
+	var offending []string
+	for _, arg := range call.Args {
+		switch fn := ast.Unparen(arg).(type) {
+		case *ast.FuncLit:
+			offending = append(offending, capturedShardState(u, fn, st, aliasing)...)
+		case *ast.SelectorExpr:
+			// Method value callback: eng.After(d, s.sample) captures s.
+			if msel, isSel := u.TypesInfo.Selections[fn]; isSel && msel.Kind() == types.MethodVal {
+				rt := u.TypesInfo.TypeOf(fn.X)
+				if st.resident(rt) {
+					offending = append(offending, exprString(fn.X)+" (method receiver, "+typeString(rt)+")")
+				} else if aliasing.ExprAliases(u.TypesInfo, fn.X) {
+					offending = append(offending, exprString(fn.X)+" (method receiver aliasing shard state)")
+				}
+			}
+		}
+	}
+	if len(offending) == 0 {
+		return
+	}
+	sort.Strings(offending)
+	offending = dedup(offending)
+
+	unit := pass.UnitFor(call.Pos())
+	just, marked := u.MarkedAt(pass.Fset, call.Pos(), analysis.ShardSafeComment)
+	if marked {
+		if just == "" {
+			pass.Reportf(unit, call.Pos(), "%s requires a written justification", analysis.ShardSafeComment)
+		}
+		return
+	}
+	pass.Reportf(unit, call.Pos(),
+		"control event on the coordinator captures shard-local mutable state (%s); pass an owned copy or justify with %s <why>",
+		strings.Join(offending, ", "), analysis.ShardSafeComment)
+}
+
+// capturedShardState lists the closure's captured variables that carry
+// references into shard-resident memory: anchored by type, or aliasing
+// anchored memory per the dataflow analysis.
+func capturedShardState(u *analysis.PackageUnit, lit *ast.FuncLit, st *shardTyper, aliasing *dataflow.Aliasing) []string {
+	var out []string
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := u.TypesInfo.Uses[id]
+		v, isVar := obj.(*types.Var)
+		if !isVar || v.IsField() || seen[obj] {
+			return true
+		}
+		// Captured means: declared outside the literal but not at package
+		// scope (package-level state is the sharedstate analyzer's beat).
+		if v.Parent() == nil || v.Parent() == types.Universe {
+			return true
+		}
+		if v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the closure
+		}
+		seen[obj] = true
+		switch {
+		case st.resident(v.Type()):
+			out = append(out, v.Name()+" "+typeString(v.Type()))
+		case dataflow.Pointerish(v.Type()) && aliasing.VarAliases(obj):
+			out = append(out, v.Name()+" "+typeString(v.Type())+" aliasing shard state")
+		}
+		return true
+	})
+	return out
+}
+
+// shardTyper classifies types as shard-resident, memoized because the
+// structural walk revisits the same named types constantly.
+type shardTyper struct {
+	memo map[types.Type]bool
+}
+
+func newShardTyper() *shardTyper { return &shardTyper{memo: map[types.Type]bool{}} }
+
+// resident reports whether a value of type t carries references into
+// shard-local mutable state.
+func (s *shardTyper) resident(t types.Type) bool {
+	return s.walk(t, map[types.Type]bool{})
+}
+
+func (s *shardTyper) walk(t types.Type, visiting map[types.Type]bool) bool {
+	if t == nil || visiting[t] {
+		return false
+	}
+	if v, done := s.memo[t]; done {
+		return v
+	}
+	visiting[t] = true
+	v := s.classify(t, visiting)
+	delete(visiting, t)
+	// Memoize only complete (non-cyclic) answers: a false computed while a
+	// parent is mid-walk could be an artifact of the cycle guard.
+	if len(visiting) == 0 || v {
+		s.memo[t] = v
+	}
+	return v
+}
+
+func (s *shardTyper) classify(t types.Type, visiting map[types.Type]bool) bool {
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if pkg := obj.Pkg(); pkg != nil && pkg.Path() == simnetPath {
+			if anchorNames[obj.Name()] {
+				return true
+			}
+			if coordNames[obj.Name()] {
+				return false
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return s.walk(u.Elem(), visiting)
+	case *types.Slice:
+		return s.walk(u.Elem(), visiting)
+	case *types.Array:
+		return s.walk(u.Elem(), visiting)
+	case *types.Chan:
+		return s.walk(u.Elem(), visiting)
+	case *types.Map:
+		return s.walk(u.Key(), visiting) || s.walk(u.Elem(), visiting)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if s.walk(u.Field(i).Type(), visiting) {
+				return true
+			}
+		}
+		return false
+	default:
+		// Basics, funcs, interfaces (opaque — the anchor check above
+		// already handled the named coordinator surface).
+		return false
+	}
+}
+
+// isCoordinator reports whether t is the control-event surface.
+func isCoordinator(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == simnetPath && coordNames[obj.Name()]
+}
+
+// exprString renders a short receiver expression for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	default:
+		return "receiver"
+	}
+}
+
+// typeString renders a type tersely (drop the module prefix for width).
+func typeString(t types.Type) string {
+	return strings.ReplaceAll(t.String(), "repro/internal/", "")
+}
+
+// dedup removes adjacent duplicates from a sorted slice.
+func dedup(in []string) []string {
+	out := in[:0]
+	for i, s := range in {
+		if i == 0 || s != in[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

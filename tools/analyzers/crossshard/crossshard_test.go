@@ -1,0 +1,15 @@
+package crossshard
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysistest"
+)
+
+// TestCrossShard runs the golden fixture: every seeded cross-shard capture
+// (direct anchor, carrier struct, aliased slice through a helper, method
+// value, nested closure, bare justification) must be reported, and owned
+// copies, engine captures, shard-local timers, and justified sites must not.
+func TestCrossShard(t *testing.T) {
+	analysistest.RunModule(t, analysistest.TestData(), Analyzer, "a")
+}

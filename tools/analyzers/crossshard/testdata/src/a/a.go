@@ -1,0 +1,115 @@
+// Fixture for the crossshard analyzer: control events scheduled on the
+// coordinator surface (simnet.Engine / *simnet.Cluster) must not capture
+// shard-local mutable state.
+package a
+
+import (
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// target mirrors a chaos-style carrier: a struct is shard-resident as soon
+// as one field reaches an anchor type.
+type target struct {
+	name string
+	port *simnet.Port
+}
+
+// router mirrors a protocol table owner: resident by its node reference.
+type router struct {
+	node *simnet.Node
+	tbl  []uint32
+}
+
+// table borrows the router's live table — an alias into shard state even
+// though the return type is a plain slice.
+func (r *router) table() []uint32 { return r.tbl }
+
+// tableCopy returns an owned snapshot.
+func (r *router) tableCopy() []uint32 {
+	return append([]uint32(nil), r.tbl...)
+}
+
+// sampler mirrors the telemetry shape: a method value used as a callback.
+type sampler struct {
+	link *simnet.Link
+}
+
+func (s *sampler) sample() {}
+
+func directCapture(eng simnet.Engine, port *simnet.Port) {
+	eng.Schedule(time.Second, func() { // want `captures shard-local mutable state \(port \*simnet\.Port\)`
+		port.Fail()
+	})
+}
+
+func carrierCapture(eng simnet.Engine, t target) {
+	eng.After(time.Second, func() { // want `captures shard-local mutable state \(t a\.target\)`
+		t.port.Restore()
+	})
+}
+
+func aliasedSliceCapture(eng simnet.Engine, r *router) {
+	tbl := r.table()
+	eng.Schedule(time.Second, func() { // want `tbl \[\]uint32 aliasing shard state`
+		_ = tbl[0]
+	})
+}
+
+func clusterCapture(c *simnet.Cluster, link *simnet.Link) {
+	c.At(time.Second, func() { // want `captures shard-local mutable state \(link \*simnet\.Link\)`
+		_ = link.Lost()
+	})
+}
+
+func methodValueCapture(eng simnet.Engine, s *sampler) {
+	eng.After(time.Second, s.sample) // want `method receiver`
+}
+
+// ownedCopies cross the boundary by value: no findings.
+func ownedCapture(eng simnet.Engine, r *router, port *simnet.Port) {
+	snapshot := r.tableCopy()
+	up := port.Up()
+	name := port.Name()
+	eng.Schedule(time.Second, func() {
+		_ = snapshot[0]
+		_ = up
+		_ = name
+	})
+}
+
+// The engine itself is the coordinator surface, not shard state.
+func engineCapture(eng simnet.Engine) {
+	eng.Schedule(time.Second, func() {
+		eng.Schedule(time.Second, func() {})
+	})
+}
+
+// Shard-local scheduling on a *Sim is the normal protocol timer path; only
+// the coordinator surface is a boundary.
+func shardLocal(sim *simnet.Sim, port *simnet.Port) {
+	sim.Schedule(time.Second, func() {
+		port.Fail()
+	})
+}
+
+// Justified sites pass with a reason and fail without one.
+func justified(eng simnet.Engine, port *simnet.Port) {
+	//simlint:shardsafe fixture: runs at the quiesce barrier with every shard idle
+	eng.Schedule(time.Second, func() {
+		port.Fail()
+	})
+	//simlint:shardsafe
+	eng.Schedule(time.Second, func() { // want `requires a written justification`
+		port.Restore()
+	})
+}
+
+// Transitive capture through a nested closure still reaches the coordinator.
+func nestedCapture(eng simnet.Engine, port *simnet.Port) {
+	eng.Schedule(time.Second, func() { // want `captures shard-local mutable state \(port \*simnet\.Port\)`
+		inner := func() { port.Fail() }
+		inner()
+	})
+}

@@ -1,0 +1,12 @@
+package justify_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysistest"
+	"repro/tools/analyzers/justify"
+)
+
+func TestJustify(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), justify.Analyzer, "a")
+}

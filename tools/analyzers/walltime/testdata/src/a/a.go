@@ -5,6 +5,7 @@ package a
 
 import (
 	"math/rand"
+	"runtime"
 	"time"
 )
 
@@ -12,6 +13,9 @@ func bad() {
 	_ = time.Now()                     // want `time\.Now reads the host wall clock`
 	time.Sleep(time.Second)            // want `time\.Sleep reads the host wall clock`
 	_ = time.Since(time.Time{})        // want `time\.Since reads the host wall clock`
+	_ = time.After(time.Second)        // want `time\.After reads the host wall clock`
+	_ = time.Tick(time.Second)         // want `time\.Tick reads the host wall clock`
+	runtime.Gosched()                  // want `runtime\.Gosched yields to the host scheduler`
 	_ = rand.Intn(4)                   // want `rand\.Intn draws from the shared global generator`
 	_ = rand.Float64()                 // want `rand\.Float64 draws from the shared global generator`
 	rand.Shuffle(2, func(i, j int) {}) // want `rand\.Shuffle draws from the shared global generator`
@@ -30,4 +34,6 @@ func good(rng *rand.Rand, d time.Duration) time.Duration {
 func justified() {
 	//simlint:deterministic wall clock only decorates operator log lines
 	_ = time.Now()
+	//simlint:deterministic spin-wait backoff in the host-side test harness
+	runtime.Gosched()
 }

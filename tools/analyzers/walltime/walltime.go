@@ -8,8 +8,10 @@
 // Constructors that wrap an explicit seed (rand.New, rand.NewSource,
 // rand.NewZipf and the v2 equivalents) are allowed, as are time.Duration
 // arithmetic and constants — only the wall-clock entry points and the
-// seed-less package-level generator functions are rejected. A site can opt
-// out with a `//simlint:deterministic <why>` comment.
+// seed-less package-level generator functions are rejected. runtime.Gosched
+// is banned for the same reason: a voluntary yield makes goroutine
+// interleaving a host scheduling decision. A site can opt out with a
+// `//simlint:deterministic <why>` comment.
 package walltime
 
 import (
@@ -66,6 +68,16 @@ func run(pass *analysis.Pass) (any, error) {
 				return true
 			}
 			switch pkgName.Imported().Path() {
+			case "runtime":
+				// Gosched hands the scheduler a decision point: whether
+				// another goroutine runs, and which, depends on the host.
+				// Simulation code must not create host-visible interleaving
+				// choices; event ordering belongs to the virtual clock.
+				if sel.Sel.Name == "Gosched" && !pass.SuppressedAt(sel.Pos()) {
+					pass.Reportf(sel.Pos(),
+						"runtime.Gosched yields to the host scheduler and makes interleaving host-dependent; order work through the event queue or justify with a %s comment",
+						analysis.SuppressionComment)
+				}
 			case "time":
 				if deniedTime[sel.Sel.Name] && !pass.SuppressedAt(sel.Pos()) {
 					pass.Reportf(sel.Pos(),
