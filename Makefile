@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint analyzers invariants race bench bench-partition bench-partition-smoke figures fuzz-smoke chaos-smoke trace-smoke check
+.PHONY: all build test vet lint analyzers invariants race bench bench-hotpath bench-partition bench-partition-smoke figures fuzz-smoke chaos-smoke trace-smoke check
 
 all: check
 
@@ -33,11 +33,12 @@ lint:
 		echo "staticcheck not installed; skipping" ; \
 	fi
 
-# analyzers runs the lint passes' own golden-fixture suites and the
+# analyzers runs everything under tools/ — the lint passes' golden-fixture
+# suites plus the loader/callgraph/dataflow infrastructure tests — and the
 # simlint driver's exit-status/schema tests (also covered by `make test`;
 # this target is the fast inner loop when writing a pass).
 analyzers:
-	$(GO) test ./tools/analyzers/... ./cmd/simlint/...
+	$(GO) test ./tools/... ./cmd/simlint/...
 
 # invariants runs the suite with runtime assertions compiled in: event-heap
 # ordering, MR-MTP VID-table consistency, and FIB next-hop validity panic on
@@ -55,6 +56,14 @@ race:
 # -benchtime for averaged numbers).
 bench:
 	$(GO) test -bench 'Fig|Ablation|Scale' -benchtime 1x -run '^$$' .
+
+# bench-hotpath records the frame arena's alloc win instead of asserting
+# it from memory: the event-loop/delivery/timer benchmarks print ns/op and
+# allocs/op for the hottest paths, and the AllocsPerRun budget tests (TX
+# encap, IP ingress, RX decap, forwarding, keep-alive) pin the per-frame
+# allocation counts the pooled buffers bought.
+bench-hotpath:
+	$(GO) test -bench 'EventLoop|FrameDelivery|TimerResetChurn' -benchtime 1000x -benchmem -run 'Allocs$$' ./internal/simnet ./internal/ipstack ./internal/mrmtp
 
 # bench-partition times the space-parallel engine at 1/2/4/8 shards on an
 # 8-PoD fabric and writes BENCH_partition.json (ns per simulated second,

@@ -103,6 +103,8 @@ func writeWorkloadImbalanceCSV(path string, runs []workloadRun) error {
 // writeWorkloadTelemetryCSV exports the sampled link time series of each
 // cell's first trial on the smallest topology — enough to plot utilization,
 // queue depth and drops around the failure without dumping every trial.
+// Frame-pool occupancy rides along as `framepool` rows (link columns empty,
+// pool columns filled) so a buffer leak is visible on the same time axis.
 func writeWorkloadTelemetryCSV(path string, runs []workloadRun) error {
 	minPods := 0
 	for _, r := range runs {
@@ -111,7 +113,7 @@ func writeWorkloadTelemetryCSV(path string, runs []workloadRun) error {
 		}
 	}
 	var b strings.Builder
-	_, _ = b.WriteString("protocol,pods,scenario,link,t_us,tx_bytes,util,queued,drops,lost,corrupted\n")
+	_, _ = b.WriteString("protocol,pods,scenario,link,t_us,tx_bytes,util,queued,drops,lost,corrupted,pool_in_use,pool_peak,pool_recycled\n")
 	for _, r := range runs {
 		if r.summary.Pods != minPods || len(r.trials) == 0 {
 			continue
@@ -119,11 +121,16 @@ func writeWorkloadTelemetryCSV(path string, runs []workloadRun) error {
 		s := r.summary
 		for _, sr := range r.trials[0].Series {
 			for _, smp := range sr.Samples {
-				_, _ = fmt.Fprintf(&b, "%s,%d,%s,%s,%d,%d,%.4f,%d,%d,%d,%d\n",
+				_, _ = fmt.Fprintf(&b, "%s,%d,%s,%s,%d,%d,%.4f,%d,%d,%d,%d,,,\n",
 					s.Protocol, s.Pods, s.Scenario, sr.Name,
 					smp.At/time.Microsecond, smp.TxBytes, smp.Util, smp.Queued, smp.Drops,
 					smp.Lost, smp.Corrupted)
 			}
+		}
+		for _, ps := range r.trials[0].PoolSamples {
+			_, _ = fmt.Fprintf(&b, "%s,%d,%s,framepool,%d,,,,,,,%d,%d,%d\n",
+				s.Protocol, s.Pods, s.Scenario, ps.At/time.Microsecond,
+				ps.InUse, ps.Peak, ps.Recycled)
 		}
 	}
 	return os.WriteFile(path, []byte(b.String()), 0o644)

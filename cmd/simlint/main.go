@@ -23,10 +23,18 @@
 //	justify      every package (a bare //simlint marker is wrong anywhere)
 //	crossshard   reads the whole module, reports in repro/internal/...
 //	clockdomain  reads the whole module, reports in repro/internal/...
+//	lifetime     reads the whole module, reports in repro/internal/...
+//	             (pooled-resource lifetimes: the event freelist and the
+//	             frame arena)
+//	unusedmarker runs last; reports justification markers that no analyzer
+//	             consulted during this run — stale suppressions whose
+//	             finding has moved or disappeared
 //
-// The last two are module passes: they build a cross-package call graph and
-// alias/clock summaries from every loaded package, then report only inside
-// their scope.
+// crossshard, clockdomain, and lifetime are module passes: they build a
+// cross-package call graph and per-function summaries from every loaded
+// package, then report only inside their scope. unusedmarker is scoped per
+// marker: a marker only counts as stale in packages where the analyzer that
+// honors it actually ran (see markerApplies).
 //
 // Diagnostics print as file:line:col: message (analyzer); with -json they
 // are emitted instead as a JSON array of {file,line,col,analyzer,message}
@@ -50,6 +58,7 @@ import (
 	"repro/tools/analyzers/crossshard"
 	"repro/tools/analyzers/framealias"
 	"repro/tools/analyzers/justify"
+	"repro/tools/analyzers/lifetime"
 	"repro/tools/analyzers/load"
 	"repro/tools/analyzers/maporder"
 	"repro/tools/analyzers/panicpath"
@@ -70,9 +79,12 @@ var packetPkgs = map[string]bool{
 
 func isPacketPkg(p string) bool { return packetPkgs[p] }
 
-// isHotPkg additionally covers the simulator core: Port.Send and frame
-// delivery are the innermost loop of every experiment.
-func isHotPkg(p string) bool { return packetPkgs[p] || p == "repro/internal/simnet" }
+// isHotPkg additionally covers the simulator core and its frame arena:
+// Port.Send, frame delivery, and buffer recycling are the innermost loop of
+// every experiment.
+func isHotPkg(p string) bool {
+	return packetPkgs[p] || p == "repro/internal/simnet" || p == "repro/internal/simnet/framepool"
+}
 
 func isInternal(importPath string) bool {
 	return strings.HasPrefix(importPath, "repro/internal/")
@@ -102,6 +114,27 @@ var moduleChecks = []struct {
 }{
 	{crossshard.Analyzer, isInternal},
 	{clockdomain.Analyzer, isInternal},
+	{lifetime.Analyzer, isInternal},
+	// unusedmarker must stay last: it audits the consultations every
+	// other analyzer recorded during this run.
+	{justify.UnusedMarkers, anyPkg},
+}
+
+// markerApplies tells unusedmarker where each justification marker is within
+// some analyzer's sight; a marker outside its analyzer's package scope is
+// unreachable, not stale. This table mirrors checks/moduleChecks above.
+func markerApplies(importPath, marker string) bool {
+	switch marker {
+	case analysis.SuppressionComment, // maporder, walltime, sharedstate
+		analysis.SharedComment,    // sharedstate
+		analysis.ShardSafeComment, // crossshard
+		analysis.ClockSafeComment, // clockdomain
+		analysis.LifetimeComment:  // lifetime
+		return isInternal(importPath)
+	case analysis.AllocComment, analysis.FrameOwnComment: // allocfree, framealias
+		return isHotPkg(importPath)
+	}
+	return false
 }
 
 // finding is one printable diagnostic.
@@ -135,6 +168,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		os.Exit(2)
 	}
+	justify.UnusedApplies = markerApplies
+	analysis.ResetMarkerUsage()
 
 	var findings []finding
 	relFile := func(file string) string {

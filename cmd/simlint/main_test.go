@@ -81,10 +81,10 @@ func TestJSONSchema(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &got); err != nil {
 		t.Fatalf("-json output is not a findings array: %v\n%s", err, out)
 	}
-	if len(got) != 2 {
-		t.Fatalf("got %d findings, want 2: %+v", len(got), got)
+	if len(got) != 4 {
+		t.Fatalf("got %d findings, want 4: %+v", len(got), got)
 	}
-	wantAnalyzers := []string{"walltime", "justify"}
+	wantAnalyzers := []string{"walltime", "justify", "unusedmarker", "lifetime"}
 	for i, f := range got {
 		if f.Analyzer != wantAnalyzers[i] {
 			t.Errorf("finding %d analyzer = %q, want %q", i, f.Analyzer, wantAnalyzers[i])
@@ -98,6 +98,11 @@ func TestJSONSchema(t *testing.T) {
 	}
 	if got[0].Line >= got[1].Line {
 		t.Errorf("findings not sorted by line: %d then %d", got[0].Line, got[1].Line)
+	}
+	// The seeded use-after-Put in ReadAfterPut must be rediscovered at its
+	// exact position: the read of b on the return line.
+	if uaf := got[3]; uaf.Line != 30 || uaf.Col != 9 {
+		t.Errorf("lifetime finding at %d:%d, want 30:9: %+v", uaf.Line, uaf.Col, uaf)
 	}
 
 	// A clean run still emits a well-formed (empty) array.
@@ -138,13 +143,13 @@ func TestSARIFSchema(t *testing.T) {
 		}
 		rules[r.ID] = true
 	}
-	for _, want := range []string{"maporder", "walltime", "justify", "crossshard", "clockdomain"} {
+	for _, want := range []string{"maporder", "walltime", "justify", "crossshard", "clockdomain", "lifetime", "unusedmarker"} {
 		if !rules[want] {
 			t.Errorf("rule table missing %s (have %v)", want, rules)
 		}
 	}
-	if len(run.Results) != 2 {
-		t.Fatalf("got %d results, want 2: %+v", len(run.Results), run.Results)
+	if len(run.Results) != 4 {
+		t.Fatalf("got %d results, want 4: %+v", len(run.Results), run.Results)
 	}
 	for i, r := range run.Results {
 		if !rules[r.RuleID] {

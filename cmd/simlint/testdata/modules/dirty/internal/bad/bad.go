@@ -12,3 +12,20 @@ func Stamp() time.Time {
 	//simlint:deterministic
 	return t
 }
+
+// FramePool is a toy arena seeding a lifetime finding.
+//
+//simlint:pool acquire=Get release=Put
+type FramePool struct{ free [][]byte }
+
+func (p *FramePool) Get(n int) []byte { return make([]byte, n) }
+func (p *FramePool) Put(b []byte)     { p.free = append(p.free, b) }
+
+// ReadAfterPut returns a byte from a buffer already handed back to the pool:
+// the seeded use-after-release the lifetime analyzer must rediscover.
+func ReadAfterPut(p *FramePool) byte {
+	b := p.Get(8)
+	b[0] = 1
+	p.Put(b)
+	return b[0]
+}

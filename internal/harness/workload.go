@@ -101,6 +101,9 @@ type WorkloadResult struct {
 	PeakUtil  float64
 	// Series is the sampled per-link-direction telemetry.
 	Series []*workload.LinkSeries
+	// PoolSamples is the sampled frame-pool occupancy: a monotonic InUse
+	// climb here means a pooled buffer leaked on some path.
+	PoolSamples []workload.PoolSample
 }
 
 // WorkloadHosts lists every server as a workload endpoint, racks labelled
@@ -203,17 +206,18 @@ func RunWorkload(opts Options, w WorkloadConfig) (WorkloadResult, error) {
 	loads := meter.Read()
 	imb, jain := workload.ImbalanceSummary(loads)
 	res := WorkloadResult{
-		Protocol:   opts.Protocol,
-		Pods:       opts.Spec.Pods,
-		Scenario:   w.Scenario(),
-		Report:     engine.Report(nil),
-		GroupLoads: loads,
-		Imbalance:  imb,
-		JainMean:   jain,
-		Drops:      sampler.TotalDrops(),
-		PeakQueue:  sampler.PeakQueue(),
-		PeakUtil:   sampler.PeakUtil(),
-		Series:     sampler.Series(),
+		Protocol:    opts.Protocol,
+		Pods:        opts.Spec.Pods,
+		Scenario:    w.Scenario(),
+		Report:      engine.Report(nil),
+		GroupLoads:  loads,
+		Imbalance:   imb,
+		JainMean:    jain,
+		Drops:       sampler.TotalDrops(),
+		PeakQueue:   sampler.PeakQueue(),
+		PeakUtil:    sampler.PeakUtil(),
+		Series:      sampler.Series(),
+		PoolSamples: sampler.PoolSeries(),
 	}
 	return res, nil
 }

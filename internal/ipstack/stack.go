@@ -10,6 +10,7 @@ import (
 	"repro/internal/ipv4"
 	"repro/internal/netaddr"
 	"repro/internal/simnet"
+	"repro/internal/simnet/framepool"
 	"repro/internal/tcp"
 	"repro/internal/udp"
 )
@@ -71,6 +72,12 @@ type Stack struct {
 
 	Stats Stats
 	ipID  uint16
+
+	// frames is the owning simulation's frame-buffer pool: TX buffers come
+	// from it, and received or dropped buffers that are provably dead go
+	// back. Locally delivered packets are NOT recycled — their payload
+	// slices alias into the UDP/TCP handlers, which may retain them.
+	frames *framepool.Pool
 }
 
 // arpEntry records a resolved neighbor and the interface it answered on —
@@ -89,6 +96,7 @@ func New(node *simnet.Node) *Stack {
 		arpTable:    make(map[netaddr.IPv4]arpEntry),
 		arpPending:  make(map[netaddr.IPv4][][]byte),
 		udpHandlers: make(map[uint16]UDPHandler),
+		frames:      node.Sim.Frames(),
 	}
 	s.TCP = tcp.NewEndpoint(node.Sim, node.Rand(), s.sendTCPSegment)
 	node.Handler = s
@@ -190,9 +198,16 @@ func (s *Stack) HandleFrame(p *simnet.Port, frame []byte) {
 	}
 	switch f.EtherType {
 	case ethernet.TypeARP:
+		// ARP packets are fully decoded into value types; the frame is dead
+		// once handleARP returns.
 		s.handleARP(p, f)
+		s.frames.Put(frame)
 	case ethernet.TypeIPv4:
-		s.handleIPv4(p, f.Payload)
+		if s.handleIPv4(p, f.Payload) {
+			// Forwarded, errored or expired: every byte the stack needed has
+			// been copied out, so the received buffer can be recycled.
+			s.frames.Put(frame)
+		}
 	}
 }
 
@@ -233,30 +248,37 @@ func (s *Stack) handleARP(p *simnet.Port, f ethernet.Frame) {
 	}
 }
 
-func (s *Stack) handleIPv4(p *simnet.Port, payload []byte) {
+// handleIPv4 consumes a received IPv4 payload (aliasing into the delivered
+// frame). It reports whether the frame is spent — no live alias remains, so
+// the caller may recycle the buffer. Local delivery returns false: payload
+// slices flow into the UDP/TCP handlers, which may retain them.
+func (s *Stack) handleIPv4(p *simnet.Port, payload []byte) bool {
 	pkt, err := ipv4.Unmarshal(payload)
 	if err != nil {
-		return
+		return true
 	}
 	if s.IsLocal(pkt.Header.Dst) {
 		s.deliver(pkt, payload)
-		return
+		return false
 	}
 	// Forward: copy into a fresh frame buffer (the received frame belongs
 	// to its own delivery) and decrement the TTL in place.
-	buf := make([]byte, ethernet.HeaderLen+len(payload)) //simlint:alloc forward copy: the fresh frame buffer handed to Port.Send
+	buf := s.frames.Get(ethernet.HeaderLen + len(payload))
 	copy(buf[ethernet.HeaderLen:], payload)
 	if err := ipv4.Forward(buf[ethernet.HeaderLen:]); err != nil {
 		s.Stats.TTLExpired++
 		// Tell the source, like a router does (traceroute depends on
-		// this); the reply originates from the receiving interface.
+		// this); the reply originates from the receiving interface. The
+		// ICMP quote copies out of payload before we return.
 		if ifc := s.ifaces[p.Index]; ifc != nil && !pkt.Header.Src.IsZero() {
 			s.SendICMP(ifc.IP, pkt.Header.Src, icmp.TimeExceeded(payload))
 		}
-		return
+		s.frames.Put(buf)
+		return true
 	}
 	s.Stats.IPForwarded++
 	s.routeOut(pkt.Header, buf)
+	return true
 }
 
 // deliver consumes a locally destined packet. wire holds the original
@@ -328,7 +350,7 @@ func (s *Stack) SendIPRaw(ipWire []byte) {
 	if err != nil {
 		return
 	}
-	frame := make([]byte, ethernet.HeaderLen+len(ipWire))
+	frame := s.frames.Get(ethernet.HeaderLen + len(ipWire))
 	copy(frame[ethernet.HeaderLen:], ipWire)
 	s.routeOut(pkt.Header, frame)
 }
@@ -357,7 +379,9 @@ func (s *Stack) NextHopFor(dst netaddr.IPv4, k FlowKey) (NextHop, bool) {
 func (s *Stack) newIPFrame(src, dst netaddr.IPv4, proto, ttl byte, transportLen int) (ipv4.Header, []byte) {
 	s.ipID++
 	h := ipv4.Header{ID: s.ipID, TTL: ttl, Protocol: proto, Src: src, Dst: dst}
-	frame := make([]byte, ethernet.HeaderLen+ipv4.HeaderLen+transportLen) //simlint:alloc the one allocation of the TX path (DESIGN.md §7)
+	// Drawn from the frame pool: in steady state the TX path allocates
+	// nothing at all (DESIGN.md §7, §14).
+	frame := s.frames.Get(ethernet.HeaderLen + ipv4.HeaderLen + transportLen)
 	h.PutHeader(frame[ethernet.HeaderLen:], transportLen)
 	return h, frame
 }
@@ -369,6 +393,7 @@ func (s *Stack) routeOut(h ipv4.Header, frame []byte) {
 	r, ok := s.FIB.Lookup(h.Dst)
 	if !ok {
 		s.Stats.NoRoute++
+		s.frames.Put(frame) // the packet dies here; reclaim its buffer
 		return
 	}
 	nh := r.NextHops[0]
@@ -419,6 +444,7 @@ func (s *Stack) transmit(ifc *Iface, nextHop netaddr.IPv4, frame []byte) {
 	}
 	if !out.Usable() {
 		s.Stats.BlackholedTx++
+		s.frames.Put(frame)
 		return
 	}
 	ethernet.PutHeader(frame, e.mac, out.Port.MAC, ethernet.TypeIPv4)

@@ -96,20 +96,40 @@ func (r *Router) ingressIP(ipWire []byte) {
 		return
 	}
 	// Paper §III.D: derive the destination ToR VID from the destination
-	// IP address with the §III.A algorithm.
+	// IP address with the §III.A algorithm. The encapsulation buffer is
+	// pooled: sendOn copies it into the outbound frame (and the drop paths
+	// retain nothing), so it is reclaimed as soon as forwardData returns.
 	dstRoot := byte(dst[2])
-	r.forwardData(MarshalData(r.rootVID, dstRoot, DataTTL, ipWire), dstRoot, flowhash.FromIPPacket(ipWire))
+	enc := r.encapData(r.rootVID, dstRoot, DataTTL, ipWire)
+	r.forwardData(enc, dstRoot, flowhash.FromIPPacket(ipWire))
+	r.frames.Put(enc)
+}
+
+// encapData is MarshalData drawing from the frame pool: the 4-byte MR-MTP
+// header followed by the raw IP packet.
+func (r *Router) encapData(srcRoot, dstRoot, ttl byte, ipPacket []byte) []byte {
+	b := r.frames.Get(DataHeaderLen + len(ipPacket))
+	b[0] = TypeData
+	b[1] = ttl
+	b[2] = srcRoot
+	b[3] = dstRoot
+	copy(b[DataHeaderLen:], ipPacket)
+	return b
 }
 
 // handleData forwards (or delivers) an encapsulated packet arriving on a
-// fabric port.
+// fabric port. It reports whether the delivered frame is spent — every byte
+// the router needed has been copied out, so the caller may recycle the
+// buffer. Gateway-addressed and trace-reply dispositions return false: those
+// paths hand aliasing slices to listeners that have not been audited for
+// retention.
 //
 //simlint:hotpath
-func (r *Router) handleData(p *simnet.Port, payload []byte) {
+func (r *Router) handleData(p *simnet.Port, payload []byte) bool {
 	h, ipWire, err := ParseData(payload)
 	if err != nil {
 		r.Stats.DataDropped++
-		return
+		return true
 	}
 	if r.Cfg.Tier == 1 && h.DstRoot == r.rootVID {
 		// Destination ToR: de-encapsulate and hand the IP packet to the
@@ -117,28 +137,31 @@ func (r *Router) handleData(p *simnet.Port, payload []byte) {
 		pkt, err := ipv4.Unmarshal(ipWire)
 		if err != nil {
 			r.Stats.DataDropped++
-			return
+			return true
 		}
 		r.Stats.DataDelivered++
 		if pkt.Header.Dst == r.GatewayIP() {
 			// Addressed to the ToR itself: trace probes and their replies.
 			r.handleLocal(ipWire, pkt) //simlint:alloc gateway-addressed control traffic, off the forwarding fast path
-			return
+			return false
 		}
+		// deliverToRack copies ipWire (into the rack frame or the ARP
+		// pending queue) before returning.
 		r.deliverToRack(ipWire, pkt.Header.Dst)
-		return
+		return true
 	}
 	if h.TTL <= 1 {
 		r.Stats.DataDropped++
 		// Expired probes earn a time-exceeded reply, like an IP router
 		// (path tracing depends on it); other expiries stay silent drops.
 		r.sendTraceReply(h, ipWire) //simlint:alloc TTL expiry is off the fast path; reply construction allocates
-		return
+		return false
 	}
 	// In-place decrement: the delivered frame is ours, and sendOn copies
 	// the payload into a fresh outbound frame.
 	payload[1] = h.TTL - 1
 	r.forwardData(payload, h.DstRoot, flowhash.FromIPPacket(ipWire))
+	return true
 }
 
 // forwardData routes an encapsulated packet: down the tree when the VID

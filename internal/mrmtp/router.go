@@ -11,6 +11,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netaddr"
 	"repro/internal/simnet"
+	"repro/internal/simnet/framepool"
 	"repro/internal/topology"
 )
 
@@ -191,6 +192,11 @@ type Router struct {
 	// which the ToR answers itself.
 	icmpListeners []ICMPListener
 
+	// frames is the owning simulation's frame-buffer pool: outbound frames
+	// and encapsulation buffers come from it, and received data-plane
+	// frames whose bytes have all been copied out go back (DESIGN.md §14).
+	frames *framepool.Pool
+
 	Stats Stats
 }
 
@@ -224,6 +230,7 @@ func New(node *simnet.Node, cfg Config, rec metrics.Recorder) *Router {
 		lostSent:    make(map[byte]bool),
 		arpCache:    make(map[netaddr.IPv4]arpEntry),
 		arpPending:  make(map[netaddr.IPv4][][]byte),
+		frames:      node.Sim.Frames(),
 	}
 	if cfg.Tier == 1 {
 		r.rootVID = byte(topology.DeriveVID(cfg.RackSubnet))
@@ -288,7 +295,12 @@ func (r *Router) scheduleAdvertise(adj *adjacency) {
 //simlint:hotpath
 func (r *Router) sendOn(adj *adjacency, payload []byte) {
 	adj.lastTx = r.sim().Now()
-	adj.port.Send(frame(adj.port.MAC, payload))
+	// Build the broadcast-addressed frame (§VII.F) in a pooled buffer; the
+	// payload is copied, so callers may reuse or recycle it afterwards.
+	buf := r.frames.Get(ethernet.HeaderLen + len(payload))
+	ethernet.PutHeader(buf, netaddr.Broadcast, adj.port.MAC, ethernet.TypeMRMTP)
+	copy(buf[ethernet.HeaderLen:], payload)
+	adj.port.Send(buf)
 }
 
 // sendMsg marshals and transmits a control message, dropping it if it
@@ -381,7 +393,10 @@ func (r *Router) HandleFrame(p *simnet.Port, raw []byte) {
 		return
 	}
 	if r.isServerPort(p.Index) {
+		// Every rack-side disposition copies what it keeps (encapsulation,
+		// ARP learning, rack delivery), so the frame is spent on return.
 		r.handleRackFrame(p, f)
+		r.frames.Put(raw)
 		return
 	}
 	if f.EtherType != ethernet.TypeMRMTP || len(f.Payload) == 0 {
@@ -433,7 +448,9 @@ func (r *Router) HandleFrame(p *simnet.Port, raw []byte) {
 	}
 
 	if f.Payload[0] == TypeData {
-		r.handleData(p, f.Payload)
+		if r.handleData(p, f.Payload) {
+			r.frames.Put(raw)
+		}
 		return
 	}
 	m, err := ParseMessage(f.Payload)

@@ -152,9 +152,11 @@ func ParseMessage(b []byte) (Message, error) {
 }
 
 // MarshalData builds a data frame payload: the 4-byte MR-MTP header
-// followed by the raw IP packet.
+// followed by the raw IP packet. The hot TX path uses the pooled
+// Router.encapData instead; this allocating variant serves tests and
+// non-hot callers.
 func MarshalData(srcRoot, dstRoot byte, ttl byte, ipPacket []byte) []byte {
-	b := make([]byte, DataHeaderLen+len(ipPacket)) //simlint:alloc the encapsulation buffer; ownership passes through sendOn to Port.Send
+	b := make([]byte, DataHeaderLen+len(ipPacket))
 	b[0] = TypeData
 	b[1] = ttl
 	b[2] = srcRoot

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/invariant"
+	"repro/internal/simnet/framepool"
 )
 
 // The scheduling core is an indexed binary min-heap of recycled event
@@ -31,6 +32,12 @@ const (
 	evFunc      eventKind = iota // run fn
 	evFrame                      // deliver frame from src to dst over link
 	evQueueFree                  // decrement dir.queued (egress serialization)
+
+	// evFreed poisons records sitting on the freelist. Every alloc caller
+	// assigns a real kind, so under -tags invariants a record dispatched or
+	// released while still poisoned is a freelist-discipline bug (the
+	// dynamic complement to the lifetime analyzer, DESIGN.md §14).
+	evFreed eventKind = 0xFF
 )
 
 // event is a scheduled occurrence's payload. Its timing lives in the heap
@@ -48,6 +55,12 @@ type event struct {
 	link     *Link
 	frame    []byte
 	dir      *dirState
+
+	// fh is the frame's pool generation at transmit time (zero-sized in
+	// release builds): Step asserts the buffer was not recycled while the
+	// delivery was in flight. Cross-partition deliveries leave it zero —
+	// the buffer's generation lives in the sending shard's pool.
+	fh framepool.Handle
 }
 
 // heapEntry is one slot of the scheduling heap. Events are totally ordered
@@ -106,6 +119,9 @@ func (s *Sim) alloc() *event {
 		ev := s.free[n-1]
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
+		if invariant.Enabled {
+			invariant.Assert(ev.kind == evFreed, "simnet: freelist record not poisoned (released twice or written after release)")
+		}
 		return ev
 	}
 	return &event{idx: -1} //simlint:alloc freelist warm-up; steady state recycles records
@@ -114,9 +130,15 @@ func (s *Sim) alloc() *event {
 // release recycles a record that is no longer scheduled. The generation bump
 // invalidates any Timer still holding it.
 func (s *Sim) release(ev *event) {
+	if invariant.Enabled {
+		invariant.Assert(ev.kind != evFreed, "simnet: double release of event record")
+		invariant.Assert(ev.idx < 0, "simnet: releasing an event still in the heap")
+	}
 	ev.gen++
+	ev.kind = evFreed
 	ev.fn = nil
 	ev.src, ev.dst, ev.link, ev.frame, ev.dir = nil, nil, nil, nil, nil
+	ev.fh = framepool.Handle{}
 	s.free = append(s.free, ev) //simlint:alloc freelist growth is amortized; capacity stabilizes at peak in-flight events
 }
 
@@ -369,12 +391,19 @@ func (s *Sim) Step() bool {
 		fn()
 	case evFrame:
 		src, dst, link, frame := ev.src, ev.dst, ev.link, ev.frame
+		if invariant.Enabled {
+			s.frames.Check(ev.fh)
+		}
 		s.release(ev)
 		s.deliver(src, dst, link, frame)
 	case evQueueFree:
 		dir := ev.dir
 		s.release(ev)
 		dir.queued--
+	default:
+		if invariant.Enabled {
+			invariant.Assert(false, "simnet: dispatching event with unknown kind (freed record left in heap?)")
+		}
 	}
 	s.curOwner = prev
 	return true

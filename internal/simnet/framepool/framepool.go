@@ -1,0 +1,149 @@
+// Package framepool recycles frame buffers for the packet hot path.
+//
+// The simulator's TX paths compose each frame into a single []byte whose
+// ownership then flows through Port.Send into the delivery event and on to
+// the receiving handler (DESIGN.md §7). Those buffers die constantly — a
+// transit router copies the payload onward and the received frame is spent;
+// a dropped frame dies inside the simulator — and at workload scale the
+// churn is pure garbage-collector pressure. The pool gives dead buffers
+// back to the next transmission instead.
+//
+// Get returns a zeroed buffer of exactly the requested length, so a pooled
+// buffer is indistinguishable from a fresh make([]byte, n): recycling can
+// never change simulation output, only allocation counts. That property is
+// what keeps partitioned runs bit-identical to sequential ones regardless
+// of per-shard pool hit patterns.
+//
+// The discipline — every Get is balanced by exactly one Put once the buffer
+// is provably dead, never while an alias can still be read — is enforced
+// statically by the lifetime analyzer (tools/analyzers/lifetime, DESIGN.md
+// §14) and dynamically by generation poisoning under -tags invariants.
+package framepool
+
+// classSizes are the bucket capacities, chosen around the repo's frame
+// population: control keep-alives sit at 66–100 bytes, workload MTUs at
+// 1500, encapsulated jumbo cases below 4 KiB. Larger requests bypass the
+// pool entirely.
+var classSizes = [...]int{64, 128, 256, 512, 1024, 2048, 4096}
+
+// Stats is a snapshot of pool occupancy, surfaced in the workload telemetry
+// CSV so a leak-on-path regression is visible at runtime too.
+type Stats struct {
+	// InUse is Gets minus Puts: the number of lent buffers not yet
+	// returned. Frames that end their life outside the simulator (local
+	// delivery hands ownership to protocol handlers, which may retain the
+	// payload) are never Put, so a busy run holds a steady nonzero level;
+	// a monotonic climb on a closed workload is a leak. Foreign buffers
+	// entering via Put can push it below zero.
+	InUse int
+	// Peak is the high-water mark of InUse.
+	Peak int
+	// Recycled counts Gets served from a bucket instead of the allocator.
+	Recycled uint64
+	// Fresh counts Gets that fell through to a real allocation.
+	Fresh uint64
+	// Returned counts accepted Puts.
+	Returned uint64
+}
+
+// Pool is a size-bucketed freelist of frame buffers. It is not safe for
+// concurrent use; each simulation shard owns its own pool, and buffers may
+// migrate between shards (allocated by the sender, returned to the
+// receiver) because Get normalizes every buffer it hands out.
+//
+//simlint:pool acquire=Get release=Put
+type Pool struct {
+	buckets [len(classSizes)][][]byte
+	stats   Stats
+	dbg     *debugState // non-nil only under -tags invariants
+}
+
+// New creates an empty pool.
+func New() *Pool {
+	return &Pool{dbg: newDebugState()}
+}
+
+// classFor returns the smallest bucket whose capacity holds n, or -1 when n
+// exceeds every class.
+func classFor(n int) int {
+	for i, s := range classSizes {
+		if n <= s {
+			return i
+		}
+	}
+	return -1
+}
+
+// putClass returns the largest bucket whose capacity the buffer satisfies,
+// or -1 when the buffer is smaller than every class. Buckets therefore only
+// ever hold buffers with cap ≥ the class size, which is what makes a
+// bucket hit in Get safe to slice to any n ≤ class size.
+func putClass(c int) int {
+	for i := len(classSizes) - 1; i >= 0; i-- {
+		if c >= classSizes[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get returns a zeroed buffer of length n, recycling a returned one when
+// the size class has stock. The caller owns the buffer until it hands it
+// off (Port.Send takes ownership) or returns it with Put.
+//
+//simlint:hotpath
+func (p *Pool) Get(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	p.stats.InUse++
+	if p.stats.InUse > p.stats.Peak {
+		p.stats.Peak = p.stats.InUse
+	}
+	if ci := classFor(n); ci >= 0 {
+		if bs := p.buckets[ci]; len(bs) > 0 {
+			b := bs[len(bs)-1][:n]
+			bs[len(bs)-1] = nil
+			p.buckets[ci] = bs[:len(bs)-1]
+			for i := range b {
+				b[i] = 0
+			}
+			p.stats.Recycled++
+			p.trackGet(b)
+			return b
+		}
+		p.stats.Fresh++
+		b := make([]byte, n, classSizes[ci]) //simlint:alloc bucket warm-up; steady state recycles buffers
+		p.trackGet(b)
+		return b
+	}
+	p.stats.Fresh++
+	b := make([]byte, n) //simlint:alloc oversized frames bypass the pool by design
+	p.trackGet(b)
+	return b
+}
+
+// Put returns a dead buffer to the pool. The caller must hold the only
+// live reference: returning a buffer that a scheduled event, a pending
+// queue, or a protocol handler can still read is the corruption the
+// lifetime analyzer exists to reject. Put accepts foreign buffers (ones
+// born from make rather than Get) and nil (a no-op), so drop paths need
+// not track a buffer's origin.
+//
+//simlint:hotpath
+func (p *Pool) Put(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	ci := putClass(cap(b))
+	if ci < 0 {
+		return
+	}
+	p.trackPut(b)
+	p.stats.InUse--
+	p.stats.Returned++
+	p.buckets[ci] = append(p.buckets[ci], b[:0]) //simlint:alloc bucket growth is amortized; capacity stabilizes at peak dead-buffer churn
+}
+
+// Stats returns a snapshot of the pool's occupancy counters.
+func (p *Pool) Stats() Stats { return p.stats }

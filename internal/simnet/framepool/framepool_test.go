@@ -1,0 +1,109 @@
+package framepool
+
+import (
+	"testing"
+)
+
+func TestGetReturnsZeroedExactLength(t *testing.T) {
+	p := New()
+	b := p.Get(85)
+	if len(b) != 85 {
+		t.Fatalf("len = %d, want 85", len(b))
+	}
+	for i := range b {
+		b[i] = 0xAA
+	}
+	p.Put(b)
+	c := p.Get(85)
+	if len(c) != 85 {
+		t.Fatalf("recycled len = %d, want 85", len(c))
+	}
+	for i, v := range c {
+		if v != 0 {
+			t.Fatalf("recycled buffer not zeroed at %d: %#x", i, v)
+		}
+	}
+	if s := p.Stats(); s.Recycled != 1 {
+		t.Errorf("Recycled = %d, want 1 (stats %+v)", s.Recycled, s)
+	}
+}
+
+func TestRecycleAcrossSizesWithinClass(t *testing.T) {
+	p := New()
+	b := p.Get(100) // class 128
+	p.Put(b)
+	c := p.Get(128) // same class, larger length
+	if len(c) != 128 || cap(c) < 128 {
+		t.Fatalf("len=%d cap=%d, want 128/≥128", len(c), cap(c))
+	}
+	if s := p.Stats(); s.Recycled != 1 {
+		t.Errorf("Recycled = %d, want 1", s.Recycled)
+	}
+}
+
+func TestOversizedBypassesBuckets(t *testing.T) {
+	p := New()
+	b := p.Get(10000)
+	if len(b) != 10000 {
+		t.Fatalf("len = %d", len(b))
+	}
+	p.Put(b) // cap ≥ 4096: lands in the largest class
+	c := p.Get(4096)
+	if s := p.Stats(); s.Recycled != 1 {
+		t.Errorf("oversized buffer not recycled into largest class: %+v", s)
+	}
+	_ = c
+}
+
+func TestForeignAndNilPut(t *testing.T) {
+	p := New()
+	p.Put(nil)              // no-op
+	p.Put(make([]byte, 10)) // cap below every class: rejected
+	if s := p.Stats(); s.Returned != 0 || s.InUse != 0 {
+		t.Errorf("tiny/nil Put should be rejected: %+v", s)
+	}
+	p.Put(make([]byte, 200)) // foreign but poolable
+	if s := p.Stats(); s.Returned != 1 || s.InUse != -1 {
+		t.Errorf("foreign Put: %+v", s)
+	}
+	b := p.Get(64) // class 64: the cap-200 buffer entered the 128 class, so this misses
+	_ = b
+}
+
+func TestOccupancyStats(t *testing.T) {
+	p := New()
+	a := p.Get(64)
+	b := p.Get(64)
+	if s := p.Stats(); s.InUse != 2 || s.Peak != 2 || s.Fresh != 2 {
+		t.Fatalf("after two Gets: %+v", s)
+	}
+	p.Put(a)
+	if s := p.Stats(); s.InUse != 1 || s.Peak != 2 || s.Returned != 1 {
+		t.Fatalf("after one Put: %+v", s)
+	}
+	p.Put(b)
+	c := p.Get(64)
+	if s := p.Stats(); s.InUse != 1 || s.Peak != 2 || s.Recycled != 1 {
+		t.Fatalf("after recycle: %+v", s)
+	}
+	p.Put(c)
+}
+
+func TestGetZero(t *testing.T) {
+	p := New()
+	if b := p.Get(0); b != nil {
+		t.Errorf("Get(0) = %v, want nil", b)
+	}
+	if s := p.Stats(); s.InUse != 0 {
+		t.Errorf("Get(0) counted: %+v", s)
+	}
+}
+
+func BenchmarkGetPut(b *testing.B) {
+	p := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := p.Get(85)
+		p.Put(buf)
+	}
+}

@@ -1,0 +1,35 @@
+//go:build invariants
+
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// The invariants build poisons released event records (kind = evFreed) and
+// asserts the poison on both sides of the freelist. These tests corrupt the
+// lifecycle on purpose and expect each assertion to fire.
+
+func TestFreelistDoubleReleasePanics(t *testing.T) {
+	s := New(1)
+	ev := s.alloc()
+	ev.kind = evFunc
+	s.release(ev)
+	mustPanic(t, func() { s.release(ev) })
+}
+
+func TestFreelistDetectsWriteAfterRelease(t *testing.T) {
+	s := New(1)
+	ev := s.alloc()
+	ev.kind = evFunc
+	s.release(ev)
+	ev.kind = evFunc // simulated write through a stale pointer
+	mustPanic(t, func() { s.alloc() })
+}
+
+func TestFreelistReleaseWhileQueuedPanics(t *testing.T) {
+	s := New(1)
+	tm := s.After(time.Millisecond, func() {})
+	mustPanic(t, func() { s.release(tm.ev) }) // still in the heap (idx >= 0)
+}

@@ -1,0 +1,57 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFreelistLIFOReuseAcrossTimerReset pins the freelist discipline: the
+// record released when a timer fires is the first one handed back out, and
+// recycling bumps its generation so stale handles cannot match it.
+func TestFreelistLIFOReuseAcrossTimerReset(t *testing.T) {
+	s := New(1)
+	var fired []time.Duration
+	tm := s.After(time.Millisecond, func() { fired = append(fired, s.Now()) })
+	rec := tm.ev
+	gen := rec.gen
+
+	s.RunFor(2 * time.Millisecond)
+	if len(fired) != 1 {
+		t.Fatalf("fired %d times, want 1", len(fired))
+	}
+
+	tm.Reset(time.Millisecond) // re-arm at absolute 3ms
+	if tm.ev != rec {
+		t.Fatal("Reset after fire did not reuse the LIFO head of the freelist")
+	}
+	if tm.ev.gen == gen {
+		t.Fatal("recycled record kept its generation; stale handles could still match")
+	}
+
+	s.RunFor(2 * time.Millisecond)
+	if len(fired) != 2 || fired[1] != 3*time.Millisecond {
+		t.Fatalf("refire = %v, want exactly one more firing at 3ms", fired)
+	}
+}
+
+// TestCancelledTimerReArmedSameTick stops a pending timer from another event
+// at the same virtual instant and re-arms it for that same instant: the
+// record cycles through the freelist within one tick, and the timer must
+// fire exactly once, at the tick, with the re-armed callback.
+func TestCancelledTimerReArmedSameTick(t *testing.T) {
+	s := New(1)
+	var fired []time.Duration
+	var b *Timer
+	s.At(time.Millisecond, func() {
+		if !b.Stop() {
+			t.Error("B should still be pending when A runs")
+		}
+		b.Reset(0) // same virtual instant: the record was just released
+	})
+	b = s.At(time.Millisecond, func() { fired = append(fired, s.Now()) })
+
+	s.RunFor(2 * time.Millisecond)
+	if len(fired) != 1 || fired[0] != time.Millisecond {
+		t.Fatalf("fired = %v, want exactly once at 1ms", fired)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/invariant"
+	"repro/internal/simnet/framepool"
 )
 
 // This file implements the space-parallel engine: one fabric partitioned
@@ -61,6 +62,7 @@ type Engine interface {
 	At(t time.Duration, fn func()) *Timer
 	After(d time.Duration, fn func()) *Timer
 	Schedule(d time.Duration, fn func())
+	FrameStats() framepool.Stats
 }
 
 var (
@@ -158,6 +160,23 @@ func NewCluster(seed int64, shards int) *Cluster {
 
 // Shards returns the shard count.
 func (c *Cluster) Shards() int { return len(c.shards) }
+
+// FrameStats sums the frame-pool occupancy counters across every shard
+// (cross-partition deliveries are adopted by the receiving shard's pool, so
+// the aggregate stays balanced). Peak is summed per shard, an upper bound on
+// the true simultaneous peak.
+func (c *Cluster) FrameStats() framepool.Stats {
+	var agg framepool.Stats
+	for _, sh := range c.shards {
+		s := sh.FrameStats()
+		agg.InUse += s.InUse
+		agg.Peak += s.Peak
+		agg.Recycled += s.Recycled
+		agg.Fresh += s.Fresh
+		agg.Returned += s.Returned
+	}
+	return agg
+}
 
 // Lookahead returns the synchronization window L (the minimum
 // cross-partition link latency), or 0 when no link crosses a boundary.

@@ -21,7 +21,9 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/invariant"
 	"repro/internal/netaddr"
+	"repro/internal/simnet/framepool"
 )
 
 // Handler is the protocol stack attached to a node. All methods are invoked
@@ -54,6 +56,11 @@ type Sim struct {
 	nodeOrder []*Node // insertion order, for deterministic iteration
 	links     []*Link
 
+	// frames recycles frame buffers on the TX/RX paths. Buffers are zeroed
+	// on Get, so a pooled buffer is indistinguishable from a fresh make and
+	// recycling cannot perturb simulation output (shard bit-identity).
+	frames *framepool.Pool
+
 	// curOwner is the node whose event is being dispatched (-1 outside
 	// dispatch, i.e. control context). Schedules inherit it as their
 	// ordering key so the partitioned engine can reproduce sequential
@@ -81,6 +88,7 @@ func New(seed int64) *Sim {
 		seed:             seed,
 		rng:              rand.New(rand.NewSource(seed)),
 		nodes:            make(map[string]*Node),
+		frames:           framepool.New(),
 		LocalDetectDelay: 1 * time.Millisecond,
 		DefaultLatency:   100 * time.Microsecond,
 		curOwner:         -1,
@@ -109,6 +117,14 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 
 // Events returns the number of events processed so far.
 func (s *Sim) Events() uint64 { return s.events }
+
+// Frames returns the simulation's frame-buffer pool. Protocol stacks draw
+// TX buffers from it and return provably-dead buffers; the ownership rules
+// are enforced by the lifetime analyzer (DESIGN.md §14).
+func (s *Sim) Frames() *framepool.Pool { return s.frames }
+
+// FrameStats reports the frame pool's occupancy counters.
+func (s *Sim) FrameStats() framepool.Stats { return s.frames.Stats() }
 
 func (s *Sim) tracef(format string, args ...any) {
 	if s.Trace != nil {
@@ -269,6 +285,7 @@ func (p *Port) Send(frame []byte) {
 		if sim.Trace != nil {
 			sim.tracef("%s: tx drop (port down), %d bytes", p.Name(), len(frame)) //simlint:alloc trace-only, guarded by Trace != nil
 		}
+		sim.frames.Put(frame) // dropped at the transmitter: no one else holds it
 		return
 	}
 	p.Counters.TxFrames++
@@ -283,6 +300,7 @@ func (p *Port) Send(frame []byte) {
 		if sim.Trace != nil {
 			sim.tracef("%s: frame lost in transit (%d bytes)", p.Name(), len(frame)) //simlint:alloc trace-only, guarded by Trace != nil
 		}
+		sim.frames.Put(frame) // taps copy what they keep; the lost frame is dead
 		return
 	}
 	// Per-direction impairments (fault injection beyond uniform loss): the
@@ -297,6 +315,7 @@ func (p *Port) Send(frame []byte) {
 			if sim.Trace != nil {
 				sim.tracef("%s: frame lost (one-way carrier down), %d bytes", p.Name(), len(frame)) //simlint:alloc trace-only, guarded by Trace != nil
 			}
+			sim.frames.Put(frame)
 			return
 		}
 		if d.imp.LossRate > 0 && d.rand(p).Float64() < d.imp.LossRate {
@@ -304,6 +323,7 @@ func (p *Port) Send(frame []byte) {
 			if sim.Trace != nil {
 				sim.tracef("%s: frame lost (impairment), %d bytes", p.Name(), len(frame)) //simlint:alloc trace-only, guarded by Trace != nil
 			}
+			sim.frames.Put(frame)
 			return
 		}
 		if d.imp.CorruptRate > 0 && d.rand(p).Float64() < d.imp.CorruptRate {
@@ -331,6 +351,7 @@ func (p *Port) Send(frame []byte) {
 			if sim.Trace != nil {
 				sim.tracef("%s: egress queue overflow (%d bytes)", p.Name(), len(frame)) //simlint:alloc trace-only, guarded by Trace != nil
 			}
+			sim.frames.Put(frame)
 			return
 		}
 		txTime := time.Duration(int64(len(frame)) * 8 * int64(time.Second) / link.bandwidth)
@@ -367,6 +388,11 @@ func (p *Port) Send(frame []byte) {
 	ev.dst = dst
 	ev.link = link
 	ev.frame = frame
+	if invariant.Enabled {
+		// Snapshot the buffer's pool generation: Step re-checks it at
+		// delivery time, catching a Put while the frame was in flight.
+		ev.fh = sim.frames.Handle(frame)
+	}
 }
 
 // deliver completes a frame's flight: the receiving port's status is checked
@@ -379,6 +405,7 @@ func (s *Sim) deliver(src, dst *Port, link *Link, frame []byte) {
 		if s.Trace != nil {
 			s.tracef("%s: rx drop (port down at arrival), %d bytes", dst.Name(), len(frame)) //simlint:alloc trace-only, guarded by Trace != nil
 		}
+		s.frames.Put(frame)
 		return
 	}
 	dst.Counters.RxFrames++

@@ -40,13 +40,38 @@ type LinkSeries struct {
 	lastDropB uint64
 }
 
+// PoolSample is one observation of the engine's frame-pool occupancy:
+// the runtime counterpart of the lifetime analyzer's leak-on-path check.
+// A monotonic InUse climb on a closed workload is a leaked buffer.
+//
+// Every field is invariant under the shard count: samples are taken at the
+// quiesce barrier where the summed InUse is schedule-independent, Peak is
+// the running maximum of those sampled values (not the pools' internal
+// high-water marks, which depend on per-shard interleaving), and Recycled
+// counts buffers returned for reuse (the pools' bucket-hit counters depend
+// on per-shard locality). Workload artifacts stay bit-identical at any
+// shard count.
+type PoolSample struct {
+	At time.Duration
+	// InUse is the number of lent pool buffers not yet returned.
+	InUse int
+	// Peak is the high-water mark of sampled InUse.
+	Peak int
+	// Recycled is the cumulative count of buffers returned to the pool
+	// for reuse.
+	Recycled uint64
+}
+
 // Sampler polls link counters on a fixed virtual-time cadence: the
 // utilization / queue-depth / drop telemetry a production fabric would
-// scrape from switch ASICs.
+// scrape from switch ASICs. It also snapshots frame-pool occupancy each
+// tick so buffer leaks show up in the same time series.
 type Sampler struct {
 	sim      simnet.Engine
 	interval time.Duration
 	series   []*LinkSeries
+	pool     []PoolSample
+	poolPeak int
 	timer    *simnet.Timer
 }
 
@@ -109,6 +134,11 @@ func (s *Sampler) sample() {
 		sr.lastDropB = ls.OverflowBytes
 		sr.Samples = append(sr.Samples, smp)
 	}
+	fs := s.sim.FrameStats()
+	if len(s.pool) == 0 || fs.InUse > s.poolPeak {
+		s.poolPeak = fs.InUse
+	}
+	s.pool = append(s.pool, PoolSample{At: now, InUse: fs.InUse, Peak: s.poolPeak, Recycled: fs.Returned})
 	s.timer.Reset(s.interval)
 }
 
@@ -118,6 +148,9 @@ func (s *Sampler) link(sr *LinkSeries) simnet.LinkStats {
 
 // Series returns every watched direction's time series.
 func (s *Sampler) Series() []*LinkSeries { return s.series }
+
+// PoolSeries returns the sampled frame-pool occupancy over the run.
+func (s *Sampler) PoolSeries() []PoolSample { return s.pool }
 
 // PeakQueue returns the deepest egress queue observed across all series.
 func (s *Sampler) PeakQueue() int {

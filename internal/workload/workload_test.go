@@ -245,13 +245,13 @@ func TestSamplerSeriesAndDrops(t *testing.T) {
 	s.Start()
 
 	// Offer 2x capacity for 100 ms: utilization should pin near 1 and the
-	// queue must overflow.
-	frame := make([]byte, 1000)
+	// queue must overflow. Send takes ownership of its buffer (frames that
+	// tail-drop are recycled into the pool), so each call gets a fresh one.
 	var offer func()
 	n := 0
 	offer = func() {
-		a.Port(1).Send(frame)
-		a.Port(1).Send(frame)
+		a.Port(1).Send(make([]byte, 1000))
+		a.Port(1).Send(make([]byte, 1000))
 		if n++; n < 100 {
 			sim.After(time.Millisecond, offer)
 		}
@@ -290,6 +290,22 @@ func TestSamplerSeriesAndDrops(t *testing.T) {
 			t.Fatalf("idle direction recorded traffic: %+v", smp)
 		}
 	}
+	// Frame-pool occupancy is sampled on the same ticks as the links.
+	pool := s.PoolSeries()
+	if len(pool) != len(fwd.Samples) {
+		t.Fatalf("pool samples = %d, want %d (one per tick)", len(pool), len(fwd.Samples))
+	}
+	for i, ps := range pool {
+		if ps.At != fwd.Samples[i].At {
+			t.Fatalf("pool sample %d at %v, link sample at %v", i, ps.At, fwd.Samples[i].At)
+		}
+		if ps.Peak < ps.InUse {
+			t.Fatalf("pool sample %d: peak %d below in-use %d", i, ps.Peak, ps.InUse)
+		}
+	}
+	if last := pool[len(pool)-1]; last.Recycled == 0 {
+		t.Error("a saturated link tail-dropping frames never returned a buffer to the pool")
+	}
 }
 
 func TestSamplerSurfacesImpairmentCounters(t *testing.T) {
@@ -305,9 +321,10 @@ func TestSamplerSurfacesImpairmentCounters(t *testing.T) {
 	s := NewSampler(sim, 10*time.Millisecond)
 	s.Watch(link)
 	s.Start()
-	frame := make([]byte, 100)
+	// Fresh buffer per Send: ownership passes to the simulator, and lost
+	// frames are recycled into the pool.
 	for i := 0; i < 50; i++ {
-		sim.After(time.Duration(i)*time.Millisecond, func() { a.Port(1).Send(frame) })
+		sim.After(time.Duration(i)*time.Millisecond, func() { a.Port(1).Send(make([]byte, 100)) })
 	}
 	sim.RunFor(100 * time.Millisecond)
 	s.Stop()

@@ -82,6 +82,18 @@ const (
 	// clocks are provably equal because the site runs at a quiesce
 	// barrier).
 	ClockSafeComment = "//simlint:clocksafe"
+	// LifetimeComment exempts one pooled-resource lifetime violation site
+	// from the lifetime analyzer, with a required justification (typically:
+	// the apparent use-after-release is guarded by a generation check, or
+	// the leak is intentional warm-up).
+	LifetimeComment = "//simlint:lifetime"
+	// PoolComment declares a pooled-resource type for the lifetime
+	// analyzer. It must appear in the type's doc comment, carrying the
+	// acquire and release method names:
+	//
+	//	//simlint:pool acquire=Get release=Put
+	//	type Pool struct { ... }
+	PoolComment = "//simlint:pool"
 )
 
 // Markers is the registry of every directive the suite understands, used by
@@ -99,6 +111,8 @@ var Markers = []struct {
 	{SharedComment, false},
 	{ShardSafeComment, false},
 	{ClockSafeComment, false},
+	{LifetimeComment, false},
+	{PoolComment, true},
 }
 
 // markerMatches reports whether comment text is marker, optionally followed
@@ -168,17 +182,27 @@ func (p *Pass) FileFor(pos token.Pos) *ast.File {
 }
 
 // SuppressedAt reports whether pos carries a suppression comment in its file.
+// A found marker is recorded as consulted for the unusedmarker check.
 func (p *Pass) SuppressedAt(pos token.Pos) bool {
 	f := p.FileFor(pos)
-	return f != nil && Suppressed(p.Fset, f, pos)
+	if f == nil || !Suppressed(p.Fset, f, pos) {
+		return false
+	}
+	RecordMarkerUse(p.Fset, pos, SuppressionComment)
+	return true
 }
 
 // MarkedAt looks for marker attached to pos in its file (same line or line
-// above), returning the justification text and whether it was found.
+// above), returning the justification text and whether it was found. A found
+// marker is recorded as consulted for the unusedmarker check.
 func (p *Pass) MarkedAt(pos token.Pos, marker string) (justification string, ok bool) {
 	f := p.FileFor(pos)
 	if f == nil {
 		return "", false
 	}
-	return MarkerAt(p.Fset, f, pos, marker)
+	just, ok := MarkerAt(p.Fset, f, pos, marker)
+	if ok {
+		RecordMarkerUse(p.Fset, pos, marker)
+	}
+	return just, ok
 }

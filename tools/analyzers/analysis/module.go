@@ -77,11 +77,15 @@ func (u *PackageUnit) FileFor(pos token.Pos) *ast.File {
 
 // MarkedAt looks for marker attached to pos (same line or the line above) in
 // the unit's files, returning the justification text and whether it was
-// found.
+// found. A found marker is recorded as consulted for the unusedmarker check.
 func (u *PackageUnit) MarkedAt(fset *token.FileSet, pos token.Pos, marker string) (justification string, ok bool) {
 	f := u.FileFor(pos)
 	if f == nil {
 		return "", false
 	}
-	return MarkerAt(fset, f, pos, marker)
+	just, ok := MarkerAt(fset, f, pos, marker)
+	if ok {
+		RecordMarkerUse(fset, pos, marker)
+	}
+	return just, ok
 }

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// This file tracks which justification markers actually suppressed (or
+// anchored) a finding during a run. Every analyzer that honors a marker
+// records the consultation here; the unusedmarker check then reports the
+// markers nothing consulted — stale suppressions whose finding has moved or
+// disappeared, which would otherwise silence future regressions unread.
+//
+// The registry is process-global because a driver run is single-threaded and
+// analyzers have no shared pass state to thread it through; tests call
+// ResetMarkerUsage to isolate themselves.
+
+// markerUses keys are "file:line:marker" for the SITE line the analyzer
+// consulted (the statement the marker is attached to).
+var markerUses = map[string]bool{}
+
+func usageKey(fset *token.FileSet, pos token.Pos, marker string) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d:%s", p.Filename, p.Line, marker)
+}
+
+// RecordMarkerUse notes that an analyzer consulted marker at the site
+// beginning at pos — whether it suppressed a finding or anchored a
+// bare-marker diagnostic, the marker is live, not stale.
+func RecordMarkerUse(fset *token.FileSet, pos token.Pos, marker string) {
+	markerUses[usageKey(fset, pos, marker)] = true
+}
+
+// MarkerUsedAt reports whether any analyzer consulted the marker comment
+// whose own position is commentPos. MarkerAt attaches a comment to a site on
+// the same line or the line below, so the comment was used if a consultation
+// was recorded on either.
+func MarkerUsedAt(fset *token.FileSet, commentPos token.Pos, marker string) bool {
+	p := fset.Position(commentPos)
+	if markerUses[fmt.Sprintf("%s:%d:%s", p.Filename, p.Line, marker)] {
+		return true
+	}
+	return markerUses[fmt.Sprintf("%s:%d:%s", p.Filename, p.Line+1, marker)]
+}
+
+// ResetMarkerUsage clears the registry (test isolation).
+func ResetMarkerUsage() {
+	markerUses = map[string]bool{}
+}

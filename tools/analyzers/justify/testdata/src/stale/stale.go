@@ -1,0 +1,19 @@
+// Fixture for the unusedmarker pass: one suppression a real analyzer
+// consults (walltime runs over this package first in the test), one left
+// behind by a refactor with nothing to suppress.
+package stale
+
+import "time"
+
+// live has a genuine walltime finding under a justified suppression: the
+// consultation is recorded, so unusedmarker stays quiet.
+func live() time.Time {
+	//simlint:deterministic fixture: the wall-clock read is the point
+	return time.Now()
+}
+
+// gone carries a suppression whose finding was refactored away.
+func gone() int {
+	//simlint:deterministic fixture: nothing here reads the clock anymore // want `stale //simlint:deterministic marker: no analyzer consulted it`
+	return 1
+}

@@ -1,0 +1,80 @@
+package justify
+
+// The unusedmarker module pass closes the suppression loop. A justification
+// marker earns its keep by being consulted: some analyzer looks at the site,
+// finds the marker, and either suppresses its finding or anchors a
+// bare-marker diagnostic. When refactoring moves the finding away — the
+// allocation is gone, the clock mixing was restructured — the marker stays
+// behind, silently ready to swallow the next genuine regression at that
+// line. This pass runs after every other analyzer and reports justification
+// markers nothing consulted.
+//
+// Declarative markers (//simlint:hotpath, //simlint:pool) label sites rather
+// than suppress findings and are never reported.
+//
+// Consultations are recorded by the analysis package's marker accessors
+// (Pass.SuppressedAt, Pass.MarkedAt, PackageUnit.MarkedAt), so any analyzer
+// using them participates automatically. The driver must therefore run this
+// pass LAST.
+
+import (
+	"strings"
+
+	"repro/tools/analyzers/analysis"
+)
+
+// UnusedApplies, when set by the driver, restricts which markers are expected
+// to be consulted in which packages: a //simlint:deterministic comment in a
+// package the determinism analyzers never check is out of every analyzer's
+// sight, not stale. The driver derives this from its own scope table.
+var UnusedApplies func(importPath, marker string) bool
+
+// UnusedMarkers is the stale-suppression audit.
+var UnusedMarkers = &analysis.ModuleAnalyzer{
+	Name: "unusedmarker",
+	Doc:  "reports justification markers no analyzer consulted (stale suppressions)",
+	Run:  runUnused,
+}
+
+func runUnused(pass *analysis.ModulePass) (any, error) {
+	for _, u := range pass.Units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					marker, ok := markerOf(c.Text)
+					if !ok {
+						continue
+					}
+					if UnusedApplies != nil && !UnusedApplies(u.ImportPath, marker) {
+						continue
+					}
+					if analysis.MarkerUsedAt(pass.Fset, c.Pos(), marker) {
+						continue
+					}
+					pass.Reportf(u, c.Pos(),
+						"stale %s marker: no analyzer consulted it, so the finding it justified is gone — delete the marker",
+						marker)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// markerOf matches a comment against the registered justification markers;
+// declarative markers never count.
+func markerOf(text string) (string, bool) {
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	word := text
+	if i := strings.IndexAny(text, " \t"); i >= 0 {
+		word = text[:i]
+	}
+	for _, m := range analysis.Markers {
+		if word == m.Comment {
+			return word, !m.Declarative
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,15 @@
+package lifetime_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysis"
+	"repro/tools/analyzers/analysistest"
+	"repro/tools/analyzers/lifetime"
+)
+
+func TestLifetime(t *testing.T) {
+	analysis.ResetMarkerUsage()
+	analysistest.RunModule(t, analysistest.TestData(), lifetime.Analyzer,
+		"useafter", "doublerel", "leak", "capture")
+}

@@ -1,0 +1,50 @@
+// Fixture for the lifetime analyzer, defect class (d): a held pooled buffer
+// captured by a closure handed to a scheduling call, which may fire after the
+// buffer has been recycled.
+package capture
+
+// Pool is a toy frame arena with the registered acquire/release pair.
+//
+//simlint:pool acquire=Get release=Put
+type Pool struct{ free [][]byte }
+
+func (p *Pool) Get(n int) []byte { return make([]byte, n) }
+func (p *Pool) Put(b []byte)     { p.free = append(p.free, b) }
+
+func sink(b byte) {}
+
+// Engine mirrors the simulator's scheduling surface.
+type Engine struct{ pending []func() }
+
+func (e *Engine) After(d int, fn func()) { e.pending = append(e.pending, fn) }
+func (e *Engine) At(t int, fn func())    { e.pending = append(e.pending, fn) }
+
+func captures(p *Pool, e *Engine) {
+	b := p.Get(64)
+	e.After(10, func() {
+		sink(b[0]) // want `pooled Pool buffer b captured by closure scheduled with At/After/Schedule`
+	})
+}
+
+func capturesReleased(p *Pool, e *Engine) {
+	b := p.Get(64)
+	p.Put(b)
+	e.After(10, func() {
+		sink(b[0]) // want `use of b after it was released`
+	})
+}
+
+// storedCallback escapes the buffer into an unscheduled closure: conservative
+// silence, not class (d) — nothing proves the callback outlives the buffer.
+func storedCallback(p *Pool, cbs *[]func()) {
+	b := p.Get(64)
+	*cbs = append(*cbs, func() { sink(b[0]) })
+}
+
+// capturesCopy is clean: the closure captures a copied byte, not the buffer.
+func capturesCopy(p *Pool, e *Engine) {
+	b := p.Get(64)
+	first := b[0]
+	e.After(10, func() { sink(first) })
+	p.Put(b)
+}

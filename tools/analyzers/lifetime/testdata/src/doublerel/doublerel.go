@@ -1,0 +1,44 @@
+// Fixture for the lifetime analyzer, defect class (b): a pooled buffer
+// released twice.
+package doublerel
+
+// Pool is a toy frame arena with the registered acquire/release pair.
+//
+//simlint:pool acquire=Get release=Put
+type Pool struct{ free [][]byte }
+
+func (p *Pool) Get(n int) []byte { return make([]byte, n) }
+func (p *Pool) Put(b []byte)     { p.free = append(p.free, b) }
+
+func double(p *Pool) {
+	b := p.Get(32)
+	p.Put(b)
+	p.Put(b) // want `b released twice to pool Pool`
+}
+
+func maybeDouble(p *Pool, cond bool) {
+	b := p.Get(32)
+	if cond {
+		p.Put(b)
+	}
+	p.Put(b) // want `b may already be released`
+}
+
+// spend consumes its argument: the caller's release is the second one.
+func spend(p *Pool, b []byte) { p.Put(b) }
+
+func doubleViaHelper(p *Pool) {
+	b := p.Get(32)
+	spend(p, b)
+	p.Put(b) // want `b released twice to pool Pool`
+}
+
+// branchesBothRelease is clean: exactly one release on every path.
+func branchesBothRelease(p *Pool, cond bool) {
+	b := p.Get(32)
+	if cond {
+		p.Put(b)
+		return
+	}
+	p.Put(b)
+}

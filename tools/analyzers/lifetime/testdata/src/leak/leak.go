@@ -1,0 +1,50 @@
+// Fixture for the lifetime analyzer, defect class (c): a locally acquired
+// buffer that reaches a function exit still held.
+package leak
+
+// Pool is a toy frame arena with the registered acquire/release pair.
+//
+//simlint:pool acquire=Get release=Put
+type Pool struct{ free [][]byte }
+
+func (p *Pool) Get(n int) []byte { return make([]byte, n) }
+func (p *Pool) Put(b []byte)     { p.free = append(p.free, b) }
+
+func leaks(p *Pool) {
+	b := p.Get(16) // want `b acquired from pool Pool is never released, stored, or returned`
+	b[0] = 1
+}
+
+func leaksOnPath(p *Pool, cond bool) {
+	b := p.Get(16) // want `b acquired from pool Pool leaks on some path`
+	if cond {
+		p.Put(b)
+	}
+}
+
+// newBuf hands ownership to the caller: a fresh result, not a leak.
+func newBuf(p *Pool, n int) []byte {
+	b := p.Get(n)
+	b[0] = 0
+	return b
+}
+
+// caller receives the fresh buffer through the summary and releases it.
+func caller(p *Pool) {
+	b := newBuf(p, 8)
+	p.Put(b)
+}
+
+// callerLeaks receives the fresh buffer and drops it.
+func callerLeaks(p *Pool) {
+	b := newBuf(p, 8) // want `b acquired from pool pool is never released, stored, or returned`
+	b[0] = 1
+}
+
+type stash struct{ bufs [][]byte }
+
+// stores moves ownership into a longer-lived structure: not a leak.
+func stores(p *Pool, s *stash) {
+	b := p.Get(8)
+	s.bufs = append(s.bufs, b)
+}

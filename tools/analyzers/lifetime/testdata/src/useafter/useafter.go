@@ -1,0 +1,61 @@
+// Fixture for the lifetime analyzer, defect class (a): a pooled buffer read
+// after it was returned to its pool.
+package useafter
+
+// Pool is a toy frame arena with the registered acquire/release pair.
+//
+//simlint:pool acquire=Get release=Put
+type Pool struct{ free [][]byte }
+
+func (p *Pool) Get(n int) []byte { return make([]byte, n) }
+func (p *Pool) Put(b []byte)     { p.free = append(p.free, b) }
+
+func use(b []byte) {}
+
+func straightLine(p *Pool) byte {
+	b := p.Get(64)
+	b[0] = 1
+	p.Put(b)
+	return b[0] // want `use of b after it was released to pool Pool`
+}
+
+func conditional(p *Pool, drop bool) {
+	b := p.Get(64)
+	if drop {
+		p.Put(b)
+	}
+	b[1] = 2 // want `b may be used after release`
+	p.Put(b)
+}
+
+// spend consumes its argument: every path releases b.
+func spend(p *Pool, b []byte) { p.Put(b) }
+
+func useViaHelper(p *Pool) byte {
+	b := p.Get(32)
+	spend(p, b)
+	return b[0] // want `use of b after it was released`
+}
+
+// hatchJustified shows the escape hatch: a justified //simlint:lifetime
+// marker silences the finding.
+func hatchJustified(p *Pool) {
+	b := p.Get(64)
+	p.Put(b)
+	//simlint:lifetime generation-checked read: recycling is detected at fire time
+	use(b)
+}
+
+func hatchBare(p *Pool) {
+	b := p.Get(64)
+	p.Put(b)
+	use(b) //simlint:lifetime // want `bare //simlint:lifetime marker needs a justification`
+}
+
+// clean never misuses the buffer: acquire, fill, release.
+func clean(p *Pool) {
+	b := p.Get(64)
+	b[0] = 1
+	use(b)
+	p.Put(b)
+}
