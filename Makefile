@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint analyzers invariants race bench bench-hotpath bench-partition bench-partition-smoke figures fuzz-smoke chaos-smoke trace-smoke check
+.PHONY: all build test vet lint analyzers invariants race bench bench-hotpath bench-partition bench-partition-smoke bench-fluid fluid-smoke figures fuzz-smoke chaos-smoke trace-smoke check
 
 all: check
 
@@ -79,6 +79,20 @@ bench-partition:
 bench-partition-smoke:
 	$(GO) run ./cmd/closlab -experiment bench-partition -trials 1 -bench-out /tmp/closlab-bench-partition.json
 
+# bench-fluid compares the packet engine against the hybrid flow-level
+# engine at 10^3..10^6 flows on the 2-PoD fabric and writes
+# BENCH_fluid.json (flows per wall-second, ns per simulated second; packet
+# rows stop at 10^4 where per-packet event cost becomes the bottleneck the
+# fluid engine removes).
+bench-fluid:
+	$(GO) run ./cmd/closlab -experiment bench-fluid -pods 2
+
+# fluid-smoke is the race-enabled tripwire wired into `make check`: one
+# hybrid workload trial end to end — path resolution, rate reallocation,
+# demotion to the packet path, and the engine-tagged artifacts.
+fluid-smoke:
+	$(GO) run -race ./cmd/closlab -experiment workload -engine hybrid -pods 2 -trials 1 -flows 60 -out /tmp/closlab-fluid-smoke
+
 # figures prints the full evaluation grids via the CLI driver.
 figures:
 	$(GO) run ./cmd/closlab -experiment all
@@ -108,4 +122,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseMessage -fuzztime $(FUZZ_TIME) ./internal/mrmtp
 	$(GO) test -run '^$$' -fuzz FuzzParseMessage -fuzztime $(FUZZ_TIME) ./internal/bgp
 
-check: build vet lint test race bench-partition-smoke trace-smoke
+check: build vet lint test race bench-partition-smoke trace-smoke fluid-smoke

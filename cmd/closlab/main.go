@@ -15,6 +15,7 @@
 //	closlab -experiment chaos                  # fault-injection campaigns
 //	closlab -experiment trace                  # path tracing + gray-failure localization
 //	closlab -experiment bench-partition        # space-parallel engine timing
+//	closlab -experiment bench-fluid            # flow-level engine throughput
 //	closlab -experiment all                    # everything (virtual-time figures)
 //
 // Flags -trials and -seed control averaging, -pods restricts the topology,
@@ -22,7 +23,10 @@
 // depend on it: trial seeds derive from trial indices). -shards partitions
 // each fabric across worker goroutines via the space-parallel engine; every
 // figure is bit-identical at any shard count, so it is purely a wall-clock
-// knob (like -parallel).
+// knob (like -parallel). -engine switches the workload experiment between
+// the packet engine, the analytic fluid model, and the hybrid split
+// (-engine hybrid -flows 1000000 is the million-flow configuration);
+// -flows overrides the flow count.
 package main
 
 import (
@@ -38,6 +42,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/routerlog"
 	"repro/internal/topology"
+	"repro/internal/workload"
 )
 
 var protocols = []harness.Protocol{harness.ProtoMRMTP, harness.ProtoBGP, harness.ProtoBGPBFD}
@@ -51,7 +56,9 @@ func main() {
 		"concurrent trials per data point (1 = sequential; results are identical either way)")
 	shards := flag.Int("shards", harness.DefaultPartitions,
 		"partitions per fabric (1 = sequential engine; must divide the PoD count; results are identical either way)")
-	benchOut := flag.String("bench-out", "BENCH_partition.json", "output file for -experiment bench-partition")
+	benchOut := flag.String("bench-out", "", "output file for bench experiments (default BENCH_partition.json / BENCH_fluid.json)")
+	engine := flag.String("engine", "packet", "workload flow transport: packet|fluid|hybrid")
+	flows := flag.Int("flows", 0, "override the workload flow count (0 = the published 160)")
 
 	// The experiment registry. Declared before the -experiment flag so its
 	// usage string (and the unknown-value error) enumerates the registered
@@ -71,7 +78,8 @@ func main() {
 		{"nodefail", nodeFailure},
 		{"flap", flapChurn},
 		{"workload", func(s []topology.Spec, n int, seed int64) error {
-			return workloadExperiment(s, n, seed, *out)
+			mode, _ := workload.ModeByName(*engine)
+			return workloadExperiment(s, n, seed, *out, mode, *flows)
 		}},
 		{"chaos", func(s []topology.Spec, n int, seed int64) error {
 			return chaosExperiment(s, n, seed, *out)
@@ -84,10 +92,21 @@ func main() {
 	for _, e := range experiments {
 		known = append(known, e.name)
 	}
-	known = append(known, "bench-partition", "artifacts", "all")
+	known = append(known, "bench-partition", "bench-fluid", "artifacts", "all")
 	experiment := flag.String("experiment", "all", strings.Join(known, "|"))
 
 	flag.Parse()
+
+	// Reject contradictory flag combinations with usage before anything
+	// runs: a flag that silently does nothing for the chosen experiment is
+	// worse than an error, because the artifacts look valid.
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateFlags(set, *experiment, *engine, *trials, *parallel, *shards, *flows); err != nil {
+		_, _ = fmt.Fprintf(os.Stderr, "closlab: %v\n\n", err) // best effort: exiting anyway
+		flag.Usage()
+		os.Exit(2)
+	}
 	harness.Workers = *parallel
 	harness.DefaultPartitions = *shards
 
@@ -103,12 +122,26 @@ func main() {
 		fatalf("unsupported -pods %d (want 2 or 4)", *pods)
 	}
 
-	// bench-partition is opt-in only (it measures wall time, so "all" —
-	// which exists to regenerate the paper's virtual-time figures — skips
-	// it).
+	// The bench experiments are opt-in only (they measure wall time, so
+	// "all" — which exists to regenerate the paper's virtual-time figures —
+	// skips them).
 	if *experiment == "bench-partition" {
-		if err := benchPartition(specs, *trials, *seed, *benchOut); err != nil {
+		path := *benchOut
+		if path == "" {
+			path = "BENCH_partition.json"
+		}
+		if err := benchPartition(specs, *trials, *seed, path); err != nil {
 			fatalf("bench-partition: %v", err)
+		}
+		return
+	}
+	if *experiment == "bench-fluid" {
+		path := *benchOut
+		if path == "" {
+			path = "BENCH_fluid.json"
+		}
+		if err := benchFluid(specs[0], *seed, path); err != nil {
+			fatalf("bench-fluid: %v", err)
 		}
 		return
 	}
@@ -133,6 +166,43 @@ func main() {
 			fatalf("artifacts: %v", err)
 		}
 	}
+}
+
+// validateFlags rejects flag combinations that would silently misbehave.
+// set holds the flags explicitly passed on the command line, so defaults
+// never trip a check.
+func validateFlags(set map[string]bool, experiment, engine string, trials, parallel, shards, flows int) error {
+	if trials < 1 {
+		return fmt.Errorf("-trials %d: need at least one trial", trials)
+	}
+	if parallel < 1 {
+		return fmt.Errorf("-parallel %d: need at least one worker", parallel)
+	}
+	if shards < 1 {
+		return fmt.Errorf("-shards %d: need at least one partition", shards)
+	}
+	if flows < 0 {
+		return fmt.Errorf("-flows %d: a flow count cannot be negative", flows)
+	}
+	if _, ok := workload.ModeByName(engine); !ok {
+		return fmt.Errorf("-engine %q: want packet, fluid or hybrid", engine)
+	}
+	if set["engine"] && experiment != "workload" {
+		return fmt.Errorf("-engine only applies to -experiment workload (got %q); bench-fluid runs both engines itself", experiment)
+	}
+	if set["flows"] && experiment != "workload" {
+		return fmt.Errorf("-flows only applies to -experiment workload (got %q)", experiment)
+	}
+	if set["bench-out"] && experiment != "bench-partition" && experiment != "bench-fluid" {
+		return fmt.Errorf("-bench-out only applies to the bench experiments (got %q)", experiment)
+	}
+	if set["shards"] && experiment == "bench-partition" {
+		return fmt.Errorf("-shards conflicts with bench-partition: the bench sweeps shard counts itself")
+	}
+	if set["shards"] && experiment == "bench-fluid" {
+		return fmt.Errorf("-shards conflicts with bench-fluid: the bench pins the sequential engine so rows are comparable")
+	}
+	return nil
 }
 
 // artifacts runs a TC1 failure per protocol and writes the raw testbed

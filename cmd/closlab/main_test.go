@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// validateFlags rejects contradictory combinations before any fabric is
+// built; each case names the flag that should appear in the error.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name       string
+		set        []string
+		experiment string
+		engine     string
+		trials     int
+		parallel   int
+		shards     int
+		flows      int
+		wantErr    string // empty means the combination is accepted
+	}{
+		{name: "defaults", experiment: "all", engine: "packet", trials: 1, parallel: 1, shards: 1},
+		{name: "workload hybrid", set: []string{"engine", "flows"}, experiment: "workload",
+			engine: "hybrid", trials: 3, parallel: 2, shards: 2, flows: 500},
+		{name: "bench-fluid with bench-out", set: []string{"bench-out"}, experiment: "bench-fluid",
+			engine: "packet", trials: 1, parallel: 1, shards: 1},
+		{name: "zero trials", experiment: "all", engine: "packet", trials: 0, parallel: 1, shards: 1,
+			wantErr: "-trials"},
+		{name: "zero parallel", experiment: "all", engine: "packet", trials: 1, parallel: 0, shards: 1,
+			wantErr: "-parallel"},
+		{name: "zero shards", experiment: "all", engine: "packet", trials: 1, parallel: 1, shards: 0,
+			wantErr: "-shards"},
+		{name: "negative flows", experiment: "workload", engine: "packet", trials: 1, parallel: 1, shards: 1,
+			flows: -1, wantErr: "-flows"},
+		{name: "unknown engine", experiment: "workload", engine: "quantum", trials: 1, parallel: 1, shards: 1,
+			wantErr: "-engine"},
+		{name: "engine outside workload", set: []string{"engine"}, experiment: "failover",
+			engine: "fluid", trials: 1, parallel: 1, shards: 1, wantErr: "-engine only applies"},
+		{name: "flows outside workload", set: []string{"flows"}, experiment: "all",
+			engine: "packet", trials: 1, parallel: 1, shards: 1, flows: 10, wantErr: "-flows only applies"},
+		{name: "bench-out outside benches", set: []string{"bench-out"}, experiment: "workload",
+			engine: "packet", trials: 1, parallel: 1, shards: 1, wantErr: "-bench-out only applies"},
+		{name: "shards with bench-partition", set: []string{"shards"}, experiment: "bench-partition",
+			engine: "packet", trials: 1, parallel: 1, shards: 4, wantErr: "-shards conflicts with bench-partition"},
+		{name: "shards with bench-fluid", set: []string{"shards"}, experiment: "bench-fluid",
+			engine: "packet", trials: 1, parallel: 1, shards: 2, wantErr: "-shards conflicts with bench-fluid"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			set := make(map[string]bool, len(tc.set))
+			for _, f := range tc.set {
+				set[f] = true
+			}
+			err := validateFlags(set, tc.experiment, tc.engine, tc.trials, tc.parallel, tc.shards, tc.flows)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted, want error mentioning %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

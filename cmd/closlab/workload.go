@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/topology"
+	"repro/internal/workload"
 )
 
 // workloadProtocols is the comparison the workload experiment draws: the
@@ -26,8 +27,9 @@ type workloadRun struct {
 // workloadExperiment offers the heavy-tailed flow workload to every
 // protocol/topology cell, steady-state and with the TC2 failure injected
 // mid-run, prints the FCT and load-balance tables and writes CSV/JSON
-// artifacts to dir.
-func workloadExperiment(specs []topology.Spec, trials int, seed int64, dir string) error {
+// artifacts to dir. mode selects the flow transport (packet, fluid or
+// hybrid) and flows, when positive, overrides the published flow count.
+func workloadExperiment(specs []topology.Spec, trials int, seed int64, dir string, mode workload.Mode, flows int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -37,6 +39,10 @@ func workloadExperiment(specs []topology.Spec, trials int, seed int64, dir strin
 			for _, midFailure := range []bool{false, true} {
 				w := harness.DefaultWorkloadConfig()
 				w.MidFailure = midFailure
+				w.Engine = mode
+				if flows > 0 {
+					w.Flows = flows
+				}
 				s, rs, err := harness.RunWorkloadTrials(harness.DefaultOptions(spec, proto, seed), w, trials)
 				if err != nil {
 					return err
@@ -113,7 +119,9 @@ func writeWorkloadTelemetryCSV(path string, runs []workloadRun) error {
 		}
 	}
 	var b strings.Builder
-	_, _ = b.WriteString("protocol,pods,scenario,link,t_us,tx_bytes,util,queued,drops,lost,corrupted,pool_in_use,pool_peak,pool_recycled\n")
+	// The engine column rides at the end so every pre-existing column stays
+	// byte-identical in packet mode.
+	_, _ = b.WriteString("protocol,pods,scenario,link,t_us,tx_bytes,util,queued,drops,lost,corrupted,pool_in_use,pool_peak,pool_recycled,engine\n")
 	for _, r := range runs {
 		if r.summary.Pods != minPods || len(r.trials) == 0 {
 			continue
@@ -121,16 +129,16 @@ func writeWorkloadTelemetryCSV(path string, runs []workloadRun) error {
 		s := r.summary
 		for _, sr := range r.trials[0].Series {
 			for _, smp := range sr.Samples {
-				_, _ = fmt.Fprintf(&b, "%s,%d,%s,%s,%d,%d,%.4f,%d,%d,%d,%d,,,\n",
+				_, _ = fmt.Fprintf(&b, "%s,%d,%s,%s,%d,%d,%.4f,%d,%d,%d,%d,,,,%s\n",
 					s.Protocol, s.Pods, s.Scenario, sr.Name,
 					smp.At/time.Microsecond, smp.TxBytes, smp.Util, smp.Queued, smp.Drops,
-					smp.Lost, smp.Corrupted)
+					smp.Lost, smp.Corrupted, s.Engine)
 			}
 		}
 		for _, ps := range r.trials[0].PoolSamples {
-			_, _ = fmt.Fprintf(&b, "%s,%d,%s,framepool,%d,,,,,,,%d,%d,%d\n",
+			_, _ = fmt.Fprintf(&b, "%s,%d,%s,framepool,%d,,,,,,,%d,%d,%d,%s\n",
 				s.Protocol, s.Pods, s.Scenario, ps.At/time.Microsecond,
-				ps.InUse, ps.Peak, ps.Recycled)
+				ps.InUse, ps.Peak, ps.Recycled, s.Engine)
 		}
 	}
 	return os.WriteFile(path, []byte(b.String()), 0o644)
@@ -141,6 +149,7 @@ type workloadJSONSummary struct {
 	Protocol       string                `json:"protocol"`
 	Pods           int                   `json:"pods"`
 	Scenario       string                `json:"scenario"`
+	Engine         string                `json:"engine"`
 	Trials         int                   `json:"trials"`
 	Flows          int                   `json:"flows"`
 	Completed      int                   `json:"completed"`
@@ -149,6 +158,8 @@ type workloadJSONSummary struct {
 	CompletionRate float64               `json:"completion_rate"`
 	PacketsSent    uint64                `json:"packets_sent"`
 	Retransmits    uint64                `json:"retransmits"`
+	FluidFlows     int                   `json:"fluid_flows"`
+	PeakConcurrent int                   `json:"peak_concurrent"`
 	Buckets        []workloadJSONBucket  `json:"fct_buckets"`
 	Imbalance      workloadJSONImbalance `json:"uplink_imbalance"`
 	Drops          float64               `json:"mean_drops_per_trial"`
@@ -183,6 +194,7 @@ func writeWorkloadJSON(path string, runs []workloadRun) error {
 			Protocol:       s.Protocol.String(),
 			Pods:           s.Pods,
 			Scenario:       s.Scenario,
+			Engine:         s.Engine,
 			Trials:         s.Trials,
 			Flows:          s.Flows,
 			Completed:      s.Completed,
@@ -191,6 +203,8 @@ func writeWorkloadJSON(path string, runs []workloadRun) error {
 			CompletionRate: s.CompletionRate,
 			PacketsSent:    s.PacketsSent,
 			Retransmits:    s.Retransmits,
+			FluidFlows:     s.FluidFlows,
+			PeakConcurrent: s.PeakConcurrent,
 			Imbalance: workloadJSONImbalance{
 				MaxOverMeanMean: s.Imbalance.Mean,
 				MaxOverMeanP95:  s.Imbalance.P95,

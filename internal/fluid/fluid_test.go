@@ -1,0 +1,289 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %g, want %g (±%g)", what, got, want, tol)
+	}
+}
+
+// One flow on one link, no cap: the flow gets the whole link and finishes
+// at bytes*8/cap plus the path latency offset, at the exact crossing
+// instant inside an epoch.
+func TestSingleFlowExactFCT(t *testing.T) {
+	s := New(Config{})
+	l := s.AddLink(100_000_000, nil) // 100 Mb/s
+	path := []LinkID{l}
+	lat := 500 * time.Microsecond
+
+	s.Advance(0)
+	s.Admit(1, 1_250_000, path, lat, 0) // 0.1 s at 100 Mb/s
+	if cs := s.Reallocate(0); len(cs) != 0 {
+		t.Fatal("flow completed at admission: nothing has been served yet")
+	}
+
+	var got []Completion
+	for now := 5 * time.Millisecond; now <= 200*time.Millisecond; now += 5 * time.Millisecond {
+		got = append(got, s.Advance(now)...)
+		got = append(got, s.Reallocate(now)...)
+	}
+	if len(got) != 1 {
+		t.Fatalf("completions = %d, want 1", len(got))
+	}
+	want := 100*time.Millisecond + lat
+	if got[0].FCT != want {
+		t.Fatalf("FCT = %v, want %v", got[0].FCT, want)
+	}
+	if got[0].At != 100*time.Millisecond {
+		t.Fatalf("At = %v, want %v", got[0].At, 100*time.Millisecond)
+	}
+	if s.Active() != 0 || s.Peak() != 1 {
+		t.Fatalf("active=%d peak=%d, want 0/1", s.Active(), s.Peak())
+	}
+}
+
+// Two flows sharing a bottleneck split it evenly; a third flow on a
+// disjoint link is unaffected. The classic progressive-filling example.
+func TestMaxMinShares(t *testing.T) {
+	s := New(Config{})
+	shared := s.AddLink(100_000_000, nil)
+	private := s.AddLink(40_000_000, nil)
+
+	s.Advance(0)
+	s.Admit(1, 1<<30, []LinkID{shared}, 0, 0)
+	s.Admit(2, 1<<30, []LinkID{shared}, 0, 0)
+	s.Admit(3, 1<<30, []LinkID{private}, 0, 0)
+	s.Reallocate(0)
+
+	approx(t, s.groups[0].rate, 50e6, 1, "shared per-flow rate")
+	approx(t, s.groups[1].rate, 40e6, 1, "private flow rate")
+}
+
+// A flow crossing both a wide and a narrow link is frozen at the narrow
+// link's share, and the wide link's leftover goes to its other flows —
+// the second filling iteration.
+func TestProgressiveFillingSecondIteration(t *testing.T) {
+	s := New(Config{})
+	narrow := s.AddLink(10_000_000, nil)
+	wide := s.AddLink(100_000_000, nil)
+
+	s.Advance(0)
+	s.Admit(1, 1<<30, []LinkID{narrow, wide}, 0, 0) // bottlenecked at 10M
+	s.Admit(2, 1<<30, []LinkID{wide}, 0, 0)         // gets the 90M leftover
+	s.Reallocate(0)
+
+	approx(t, s.groups[0].rate, 10e6, 1, "narrow-path rate")
+	approx(t, s.groups[1].rate, 90e6, 1, "wide-path leftover rate")
+}
+
+// The per-flow cap binds before the link does.
+func TestRateCap(t *testing.T) {
+	s := New(Config{RateCapBps: 5e6})
+	l := s.AddLink(100_000_000, nil)
+	s.Advance(0)
+	s.Admit(1, 1 << 30, []LinkID{l}, 0, 0)
+	s.Reallocate(0)
+	approx(t, s.groups[0].rate, 5e6, 1, "capped rate")
+}
+
+// A flow admitted between epochs gets retroactive service credit: its FCT
+// is measured from its own arrival instant, not the next epoch boundary.
+func TestMidEpochAdmissionExact(t *testing.T) {
+	s := New(Config{})
+	l := s.AddLink(80_000_000, nil) // 10 MB/s
+	path := []LinkID{l}
+
+	s.Advance(0)
+	s.Admit(1, 10_000_000, path, 0, 0) // keeps the group's rate warm for 1 s
+	s.Reallocate(0)
+
+	// Arrives 3 ms into the [0, 10ms] epoch; its credit backdates service
+	// at its post-allocation share from exactly 3 ms.
+	s.Advance(10 * time.Millisecond)
+	s.Admit(2, 1_000_000, path, 0, 3*time.Millisecond)
+	var got []Completion
+	got = append(got, s.Reallocate(10*time.Millisecond)...)
+
+	for now := 20 * time.Millisecond; now <= 3*time.Second; now += 10 * time.Millisecond {
+		got = append(got, s.Advance(now)...)
+		got = append(got, s.Reallocate(now)...)
+	}
+	if len(got) != 2 {
+		t.Fatalf("completions = %d, want 2", len(got))
+	}
+	// Hand integration: service(10ms) = 100 KB (flow 1 alone at 10 MB/s).
+	// From 10 ms both flows share 80 Mb/s at 5 MB/s each; flow 2's credit
+	// is 7 ms * 5 MB/s = 35 KB, so its threshold is 100KB - 35KB + 1MB =
+	// 1.065 MB, reached at 10ms + (1.065MB-0.1MB)/5MBps = 203 ms — i.e. a
+	// 1 MB transfer at its 5 MB/s share measured from its own 3 ms start.
+	want2 := 203 * time.Millisecond
+	var c2 Completion
+	for _, c := range got {
+		if c.ID == 2 {
+			c2 = c
+		}
+	}
+	if c2.ID != 2 {
+		t.Fatal("flow 2 never completed")
+	}
+	if c2.At != want2 {
+		t.Fatalf("flow 2 At = %v, want %v", c2.At, want2)
+	}
+	if c2.FCT != 200*time.Millisecond {
+		t.Fatalf("flow 2 FCT = %v, want %v", c2.FCT, 200*time.Millisecond)
+	}
+}
+
+// A flow small enough to finish before the epoch it is resolved in ends is
+// reported done by Reallocate with its exact analytic FCT.
+func TestImmediateCompletion(t *testing.T) {
+	s := New(Config{})
+	l := s.AddLink(80_000_000, nil)
+	path := []LinkID{l}
+	// Latency is a property of the path group: both flows share it.
+	s.Advance(0)
+	s.Admit(1, 1<<30, path, 100*time.Microsecond, 0)
+	s.Reallocate(0)
+	s.Advance(10 * time.Millisecond)
+	// Arrives 2 ms into the epoch; its share is 40 Mb/s = 5 MB/s beside
+	// the long flow, so 10 KB takes 2 ms: done by 4 ms, before the 10 ms
+	// boundary.
+	s.Admit(2, 10_000, path, 100*time.Microsecond, 2*time.Millisecond)
+	cs := s.Reallocate(10 * time.Millisecond)
+	if len(cs) != 1 || cs[0].ID != 2 {
+		t.Fatalf("completions = %+v, want exactly flow 2", cs)
+	}
+	if want := 2*time.Millisecond + 100*time.Microsecond; cs[0].FCT != want {
+		t.Fatalf("immediate FCT = %v, want %v", cs[0].FCT, want)
+	}
+	if cs[0].At != 4*time.Millisecond {
+		t.Fatalf("immediate At = %v, want 4ms", cs[0].At)
+	}
+	if s.Active() != 1 {
+		t.Fatalf("active = %d, want 1 (only the long flow)", s.Active())
+	}
+}
+
+// Phantom demand halves the fluid flow's share but never reserves wire
+// capacity itself; Leave restores the full share.
+func TestPhantomDemand(t *testing.T) {
+	var applied int64
+	s := New(Config{})
+	l := s.AddLink(100_000_000, func(bps int64, _ time.Duration) { applied = bps })
+	path := []LinkID{l}
+
+	s.Advance(0)
+	s.Admit(1, 1<<30, path, 0, 0)
+	h := s.AdmitPhantom(path)
+	s.Reallocate(0)
+	approx(t, s.groups[0].rate, 50e6, 1, "fluid share beside phantom")
+	if applied != 50_000_000 {
+		t.Fatalf("applied fluid load = %d, want 50M (phantom demand must not reserve wire)", applied)
+	}
+
+	s.Leave(h)
+	s.Advance(time.Millisecond)
+	s.Reallocate(time.Millisecond)
+	approx(t, s.groups[0].rate, 100e6, 1, "share after phantom leaves")
+	if applied != 100_000_000 {
+		t.Fatalf("applied fluid load = %d, want 100M", applied)
+	}
+}
+
+// Repath moves a group's reservation to the newly resolved path.
+func TestRepath(t *testing.T) {
+	s := New(Config{})
+	a := s.AddLink(100_000_000, nil)
+	b := s.AddLink(100_000_000, nil)
+	s.Advance(0)
+	s.Admit(7, 1<<30, []LinkID{a}, 0, 0)
+	s.Reallocate(0)
+
+	s.Repath(func(id uint32) ([]LinkID, time.Duration, bool) {
+		if id != 7 {
+			t.Fatalf("repath representative = %d, want 7", id)
+		}
+		return []LinkID{b}, 0, true
+	})
+	s.Advance(time.Millisecond)
+	s.Reallocate(time.Millisecond)
+	if s.links[a].lastApplied != 0 || s.links[b].lastApplied != 100_000_000 {
+		t.Fatalf("reservations after repath: a=%d b=%d, want 0/100M",
+			s.links[a].lastApplied, s.links[b].lastApplied)
+	}
+}
+
+// The same admission sequence produces bit-identical completions — the
+// determinism contract the hybrid engine's artifacts rest on.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []Completion {
+		s := New(Config{RateCapBps: 66_666_666})
+		l1 := s.AddLink(200_000_000, nil)
+		l2 := s.AddLink(200_000_000, nil)
+		var out []Completion
+		s.Advance(0)
+		for i := uint32(1); i <= 500; i++ {
+			path := []LinkID{l1}
+			if i%3 == 0 {
+				path = []LinkID{l1, l2}
+			}
+			at := time.Duration(i) * 17 * time.Microsecond
+			s.Admit(i, int64(1000*i), path, time.Microsecond, at)
+		}
+		for now := 10 * time.Millisecond; now <= 12*time.Second; now += 10 * time.Millisecond {
+			out = append(out, s.Advance(now)...)
+			out = append(out, s.Reallocate(now)...)
+		}
+		return append([]Completion(nil), out...)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 500 {
+		t.Fatalf("replay lengths: %d vs %d (want 500 each)", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// A million concurrent members stay cheap: admission and completion are a
+// heap push/pop each, not a timer each. This is a correctness smoke at
+// scale, not a benchmark.
+func TestMillionMembers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-member smoke skipped in -short")
+	}
+	s := New(Config{RateCapBps: 66e6})
+	l := s.AddLink(200_000_000, nil)
+	path := []LinkID{l}
+	s.Advance(0)
+	const n = 1_000_000
+	for i := uint32(1); i <= n; i++ {
+		s.Admit(i, 1_000_000, path, 0, time.Duration(i)*time.Nanosecond)
+	}
+	s.Reallocate(0)
+	if s.Active() != n || s.Peak() != n {
+		t.Fatalf("active=%d peak=%d, want %d", s.Active(), s.Peak(), n)
+	}
+	// At 200 Mb/s shared by 10^6 flows each needing 1 MB, draining takes
+	// 4*10^10 s; advance a slice and confirm ordering holds, then drain
+	// explicitly by over-advancing.
+	got := s.Advance(40_000 * time.Hour)
+	if len(got) == 0 {
+		t.Fatal("no completions after advancing")
+	}
+	// Equal thresholds tie-break by admission order, so IDs pop in
+	// sequence — the determinism anchor at scale.
+	for i, c := range got[:1000] {
+		if c.ID != uint32(i+1) {
+			t.Fatalf("completion %d has ID %d, want %d (admission-order tie-break)", i, c.ID, i+1)
+		}
+	}
+}

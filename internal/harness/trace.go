@@ -289,20 +289,10 @@ func (run *traceRun) probeKey(i int) flowhash.Key {
 	}
 }
 
-// nextHop replicates one device's forwarding decision for a flow: the
-// protocol's own next-hop selection mapped back onto the topology. dstRoot
-// drives the MR-MTP VID walk, dstIP the BGP FIB lookup.
+// nextHop replicates one device's forwarding decision for a flow — the
+// shared nextHopPort helper mapped back onto the topology.
 func (run *traceRun) nextHop(dev *topology.Device, dstRoot byte, dstIP netaddr.IPv4, key flowhash.Key) (next *topology.Device, ingressIP netaddr.IPv4, ok bool) {
-	var port int
-	if run.f.Opts.Protocol == ProtoMRMTP {
-		port, ok = run.f.Routers[dev.Name].NextDataHop(dstRoot, key)
-	} else {
-		var nh ipstack.NextHop
-		nh, ok = run.f.Stacks[dev.Name].NextHopFor(dstIP, key)
-		if ok {
-			port = nh.Iface.Port.Index
-		}
-	}
+	port, ok := run.f.nextHopPort(dev, dstRoot, dstIP, key)
 	if !ok {
 		return nil, netaddr.IPv4{}, false
 	}

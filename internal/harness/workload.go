@@ -46,6 +46,16 @@ type WorkloadConfig struct {
 	MaxRun time.Duration
 	// SampleInterval is the telemetry cadence.
 	SampleInterval time.Duration
+
+	// Engine selects the flow transport: the packet engine (default), the
+	// analytic fluid model, or the hybrid split — short flows and flows
+	// overlapping the fault window on packets, the rest fluid.
+	Engine workload.Mode
+	// FluidCutoff demotes flows below this many bytes to the packet path
+	// in hybrid mode (default 10 kB: the websearch mix's mice).
+	FluidCutoff int
+	// RateInterval is the fluid rate-recomputation cadence (default 5 ms).
+	RateInterval time.Duration
 }
 
 // DefaultWorkloadConfig is the published experiment: a websearch mix on the
@@ -86,6 +96,7 @@ type WorkloadResult struct {
 	Protocol Protocol
 	Pods     int
 	Scenario string
+	Engine   string
 
 	Report workload.Report
 	// GroupLoads is the per-uplink byte spread of every router's
@@ -158,7 +169,7 @@ func RunWorkload(opts Options, w WorkloadConfig) (WorkloadResult, error) {
 		}
 	}
 
-	engine, err := workload.New(f.Sim, f.WorkloadHosts(), workload.Config{
+	cfg := workload.Config{
 		Pattern:        w.Pattern,
 		Sizes:          w.Sizes,
 		Flows:          w.Flows,
@@ -169,7 +180,28 @@ func RunWorkload(opts Options, w WorkloadConfig) (WorkloadResult, error) {
 		RTO:            100 * time.Millisecond,
 		MaxRounds:      60,
 		Seed:           opts.Seed,
-	})
+		Mode:           w.Engine,
+	}
+	if w.Engine != workload.ModePacket {
+		plan, perr := f.buildFluidPlan(w)
+		if perr != nil {
+			return WorkloadResult{}, perr
+		}
+		cfg.Solver = plan.solver
+		cfg.PathOf = f.pathFunc(plan, cfg.DstPort)
+		cfg.FluidCutoff = w.FluidCutoff
+		if cfg.FluidCutoff <= 0 {
+			cfg.FluidCutoff = 10_000
+		}
+		cfg.RateInterval = w.RateInterval
+		if w.MidFailure || w.Chaos != nil {
+			// Flows predicted to straddle the fault keep packet fidelity:
+			// demote from injection until reconvergence has settled.
+			cfg.DemoteFrom = w.FailAfter
+			cfg.DemoteUntil = w.FailAfter + 3*time.Second
+		}
+	}
+	engine, err := workload.New(f.Sim, f.WorkloadHosts(), cfg)
 	if err != nil {
 		return WorkloadResult{}, err
 	}
@@ -177,7 +209,7 @@ func RunWorkload(opts Options, w WorkloadConfig) (WorkloadResult, error) {
 	for _, link := range f.Sim.Links() {
 		sampler.Watch(link)
 	}
-	meter := workload.NewLoadMeter(f.UplinkGroups())
+	meter := workload.NewLoadMeter(f.Sim, f.UplinkGroups())
 
 	engine.Start()
 	sampler.Start()
@@ -188,11 +220,13 @@ func RunWorkload(opts Options, w WorkloadConfig) (WorkloadResult, error) {
 		if _, err := chaos.Apply(f.Sim, *w.Chaos); err != nil {
 			return WorkloadResult{}, err
 		}
+		f.repathFluid(w, engine)
 	case w.MidFailure:
 		f.Sim.RunFor(w.FailAfter)
 		if _, err := f.Fail(w.FailCase); err != nil {
 			return WorkloadResult{}, err
 		}
+		f.repathFluid(w, engine)
 	}
 	maxRun := w.MaxRun
 	if maxRun <= 0 {
@@ -209,6 +243,7 @@ func RunWorkload(opts Options, w WorkloadConfig) (WorkloadResult, error) {
 		Protocol:    opts.Protocol,
 		Pods:        opts.Spec.Pods,
 		Scenario:    w.Scenario(),
+		Engine:      w.Engine.String(),
 		Report:      engine.Report(nil),
 		GroupLoads:  loads,
 		Imbalance:   imb,
@@ -220,6 +255,19 @@ func RunWorkload(opts Options, w WorkloadConfig) (WorkloadResult, error) {
 		PoolSamples: sampler.PoolSeries(),
 	}
 	return res, nil
+}
+
+// repathFluid re-resolves live fluid reservations against the post-fault
+// forwarding state: once immediately after injection, and once more a second
+// later when the protocols' reconvergence has settled onto surviving paths.
+// Packet mode schedules nothing, keeping its artifacts byte-identical.
+func (f *Fabric) repathFluid(w WorkloadConfig, engine *workload.Engine) {
+	if w.Engine == workload.ModePacket {
+		return
+	}
+	engine.Repath()
+	//simlint:shardsafe Repath runs as a control event at the quiesce barrier with every shard idle
+	f.Sim.After(time.Second, engine.Repath)
 }
 
 // WorkloadBucket aggregates one flow-size class across trials.
@@ -236,6 +284,7 @@ type WorkloadSummary struct {
 	Protocol Protocol
 	Pods     int
 	Scenario string
+	Engine   string
 	Trials   int
 
 	Flows          int // across all trials
@@ -245,6 +294,11 @@ type WorkloadSummary struct {
 	CompletionRate float64
 	PacketsSent    uint64
 	Retransmits    uint64
+	// FluidFlows counts flows routed through the fluid model (0 in packet
+	// mode); PeakConcurrent is the largest in-flight flow count of any
+	// trial, the scale axis of the million-flow experiment.
+	FluidFlows     int
+	PeakConcurrent int
 
 	Buckets []WorkloadBucket
 	// Imbalance pools every busy uplink group's max/mean ratio from every
@@ -267,6 +321,7 @@ func SummarizeWorkload(rs []WorkloadResult) WorkloadSummary {
 		Protocol: rs[0].Protocol,
 		Pods:     rs[0].Pods,
 		Scenario: rs[0].Scenario,
+		Engine:   rs[0].Engine,
 		Trials:   len(rs),
 	}
 	nBuckets := len(rs[0].Report.Buckets)
@@ -281,6 +336,10 @@ func SummarizeWorkload(rs []WorkloadResult) WorkloadSummary {
 		s.Incomplete += r.Report.Incomplete
 		s.PacketsSent += r.Report.PacketsSent
 		s.Retransmits += r.Report.Retransmits
+		s.FluidFlows += r.Report.FluidFlows
+		if r.Report.PeakConcurrent > s.PeakConcurrent {
+			s.PeakConcurrent = r.Report.PeakConcurrent
+		}
 		for i, b := range r.Report.Buckets {
 			fcts[i] = append(fcts[i], b.FCTms...)
 		}
@@ -340,6 +399,10 @@ func RenderWorkload(s WorkloadSummary) string {
 	out := fmt.Sprintf("%s %dP %s: completed %d/%d (%.1f%%), abandoned %d, incomplete %d, retx %d, drops %.0f, peak queue %d, peak util %.2f\n",
 		s.Protocol, s.Pods, s.Scenario, s.Completed, s.Flows, 100*s.CompletionRate,
 		s.Abandoned, s.Incomplete, s.Retransmits, s.Drops, s.PeakQueue, s.PeakUtil)
+	if s.Engine != "" && s.Engine != "packet" {
+		out += fmt.Sprintf("  engine %s: %d fluid flows, peak concurrency %d\n",
+			s.Engine, s.FluidFlows, s.PeakConcurrent)
+	}
 	out += fmt.Sprintf("  %-10s %6s %6s %9s %9s %9s %9s\n", "bucket", "flows", "done", "mean(ms)", "p50", "p95", "p99")
 	for _, b := range s.Buckets {
 		out += fmt.Sprintf("  %-10s %6d %6d %9.2f %9.2f %9.2f %9.2f\n",

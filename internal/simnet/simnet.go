@@ -354,7 +354,24 @@ func (p *Port) Send(frame []byte) {
 			sim.frames.Put(frame)
 			return
 		}
-		txTime := time.Duration(int64(len(frame)) * 8 * int64(time.Second) / link.bandwidth)
+		// The serializer runs on the capacity left after the fluid
+		// engine's reservation (hybrid runs only; fluidBps is 0
+		// otherwise, keeping pure packet runs bit-identical). The floor
+		// keeps a fully reserved direction trickling instead of
+		// dividing by zero: the fluid solver models packet demand too,
+		// so a reservation this tight means the allocator was told of
+		// no packet flows here.
+		bps := link.bandwidth
+		if d.fluidBps > 0 {
+			bps -= d.fluidBps
+			if floor := link.bandwidth >> 7; bps < floor {
+				bps = floor
+			}
+			if bps < 1 {
+				bps = 1
+			}
+		}
+		txTime := time.Duration(int64(len(frame)) * 8 * int64(time.Second) / bps)
 		start := sim.now
 		if d.busyUntil > start {
 			start = d.busyUntil
@@ -529,6 +546,18 @@ type dirState struct {
 	lost      uint64
 	corrupted uint64
 
+	// fluidBps is the bandwidth currently reserved by the fluid engine's
+	// aggregate share on this direction; the packet serializer runs on
+	// the residual. fluidBytes integrates the bytes the reservation
+	// carried up to fluidAt (rates are piecewise-constant, so the
+	// integral is exact). Written only from control events at the quiesce
+	// barrier; read by the owning shard's transmit path mid-window — the
+	// barrier provides the happens-before edge, exactly as for
+	// impairments.
+	fluidBps   int64
+	fluidBytes uint64
+	fluidAt    time.Duration
+
 	// rng is the direction's private stream for loss/corruption/jitter
 	// draws, lazily derived from (sim seed, sending port).
 	rng *rand.Rand
@@ -607,6 +636,9 @@ type LinkStats struct {
 	Lost uint64
 	// Corrupted counts frames that had a byte flipped in this direction.
 	Corrupted uint64
+	// FluidBps is the bandwidth currently reserved by the fluid engine on
+	// this direction (0 in pure packet runs).
+	FluidBps int64
 }
 
 // Stats returns the egress counters for the direction transmitting from p.
@@ -617,7 +649,7 @@ func (l *Link) Stats(from *Port) LinkStats {
 	d := l.dir(from)
 	return LinkStats{
 		Queued: d.queued, Overflows: d.overflows, OverflowBytes: d.overflowBytes,
-		Lost: d.lost, Corrupted: d.corrupted,
+		Lost: d.lost, Corrupted: d.corrupted, FluidBps: d.fluidBps,
 	}
 }
 
@@ -635,6 +667,43 @@ func (l *Link) SetLossRate(p float64) { l.lossRate = p }
 func (l *Link) SetBandwidth(bps int64, maxQueue int) {
 	l.bandwidth = bps
 	l.maxQueue = maxQueue
+}
+
+// SetFluidLoad reserves bps of this direction's capacity for the fluid
+// engine's aggregate share: the packet serializer runs on the residual
+// (see Send), and the reservation's carried bytes integrate into
+// FluidBytes. at is the engine's control-clock instant of the change —
+// passed in rather than read from a clock so the accounting lives entirely
+// in the control domain regardless of shard count. Call only from control
+// events (the quiesce barrier orders the write against shard transmits).
+func (l *Link) SetFluidLoad(from *Port, bps int64, at time.Duration) {
+	d := l.dir(from)
+	d.integrateFluid(at)
+	d.fluidBps = bps
+}
+
+// FluidLoad returns the direction's current fluid reservation in bits per
+// second.
+func (l *Link) FluidLoad(from *Port) int64 { return l.dir(from).fluidBps }
+
+// FluidBytes returns the bytes the direction's fluid reservation has
+// carried up to the control instant at (monotone in at).
+func (l *Link) FluidBytes(from *Port, at time.Duration) uint64 {
+	d := l.dir(from)
+	d.integrateFluid(at)
+	return d.fluidBytes
+}
+
+// integrateFluid folds the interval since the last change at the previous
+// (piecewise-constant) rate into the byte integral.
+func (d *dirState) integrateFluid(at time.Duration) {
+	if at <= d.fluidAt {
+		return
+	}
+	if d.fluidBps > 0 {
+		d.fluidBytes += uint64(int64(at-d.fluidAt) * d.fluidBps / (8 * int64(time.Second)))
+	}
+	d.fluidAt = at
 }
 
 func (l *Link) dir(from *Port) *dirState {

@@ -83,3 +83,50 @@ func TestHistogramPercentileBitIdentity(t *testing.T) {
 		}
 	}
 }
+
+// Boundary arithmetic: the lower bound is inclusive, the upper bound
+// exclusive, and the float edge just below Max clamps into the last bucket
+// rather than indexing past it.
+func TestFixedHistogramBoundaryBuckets(t *testing.T) {
+	h := NewFixedHistogram(0, 1, 3)
+	h.Observe(0) // exactly Min: first bucket, not underflow
+	if h.Under != 0 || h.Counts[0] != 1 {
+		t.Fatalf("Min-valued sample: under=%d counts=%v, want bucket 0", h.Under, h.Counts)
+	}
+	h.Observe(math.Nextafter(0, -1)) // just below Min
+	if h.Under != 1 {
+		t.Fatalf("sample below Min not counted as underflow: under=%d", h.Under)
+	}
+	h.Observe(1) // exactly Max: overflow, [Min, Max) is half-open
+	if h.Over != 1 {
+		t.Fatalf("Max-valued sample not counted as overflow: over=%d", h.Over)
+	}
+	// Just below Max: (x-Min)/width can round to len(Counts) in floats;
+	// the clamp must land it in the final bucket.
+	h.Observe(math.Nextafter(1, 0))
+	if h.Counts[2] != 1 {
+		t.Fatalf("just-below-Max sample missed the last bucket: counts=%v over=%d", h.Counts, h.Over)
+	}
+	if h.N != 4 {
+		t.Fatalf("n=%d, want 4", h.N)
+	}
+}
+
+// Underflow and overflow shape Quantile and CDF at the extremes: mass below
+// Min answers Min, mass beyond Max leaves the CDF short of 1 and makes tail
+// quantiles answer Max.
+func TestFixedHistogramOverflowQuantiles(t *testing.T) {
+	h := NewFixedHistogram(0, 10, 5)
+	h.ObserveAll([]float64{-5, -1, 3, 12, 100, 1000})
+	if got := h.Quantile(0.1); got != 0 {
+		t.Errorf("Quantile(0.1) = %v, want Min with a third of the mass underflowed", got)
+	}
+	if got := h.Quantile(0.99); got != 10 {
+		t.Errorf("Quantile(0.99) = %v, want Max with half the mass overflowed", got)
+	}
+	cdf := h.CDF()
+	last := cdf[len(cdf)-1].Fraction
+	if want := 0.5; math.Abs(last-want) > 1e-12 {
+		t.Errorf("final CDF fraction = %v, want %v (overflow mass never accumulates)", last, want)
+	}
+}

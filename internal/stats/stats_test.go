@@ -137,3 +137,68 @@ func TestString(t *testing.T) {
 		t.Error("empty String()")
 	}
 }
+
+// A single sample pins every percentile: with one closest rank there is
+// nothing to interpolate toward, so P50 through P999 all answer the sample.
+func TestSummarizeSingleSample(t *testing.T) {
+	s := Summarize([]float64{42.5})
+	if s.N != 1 {
+		t.Fatalf("n=%d, want 1", s.N)
+	}
+	for name, got := range map[string]float64{
+		"mean": s.Mean, "min": s.Min, "max": s.Max,
+		"p50": s.P50, "p95": s.P95, "p99": s.P99, "p999": s.P999,
+	} {
+		if got != 42.5 {
+			t.Errorf("%s = %v, want 42.5", name, got)
+		}
+	}
+	if s.StdDev != 0 {
+		t.Errorf("stddev = %v, want 0 for n=1", s.StdDev)
+	}
+}
+
+// Tail percentiles on tiny samples (n < 10) must stay within the observed
+// range and keep their ordering — the closest-rank interpolation has fewer
+// points than the percentile resolution implies.
+func TestSummarizeTinySamples(t *testing.T) {
+	for n := 2; n < 10; n++ {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i + 1)
+		}
+		s := Summarize(xs)
+		if s.P99 < s.P95 || s.P999 < s.P99 || s.P999 > s.Max {
+			t.Errorf("n=%d: percentile ordering broken: p95=%v p99=%v p999=%v max=%v",
+				n, s.P95, s.P99, s.P999, s.Max)
+		}
+		// With n points the top percentiles interpolate inside the last
+		// inter-sample gap: strictly above the second-largest sample.
+		if s.P999 <= float64(n-1) {
+			t.Errorf("n=%d: p999 = %v, want inside the top gap (%d, %d]", n, s.P999, n-1, n)
+		}
+	}
+}
+
+// Constant samples collapse the whole summary to the constant with zero
+// spread, regardless of sample count.
+func TestSummarizeConstantSamples(t *testing.T) {
+	for _, n := range []int{3, 7, 100} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 6.25
+		}
+		s := Summarize(xs)
+		for name, got := range map[string]float64{
+			"mean": s.Mean, "min": s.Min, "max": s.Max,
+			"p50": s.P50, "p95": s.P95, "p99": s.P99, "p999": s.P999,
+		} {
+			if got != 6.25 {
+				t.Errorf("n=%d: %s = %v, want the constant 6.25", n, name, got)
+			}
+		}
+		if s.StdDev != 0 {
+			t.Errorf("n=%d: stddev = %v, want exactly 0", n, s.StdDev)
+		}
+	}
+}

@@ -27,6 +27,10 @@ type LinkSample struct {
 	// Corrupted is the cumulative count of frames corrupted in this
 	// direction by impairment injection.
 	Corrupted uint64
+	// FluidBytes is the bytes the fluid engine's reservation carried on
+	// this direction in the interval (0 in packet mode). Util already
+	// includes them.
+	FluidBytes uint64
 }
 
 // LinkSeries is the time series of one link direction.
@@ -38,6 +42,7 @@ type LinkSeries struct {
 	link      *simnet.Link
 	lastTx    uint64
 	lastDropB uint64
+	lastFluid uint64
 }
 
 // PoolSample is one observation of the engine's frame-pool occupancy:
@@ -101,6 +106,7 @@ func (s *Sampler) Start() {
 	for _, sr := range s.series {
 		sr.lastTx = sr.from.Counters.TxBytes
 		sr.lastDropB = s.link(sr).OverflowBytes
+		sr.lastFluid = sr.link.FluidBytes(sr.from, s.sim.Now())
 	}
 	//simlint:shardsafe sampler reads link counters at the quiesce barrier with every shard idle; revisit under barrier-free sync
 	s.timer = s.sim.After(s.interval, s.sample)
@@ -118,20 +124,25 @@ func (s *Sampler) sample() {
 	for _, sr := range s.series {
 		tx := sr.from.Counters.TxBytes
 		ls := s.link(sr)
+		fluid := sr.link.FluidBytes(sr.from, now)
 		smp := LinkSample{
-			At:        now,
-			TxBytes:   (tx - sr.lastTx) - (ls.OverflowBytes - sr.lastDropB),
-			Queued:    ls.Queued,
-			Drops:     ls.Overflows,
-			Lost:      ls.Lost,
-			Corrupted: ls.Corrupted,
+			At:         now,
+			TxBytes:    (tx - sr.lastTx) - (ls.OverflowBytes - sr.lastDropB),
+			Queued:     ls.Queued,
+			Drops:      ls.Overflows,
+			Lost:       ls.Lost,
+			Corrupted:  ls.Corrupted,
+			FluidBytes: fluid - sr.lastFluid,
 		}
 		if bps := sr.link.Bandwidth(); bps > 0 {
+			// Utilization counts both engines' traffic: real packet
+			// bytes plus the fluid reservation's carried bytes.
 			capacity := float64(bps) / 8 * s.interval.Seconds()
-			smp.Util = float64(smp.TxBytes) / capacity
+			smp.Util = float64(smp.TxBytes+smp.FluidBytes) / capacity
 		}
 		sr.lastTx = tx
 		sr.lastDropB = ls.OverflowBytes
+		sr.lastFluid = fluid
 		sr.Samples = append(sr.Samples, smp)
 	}
 	fs := s.sim.FrameStats()
@@ -210,19 +221,25 @@ type GroupLoad struct {
 }
 
 // LoadMeter measures per-uplink byte spread between two instants: it
-// snapshots TxBytes baselines at creation and computes indices at Read.
+// snapshots TxBytes (and fluid-reservation) baselines at creation and
+// computes indices at Read, so the balance indices see both engines'
+// traffic.
 type LoadMeter struct {
+	sim    simnet.Engine
 	groups []Group
 	base   [][]uint64
 }
 
 // NewLoadMeter snapshots the baseline transmit counters of every group.
-func NewLoadMeter(groups []Group) *LoadMeter {
-	m := &LoadMeter{groups: groups}
+// sim supplies the control clock the fluid byte integrals are read at;
+// call from quiescent points only.
+func NewLoadMeter(sim simnet.Engine, groups []Group) *LoadMeter {
+	m := &LoadMeter{sim: sim, groups: groups}
+	now := sim.Now()
 	for _, g := range groups {
 		base := make([]uint64, len(g.Ports))
 		for i, p := range g.Ports {
-			base[i] = p.Counters.TxBytes
+			base[i] = p.Counters.TxBytes + p.Link.FluidBytes(p, now)
 		}
 		m.base = append(m.base, base)
 	}
@@ -232,13 +249,14 @@ func NewLoadMeter(groups []Group) *LoadMeter {
 // Read computes each group's byte spread since the baseline, in group
 // order.
 func (m *LoadMeter) Read() []GroupLoad {
+	now := m.sim.Now()
 	out := make([]GroupLoad, 0, len(m.groups))
 	for gi, g := range m.groups {
 		gl := GroupLoad{Name: g.Name, Bytes: make([]uint64, len(g.Ports))}
 		var total, max uint64
 		var sumSq float64
 		for i, p := range g.Ports {
-			b := p.Counters.TxBytes - m.base[gi][i]
+			b := p.Counters.TxBytes + p.Link.FluidBytes(p, now) - m.base[gi][i]
 			gl.Bytes[i] = b
 			total += b
 			if b > max {

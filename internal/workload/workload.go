@@ -15,8 +15,10 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"time"
 
+	"repro/internal/fluid"
 	"repro/internal/ipstack"
 	"repro/internal/netaddr"
 	"repro/internal/simnet"
@@ -30,6 +32,55 @@ const Magic uint32 = 0x464c4f57
 // wireHeaderLen is the data-packet header: magic + flow ID + sequence +
 // total packet count, all big-endian u32.
 const wireHeaderLen = 16
+
+// Mode selects how generated flows are simulated.
+type Mode int
+
+const (
+	// ModePacket sends every packet of every flow through the fabric —
+	// full fidelity, bounded scale.
+	ModePacket Mode = iota
+	// ModeFluid models every flow analytically with max-min fair-share
+	// rates — flow counts far beyond the packet engine's reach, no
+	// per-packet effects.
+	ModeFluid
+	// ModeHybrid routes each flow by fidelity need: short flows (below
+	// Config.FluidCutoff) and flows predicted to overlap the fault
+	// window ride the packet path; the long tail goes fluid, with the
+	// two coupled through shared link capacity.
+	ModeHybrid
+)
+
+// String names the mode as the CLI flag spells it.
+func (m Mode) String() string {
+	switch m {
+	case ModeFluid:
+		return "fluid"
+	case ModeHybrid:
+		return "hybrid"
+	default:
+		return "packet"
+	}
+}
+
+// ModeByName parses a CLI mode name.
+func ModeByName(name string) (Mode, bool) {
+	switch name {
+	case "packet":
+		return ModePacket, true
+	case "fluid":
+		return ModeFluid, true
+	case "hybrid":
+		return ModeHybrid, true
+	}
+	return ModePacket, false
+}
+
+// PathFunc resolves a flow's current forwarding path without sending a
+// packet: the directed fluid links it crosses and the path's fixed latency
+// offset (propagation plus per-hop store-and-forward of one packet). The
+// harness implements it by replaying the protocols' own next-hop decisions.
+type PathFunc func(f *Flow) (path []fluid.LinkID, latency time.Duration, ok bool)
 
 // Host is one traffic endpoint: a server's stack plus the labels the
 // pairing patterns need.
@@ -61,6 +112,27 @@ type Config struct {
 	MaxRounds int
 	// Seed drives every random choice (arrivals, sizes, pairing).
 	Seed int64
+
+	// Mode selects the engine; the fields below only matter outside
+	// ModePacket.
+	Mode Mode
+	// FluidCutoff demotes flows smaller than this many bytes to the
+	// packet path (ModeHybrid).
+	FluidCutoff int
+	// RateInterval is the fluid solver's rate-recomputation cadence
+	// (default 5ms).
+	RateInterval time.Duration
+	// DemoteFrom/DemoteUntil bound the fault window as offsets from
+	// Start: ModeHybrid demotes flows whose predicted lifetime overlaps
+	// it, keeping packet fidelity where reconvergence dynamics matter.
+	// Zero values mean no window.
+	DemoteFrom   time.Duration
+	DemoteUntil  time.Duration
+	// Solver is the shared fluid rate allocator, its links pre-registered
+	// by the harness; PathOf resolves flow paths onto those links. Both
+	// are required outside ModePacket.
+	Solver *fluid.Solver
+	PathOf PathFunc
 }
 
 // DefaultConfig is the mix the harness experiments run: websearch sizes on
@@ -91,18 +163,25 @@ type Flow struct {
 	Start    time.Duration // offset from Engine.Start
 
 	launchedAt time.Duration
+	launched   bool
+	fluid      bool     // routed through the fluid model (decided at generation)
 	pending    []uint32 // sequences queued for (re)transmission
 	rounds     int
 	retx       int
 	received   int
 	dups       int // arrivals of sequences already delivered
-	gotMask    []uint64
-	timer      *simnet.Timer
+	// gotMask allocates lazily at launch, and only on the packet path —
+	// a million fluid flows carry no packet-runtime state.
+	gotMask []uint64
+	timer   *simnet.Timer
 
 	Done      bool
 	Abandoned bool
 	FCT       time.Duration // valid when Done
 }
+
+// Fluid reports whether the flow was routed through the fluid model.
+func (f *Flow) Fluid() bool { return f.fluid }
 
 func (f *Flow) got(seq uint32) bool { return f.gotMask[seq/64]&(1<<(seq%64)) != 0 }
 func (f *Flow) mark(seq uint32)     { f.gotMask[seq/64] |= 1 << (seq % 64) }
@@ -117,6 +196,15 @@ type Engine struct {
 
 	base    time.Duration // virtual time of Start
 	started bool
+
+	// Fluid-engine state, all touched only from control events at the
+	// quiesce barrier. cursor walks the Start-sorted schedule so fluid
+	// arrivals are consumed per rate epoch instead of costing a timer
+	// each; phantoms tracks packet-path flows whose demand the solver
+	// models.
+	cursor     int
+	fluidTimer *simnet.Timer
+	phantoms   []phantomFlow
 
 	// PacketsSent counts data transmissions including repairs;
 	// Retransmits the repair subset. Both are written only from the
@@ -139,6 +227,14 @@ func New(sim simnet.Engine, hosts []Host, cfg Config) (*Engine, error) {
 	}
 	if cfg.Flows < 1 || cfg.PacketSize < wireHeaderLen || cfg.Sizes == nil {
 		return nil, fmt.Errorf("workload: bad config: %d flows, %dB packets", cfg.Flows, cfg.PacketSize)
+	}
+	if cfg.Mode != ModePacket {
+		if cfg.Solver == nil || cfg.PathOf == nil {
+			return nil, fmt.Errorf("workload: %s mode needs Solver and PathOf wired", cfg.Mode)
+		}
+		if cfg.RateInterval <= 0 {
+			cfg.RateInterval = 5 * time.Millisecond
+		}
 	}
 	if sim == nil {
 		sim = hosts[0].Stack.Node.Sim
@@ -168,10 +264,15 @@ func New(sim simnet.Engine, hosts []Host, cfg Config) (*Engine, error) {
 			Bytes:   bytes,
 			Packets: pkts,
 			Start:   at,
-			gotMask: make([]uint64, (pkts+63)/64),
 		}
+		f.fluid = e.routeFluid(f)
 		e.flows = append(e.flows, f)
-		e.byID[f.ID] = f
+		if !f.fluid {
+			// The receive path only ever looks up packet flows; keeping
+			// fluid flows out of the map keeps its footprint bounded by
+			// packet-path concurrency, not total flow count.
+			e.byID[f.ID] = f
+		}
 	}
 	seen := make(map[*ipstack.Stack]bool)
 	for _, h := range hosts {
@@ -224,8 +325,45 @@ func (e *Engine) pairer(rng *rand.Rand) func(i int) (int, int) {
 	}
 }
 
-// Start schedules every flow launch. Call once, before running the
-// simulation forward.
+// routeFluid is the generation-time dispatch: which engine simulates this
+// flow. Pure modes are trivial; hybrid demotes for fidelity — small flows
+// (queueing and incast dynamics dominate their FCT) and flows whose
+// predicted lifetime overlaps the fault window (reconvergence behavior is
+// the whole point of those) take the packet path.
+func (e *Engine) routeFluid(f *Flow) bool {
+	switch e.cfg.Mode {
+	case ModePacket:
+		return false
+	case ModeFluid:
+		return true
+	}
+	if f.Bytes < e.cfg.FluidCutoff {
+		return false
+	}
+	if e.cfg.DemoteUntil > e.cfg.DemoteFrom {
+		if f.Start < e.cfg.DemoteUntil && f.Start+e.estimateDuration(f) > e.cfg.DemoteFrom {
+			return false
+		}
+	}
+	return true
+}
+
+// estimateDuration pessimistically predicts a flow's lifetime for the
+// fault-window overlap test: twice the pacing-bound transfer time (the
+// packet sender cannot beat one packet per PacketInterval, and the fluid
+// cap matches it). Without pacing there is no sound a-priori bound, so
+// everything near the window demotes.
+func (e *Engine) estimateDuration(f *Flow) time.Duration {
+	if e.cfg.PacketInterval > 0 && e.cfg.PacketSize > 0 {
+		per := float64(f.Bytes) / float64(e.cfg.PacketSize)
+		return time.Duration(2 * per * float64(e.cfg.PacketInterval))
+	}
+	return 1 << 62
+}
+
+// Start schedules every packet flow's launch and, outside ModePacket, the
+// fluid solver's rate-epoch tick. Call once, before running the simulation
+// forward.
 func (e *Engine) Start() {
 	if e.started {
 		panic("workload: Engine started twice")
@@ -233,17 +371,108 @@ func (e *Engine) Start() {
 	e.started = true
 	e.base = e.sim.Now()
 	for _, f := range e.flows {
+		if f.fluid {
+			continue // admitted by the tick's schedule cursor, no per-flow event
+		}
 		f := f
 		//simlint:shardsafe launch mutates flow state at the quiesce barrier with every shard idle; revisit under barrier-free sync
 		e.sim.At(e.base+f.Start, func() { e.launch(f) })
 	}
+	if e.cfg.Mode != ModePacket {
+		//simlint:shardsafe the fluid tick reads flow flags and writes link reservations at the quiesce barrier with every shard idle; revisit under barrier-free sync
+		e.fluidTimer = e.sim.After(e.cfg.RateInterval, e.fluidTick)
+	}
+}
+
+// phantomFlow tracks one packet-path flow admitted to the solver as pure
+// demand (hybrid mode), until its packet engine finishes it.
+type phantomFlow struct {
+	f *Flow
+	h fluid.Handle
+}
+
+// fluidTick is the rate epoch, a control event at the quiesce barrier:
+// integrate service and pop completions, consume newly arrived flows from
+// the schedule cursor, release finished phantom demand, then recompute
+// max-min rates and push the changed reservations onto the links.
+func (e *Engine) fluidTick() {
+	now := e.sim.Now()
+	e.applyCompletions(e.cfg.Solver.Advance(now))
+	for e.cursor < len(e.flows) && e.base+e.flows[e.cursor].Start <= now {
+		f := e.flows[e.cursor]
+		e.cursor++
+		if f.fluid {
+			e.admitFluid(f, e.base+f.Start)
+		}
+	}
+	keep := e.phantoms[:0]
+	for _, ph := range e.phantoms {
+		if ph.f.Done || ph.f.Abandoned {
+			e.cfg.Solver.Leave(ph.h)
+		} else {
+			keep = append(keep, ph)
+		}
+	}
+	e.phantoms = keep
+	e.applyCompletions(e.cfg.Solver.Reallocate(now))
+	if e.cursor < len(e.flows) || e.cfg.Solver.Active() > 0 || len(e.phantoms) > 0 {
+		e.fluidTimer.Reset(e.cfg.RateInterval)
+	}
+}
+
+// applyCompletions marks flows the solver reports finished.
+func (e *Engine) applyCompletions(cs []fluid.Completion) {
+	for _, c := range cs {
+		f := e.flows[c.ID-1]
+		f.Done = true
+		f.FCT = c.FCT
+	}
+}
+
+// admitFluid hands one flow to the solver at its exact arrival instant
+// (service credit is backdated to it by the epoch's Reallocate, so FCT
+// loses nothing to the tick cadence). A flow with no resolvable path — a
+// blackhole window — is abandoned, the analytic analogue of the packet
+// sender exhausting MaxRounds into a void.
+func (e *Engine) admitFluid(f *Flow, at time.Duration) {
+	f.launchedAt = at
+	f.launched = true
+	path, lat, ok := e.cfg.PathOf(f)
+	if !ok {
+		f.Abandoned = true
+		return
+	}
+	e.cfg.Solver.Admit(f.ID, int64(f.Bytes), path, lat, at)
+}
+
+// Repath re-resolves every fluid group's path against the current routing
+// state. The harness calls it after injecting a topology event so standing
+// reservations follow the reroute.
+func (e *Engine) Repath() {
+	if e.cfg.Mode == ModePacket || !e.started {
+		return
+	}
+	e.cfg.Solver.Repath(func(id uint32) ([]fluid.LinkID, time.Duration, bool) {
+		return e.cfg.PathOf(e.flows[id-1])
+	})
+	e.applyCompletions(e.cfg.Solver.Reallocate(e.sim.Now()))
 }
 
 func (e *Engine) launch(f *Flow) {
 	f.launchedAt = e.sim.Now()
+	f.launched = true
+	f.gotMask = make([]uint64, (f.Packets+63)/64)
 	f.pending = f.pending[:0]
 	for seq := 0; seq < f.Packets; seq++ {
 		f.pending = append(f.pending, uint32(seq))
+	}
+	if e.cfg.Mode == ModeHybrid {
+		// The flow's real packets ride the residual serializer; its fair
+		// share must still squeeze the fluid allocation, so the solver
+		// models it as phantom demand until it finishes.
+		if path, _, ok := e.cfg.PathOf(f); ok {
+			e.phantoms = append(e.phantoms, phantomFlow{f: f, h: e.cfg.Solver.AdmitPhantom(path)})
+		}
 	}
 	e.tick(f)
 }
@@ -387,7 +616,14 @@ type Report struct {
 	PacketsSent uint64
 	Retransmits uint64
 	Duplicates  uint64
-	Buckets     []BucketReport
+	// FluidFlows counts flows routed through the fluid model (0 in
+	// ModePacket).
+	FluidFlows int
+	// PeakConcurrent is the maximum number of flows in flight at once:
+	// launched but not yet completed (abandoned and incomplete flows
+	// count as in flight until the end of the run).
+	PeakConcurrent int
+	Buckets        []BucketReport
 }
 
 // CompletionRate is the completed fraction of all generated flows.
@@ -417,8 +653,12 @@ func (e *Engine) Report(buckets []Bucket) Report {
 			r.Abandoned++
 		}
 		r.Duplicates += uint64(f.dups)
+		if f.fluid {
+			r.FluidFlows++
+		}
 	}
 	r.Incomplete = r.Flows - r.Completed - r.Abandoned
+	r.PeakConcurrent = e.peakConcurrent()
 	for _, b := range buckets {
 		r.Buckets = append(r.Buckets, BucketReport{Label: b.Label})
 	}
@@ -438,6 +678,38 @@ func (e *Engine) Report(buckets []Bucket) Report {
 		}
 	}
 	return r
+}
+
+// peakConcurrent sweeps launch/completion instants to find the maximum
+// overlap. Flows that never finished keep their slot to the end of the run
+// (their launch still counts; nothing ever releases it), which makes the
+// figure an honest concurrency high-water mark even on overloaded runs.
+func (e *Engine) peakConcurrent() int {
+	starts := make([]time.Duration, 0, len(e.flows))
+	ends := make([]time.Duration, 0, len(e.flows))
+	for _, f := range e.flows {
+		if !f.launched {
+			continue
+		}
+		starts = append(starts, f.launchedAt)
+		if f.Done {
+			ends = append(ends, f.launchedAt+f.FCT)
+		}
+	}
+	slices.Sort(starts)
+	slices.Sort(ends)
+	cur, peak, j := 0, 0, 0
+	for _, s := range starts {
+		for j < len(ends) && ends[j] <= s {
+			cur--
+			j++
+		}
+		cur++
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
 }
 
 // Summaries reduces each bucket's FCT sample to descriptive statistics.

@@ -354,7 +354,7 @@ func TestLoadMeterIndices(t *testing.T) {
 	sim.Connect(a.AddPort(), c.AddPort())
 	g := Group{Name: "a-uplinks", Ports: []*simnet.Port{a.Port(1), a.Port(2)}}
 	idle := Group{Name: "idle", Ports: []*simnet.Port{b.Port(1)}}
-	m := NewLoadMeter([]Group{g, idle})
+	m := NewLoadMeter(sim, []Group{g, idle})
 
 	a.Port(1).Send(make([]byte, 3000))
 	a.Port(2).Send(make([]byte, 1000))

@@ -130,3 +130,40 @@ func register(tr *tracer, p prober) {
 	nextProberID++
 	replyTable[p.flows] = tr.add(p)
 }
+
+// --- fluid-engine shapes (DESIGN.md §15) ------------------------------------
+//
+// The flow-level solver's rate table and path-group index are instance
+// state: fields of a solver owned by one trial. Rates are recomputed every
+// epoch, so a package-level table would bleed allocations between trials
+// and race under the partitioned engine.
+
+type pathGroup struct {
+	rate    float64
+	service float64
+	members []frameRef
+}
+
+type solver struct {
+	groups []pathGroup
+	index  map[string]int32
+}
+
+func (sv *solver) reallocate(capBps float64) {
+	share := capBps / float64(len(sv.groups))
+	for i := range sv.groups {
+		sv.groups[i].rate = share
+	}
+}
+
+// A package-level rate table or flow set is the anti-pattern: every shard's
+// admission path would write it, and a second trial would inherit the first
+// trial's allocations.
+var rateTable = map[string]float64{} // want `package-level var rateTable has a type with mutable indirection`
+
+var activeFlows []uint32 // want `package-level var activeFlows is written by this package`
+
+func admitGlobal(key string, id uint32, bps float64) {
+	rateTable[key] = bps
+	activeFlows = append(activeFlows, id)
+}
